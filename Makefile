@@ -1,0 +1,33 @@
+# Convenience targets for the VIA reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench examples quick-bench all clean
+
+install:
+	pip install -e .
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# A fast subset: the headline figure plus the live deployment.
+quick-bench:
+	$(PYTHON) -m pytest benchmarks/bench_fig12_via_improvement.py \
+	    benchmarks/bench_fig18_deployment.py --benchmark-only
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/international_calling.py
+	$(PYTHON) examples/budgeted_relaying.py
+	$(PYTHON) examples/live_controller.py
+	$(PYTHON) examples/hybrid_and_probing.py
+	$(PYTHON) examples/mos_optimization.py
+
+all: install test bench
+
+clean:
+	rm -rf .pytest_cache benchmarks/results src/repro.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,60 @@
+"""Extra ablations beyond the paper's Figure 15 (DESIGN.md §5).
+
+* tomography on/off -- how much coverage expansion buys (§4.4),
+* ε = 0 vs ε = 0.05 general exploration -- tracking non-stationary
+  performance (§4.5's second modification).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _util import emit, once
+from repro.analysis import format_table, pnr_breakdown, relative_improvement
+from repro.core.baselines import make_via
+from repro.simulation import make_inter_relay_lookup
+
+METRIC = "rtt_ms"
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_tomography_and_epsilon(benchmark, suite, bench_plan):
+    def experiment():
+        inter_relay = make_inter_relay_lookup(bench_plan.world)
+        policies = {
+            "no-tomography": make_via(
+                METRIC, inter_relay=None, use_tomography=False, seed=42
+            ),
+            "no-epsilon": make_via(METRIC, inter_relay=inter_relay, epsilon=0.0, seed=42),
+        }
+        results = bench_plan.run(policies, seed=99)
+        base = pnr_breakdown(suite.evaluate(suite.results(METRIC)["default"]))
+        table = {
+            "full VIA": pnr_breakdown(suite.evaluate(suite.results(METRIC)["via"])),
+        }
+        for name, result in results.items():
+            table[name] = pnr_breakdown(bench_plan.evaluate(result))
+        return base, table
+
+    base, table = once(benchmark, experiment)
+    rows = [
+        [name, f"{breakdown[METRIC]:.3f}",
+         f"{relative_improvement(base[METRIC], breakdown[METRIC]):.0f}%"]
+        for name, breakdown in table.items()
+    ]
+    emit(
+        "ablation_extras",
+        format_table(
+            ["variant", f"PNR({METRIC})", "improvement"],
+            rows,
+            title="Extra ablations: tomography and general exploration",
+        ),
+    )
+
+    full = relative_improvement(base[METRIC], table["full VIA"][METRIC])
+    for name in ("no-tomography", "no-epsilon"):
+        variant = relative_improvement(base[METRIC], table[name][METRIC])
+        # Neither ablation should beat the full design materially, and
+        # both should still function (graceful degradation).
+        assert variant <= full + 6.0, name
+        assert variant >= 10.0, name

@@ -1,0 +1,79 @@
+"""Connectivity relaying: the §2.1 population today's relays already serve.
+
+The paper notes that relaying in the Skype dataset exists for NAT/firewall
+traversal, not performance: blocked pairs *must* relay, and pre-VIA they
+get an arbitrary relay.  This bench generates a trace where 10% of calls
+are NAT-blocked and measures what VIA's relay *selection* buys that
+population compared to connectivity-only relay assignment.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _util import emit, once
+from conftest import BENCH_DAYS
+from repro.analysis import format_table, pnr_breakdown, relative_improvement
+from repro.core.baselines import DefaultPolicy, OraclePolicy, make_via
+from repro.simulation import dense_pairs, evaluation_slice, make_inter_relay_lookup
+from repro.simulation.replay import replay
+from repro.workload import WorkloadConfig, generate_trace
+
+METRIC = "rtt_ms"
+
+
+@pytest.mark.benchmark(group="ext-connectivity")
+def test_ext_connectivity_relaying(benchmark, bench_world):
+    def experiment():
+        world = bench_world
+        trace = generate_trace(
+            world.topology,
+            WorkloadConfig(
+                n_calls=30_000, n_pairs=300, frac_direct_blocked=0.10, seed=2021
+            ),
+            n_days=BENCH_DAYS,
+        )
+        dense = dense_pairs(trace, min_calls=5 * BENCH_DAYS)
+        policies = {
+            "connectivity-only": DefaultPolicy(),
+            "via": make_via(METRIC, inter_relay=make_inter_relay_lookup(world), seed=42),
+            "oracle": OraclePolicy(world, METRIC),
+        }
+        table = {}
+        for name, policy in policies.items():
+            result = replay(world, trace, policy, seed=99)
+            outcomes = evaluation_slice(result.outcomes, warmup_days=2, pairs=dense)
+            blocked = [o for o in outcomes if o.call.direct_blocked]
+            routable = [o for o in outcomes if not o.call.direct_blocked]
+            table[name] = {
+                "blocked_pnr": pnr_breakdown(blocked)[METRIC],
+                "routable_pnr": pnr_breakdown(routable)[METRIC],
+                "n_blocked": len(blocked),
+            }
+        return table
+
+    table = once(benchmark, experiment)
+    base = table["connectivity-only"]
+    rows = [
+        [name, f"{d['blocked_pnr']:.3f}",
+         f"{relative_improvement(base['blocked_pnr'], d['blocked_pnr']):.0f}%",
+         f"{d['routable_pnr']:.3f}"]
+        for name, d in table.items()
+    ]
+    emit(
+        "ext_connectivity",
+        format_table(
+            ["strategy", "blocked-call PNR", "impr vs arbitrary relay", "routable-call PNR"],
+            rows,
+            title=(
+                f"§2.1 extension: NAT-blocked calls ({base['n_blocked']} evaluated) "
+                "-- relay selection vs relay-for-connectivity"
+            ),
+        ),
+    )
+
+    assert base["n_blocked"] > 300
+    # Picking the relay well must clearly beat picking it arbitrarily.
+    via_impr = relative_improvement(base["blocked_pnr"], table["via"]["blocked_pnr"])
+    assert via_impr >= 20.0
+    assert table["via"]["blocked_pnr"] >= table["oracle"]["blocked_pnr"] - 0.02

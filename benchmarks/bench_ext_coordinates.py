@@ -1,0 +1,95 @@
+"""Vivaldi coordinates: the related-work prediction alternative, measured.
+
+The paper's related work contrasts tomography with coordinate embeddings
+(Vivaldi, IDMaps/GNP).  Tomography cannot predict the *direct* path of a
+never-seen AS pair; a coordinate embedding can.  This bench trains a
+Vivaldi system on direct-path RTT samples from most AS pairs of the bench
+world and evaluates held-out pairs against ground truth, versus a
+population-mean baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _util import emit, once
+from conftest import BENCH_DAYS
+
+from repro.analysis import format_table
+from repro.core.coordinates import CoordinateSystem, VivaldiConfig
+from repro.netmodel.options import DIRECT
+
+
+@pytest.mark.benchmark(group="ext-coordinates")
+def test_ext_vivaldi_direct_path_prediction(benchmark, bench_world, bench_trace):
+    def experiment():
+        world = bench_world
+        rng = np.random.default_rng(77)
+        pairs = sorted(bench_trace.pair_counts())
+        pairs = [p for p in pairs if p[0] != p[1]]
+        rng.shuffle(pairs)
+        held_out = pairs[: max(20, len(pairs) // 5)]
+        training = pairs[len(held_out):]
+
+        system = CoordinateSystem(VivaldiConfig(dimensions=5))
+        horizon_h = BENCH_DAYS * 24.0
+        for _round in range(10):
+            for a, b in training:
+                sample = world.sample_call(a, b, DIRECT, rng.uniform(0, horizon_h), rng)
+                system.observe(a, b, sample.rtt_ms)
+
+        def long_run_rtt(a: int, b: int) -> float:
+            days = range(0, BENCH_DAYS, 3)
+            return float(np.mean([world.true_mean(a, b, DIRECT, d).rtt_ms for d in days]))
+
+        train_truth = [long_run_rtt(a, b) for a, b in training]
+        population_mean = float(np.mean(train_truth))
+
+        vivaldi_errors = []
+        baseline_errors = []
+        skipped = 0
+        for a, b in held_out:
+            truth = long_run_rtt(a, b)
+            estimate = system.estimate_rtt(a, b)
+            if estimate is None:
+                skipped += 1
+                continue
+            vivaldi_errors.append(abs(estimate - truth) / truth)
+            baseline_errors.append(abs(population_mean - truth) / truth)
+        v = np.asarray(vivaldi_errors)
+        base = np.asarray(baseline_errors)
+        return {
+            "n_eval": len(v),
+            "skipped": skipped,
+            "vivaldi_median": float(np.median(v)),
+            "vivaldi_within50": float(np.mean(v <= 0.5)),
+            "baseline_median": float(np.median(base)),
+            "baseline_within50": float(np.mean(base <= 0.5)),
+            "n_nodes": len(system),
+        }
+
+    stats = once(benchmark, experiment)
+    emit(
+        "ext_coordinates",
+        format_table(
+            ["predictor", "median rel. error", "within 50%"],
+            [
+                ["Vivaldi embedding", f"{stats['vivaldi_median']:.0%}",
+                 f"{stats['vivaldi_within50']:.0%}"],
+                ["population mean", f"{stats['baseline_median']:.0%}",
+                 f"{stats['baseline_within50']:.0%}"],
+            ],
+            title=(
+                f"Extension: direct-path RTT prediction for {stats['n_eval']} "
+                f"held-out AS pairs ({stats['n_nodes']} embedded nodes, "
+                f"{stats['skipped']} unembeddable)"
+            ),
+        ),
+    )
+
+    assert stats["n_eval"] >= 15
+    # The embedding must clearly beat the uninformed baseline.
+    assert stats["vivaldi_median"] < stats["baseline_median"]
+    assert stats["vivaldi_within50"] >= stats["baseline_within50"]
+    assert stats["vivaldi_median"] < 0.7

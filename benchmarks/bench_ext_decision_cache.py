@@ -1,0 +1,69 @@
+"""Decision caching: the §3.1 / §7 controller-scalability lever, measured.
+
+The paper: "to avoid overloading the controller, each client could cache
+the relaying decisions and refresh periodically".  This bench sweeps the
+cache TTL and reports the trade between controller queries saved and the
+staleness cost in PNR.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _util import emit, once
+from repro.analysis import format_table, pnr_breakdown, relative_improvement
+from repro.core.baselines import make_via
+from repro.core.caching import CachedAssignmentPolicy
+from repro.simulation import make_inter_relay_lookup
+from repro.simulation.replay import replay
+
+METRIC = "rtt_ms"
+TTLS_H = (0.5, 2.0, 12.0)
+
+
+@pytest.mark.benchmark(group="ext-cache")
+def test_ext_decision_cache(benchmark, suite, bench_world, bench_trace, bench_plan):
+    def experiment():
+        inter_relay = make_inter_relay_lookup(bench_world)
+        base = pnr_breakdown(suite.evaluate(suite.results(METRIC)["default"]))
+        table = {
+            "no cache": {
+                "pnr": pnr_breakdown(suite.evaluate(suite.results(METRIC)["via"]))[METRIC],
+                "queries": 1.0,
+            }
+        }
+        for ttl in TTLS_H:
+            cached = CachedAssignmentPolicy(
+                make_via(METRIC, inter_relay=inter_relay, seed=42), ttl_hours=ttl
+            )
+            result = replay(bench_world, bench_trace, cached, seed=99)
+            table[f"TTL {ttl:g}h"] = {
+                "pnr": pnr_breakdown(bench_plan.evaluate(result))[METRIC],
+                "queries": cached.query_fraction,
+            }
+        return base, table
+
+    base, table = once(benchmark, experiment)
+    rows = [
+        [name, f"{d['queries']:.1%}", f"{d['pnr']:.3f}",
+         f"{relative_improvement(base[METRIC], d['pnr']):.0f}%"]
+        for name, d in table.items()
+    ]
+    emit(
+        "ext_decision_cache",
+        format_table(
+            ["cache", "controller queries/call", f"PNR({METRIC})", "improvement"],
+            rows,
+            title="§3.1/§7 extension: client-side decision caching",
+        ),
+    )
+
+    no_cache = table["no cache"]["pnr"]
+    # Short TTLs slash controller load with little quality cost...
+    short = table["TTL 0.5h"]
+    assert short["queries"] < 0.7
+    assert short["pnr"] <= no_cache + 0.02
+    # ...while very long TTLs trade more quality for fewer queries.
+    long = table["TTL 12h"]
+    assert long["queries"] < short["queries"]
+    assert long["pnr"] >= short["pnr"] - 0.01

@@ -1,0 +1,72 @@
+"""Hybrid reactive selection: the §7 "Discussion" alternative, evaluated.
+
+The paper proposes letting clients try a prediction-pruned shortlist of
+options at call start and keep the observed winner.  This bench compares
+plain VIA against the hybrid on long calls, where a 10-second probe window
+amortises well -- the hybrid should close part of the remaining gap to the
+oracle there.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _util import emit, once
+from repro.analysis import format_table, pnr_breakdown, relative_improvement
+from repro.core.hybrid import HybridReactivePolicy
+from repro.core.policy import ViaConfig
+from repro.simulation import make_inter_relay_lookup
+from repro.simulation.replay import replay
+
+METRIC = "rtt_ms"
+LONG_CALL_S = 120.0
+
+
+@pytest.mark.benchmark(group="ext-hybrid")
+def test_ext_hybrid_reactive(benchmark, suite, bench_world, bench_trace, bench_plan):
+    def experiment():
+        policy = HybridReactivePolicy(
+            ViaConfig(metric=METRIC, seed=42),
+            inter_relay=make_inter_relay_lookup(bench_world),
+            probe_top_n=3,
+            min_duration_s=LONG_CALL_S,
+        )
+        hybrid_result = replay(bench_world, bench_trace, policy, seed=99)
+        results = suite.results(METRIC)
+
+        def long_calls(outcomes):
+            return [o for o in outcomes if o.call.duration_s >= LONG_CALL_S]
+
+        table = {}
+        for name, outcomes in (
+            ("default", suite.evaluate(results["default"])),
+            ("via", suite.evaluate(results["via"])),
+            ("oracle", suite.evaluate(results["oracle"])),
+            ("hybrid-reactive", bench_plan.evaluate(hybrid_result)),
+        ):
+            table[name] = pnr_breakdown(long_calls(outcomes))[METRIC]
+        return table, policy.n_probed_calls
+
+    table, n_probed = once(benchmark, experiment)
+    base = table["default"]
+    rows = [
+        [name, f"{value:.3f}", f"{relative_improvement(base, value):.0f}%"]
+        for name, value in table.items()
+    ]
+    emit(
+        "ext_hybrid_reactive",
+        format_table(
+            ["strategy", f"long-call PNR({METRIC})", "improvement"],
+            rows,
+            title=f"§7 extension: hybrid reactive on calls >= {LONG_CALL_S:.0f}s "
+                  f"({n_probed} probed calls)",
+        ),
+    )
+
+    assert n_probed > 1000
+    # The hybrid must improve on the default substantially and be
+    # competitive with plain VIA on long calls (within noise, ideally better).
+    assert relative_improvement(base, table["hybrid-reactive"]) >= 30.0
+    assert table["hybrid-reactive"] <= table["via"] + 0.02
+    # Still bounded by foresight.
+    assert table["hybrid-reactive"] >= table["oracle"] - 0.02

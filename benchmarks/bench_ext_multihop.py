@@ -1,0 +1,67 @@
+"""Multi-hop relaying headroom: why VIA stops at two relays.
+
+Related work observes Hangouts routing streams across multiple cloud
+relays.  VIA's action space is bounce (1 relay) / transit (2 relays);
+this bench quantifies, over the dense evaluation pairs, how much WAN RTT
+a shortest-path router could still save with unbounded backbone hops --
+the justification for the paper's two-relay design if the answer is
+"almost nothing".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _util import emit, once
+from conftest import BENCH_DAYS
+from repro.analysis import format_table
+from repro.netmodel.graph import best_multihop_route
+
+
+@pytest.mark.benchmark(group="ext-multihop")
+def test_ext_multihop_headroom(benchmark, bench_world, bench_plan):
+    def experiment():
+        world = bench_world
+        day = BENCH_DAYS // 2
+        pairs = [p for p in sorted(bench_plan.dense) if p[0] != p[1]]
+        gains_2_vs_1 = []
+        gains_free_vs_2 = []
+        hop_counts = []
+        for a, b in pairs:
+            _r, cost1 = best_multihop_route(world, a, b, day=day, max_relays=1)
+            _r, cost2 = best_multihop_route(world, a, b, day=day, max_relays=2)
+            relays_free, cost_free = best_multihop_route(world, a, b, day=day)
+            gains_2_vs_1.append((cost1 - cost2) / cost1)
+            gains_free_vs_2.append((cost2 - cost_free) / cost2)
+            hop_counts.append(len(relays_free))
+        return {
+            "n_pairs": len(pairs),
+            "gain_transit": float(np.mean(gains_2_vs_1)),
+            "gain_beyond": float(np.mean(gains_free_vs_2)),
+            "p90_gain_beyond": float(np.percentile(gains_free_vs_2, 90)),
+            "mean_hops_unbounded": float(np.mean(hop_counts)),
+        }
+
+    stats = once(benchmark, experiment)
+    emit(
+        "ext_multihop",
+        format_table(
+            ["statistic", "value"],
+            [
+                ["pairs analysed", stats["n_pairs"]],
+                ["mean WAN-RTT gain: transit over bounce", f"{stats['gain_transit']:.1%}"],
+                ["mean extra gain: unbounded hops over transit", f"{stats['gain_beyond']:.1%}"],
+                ["p90 extra gain beyond transit", f"{stats['p90_gain_beyond']:.1%}"],
+                ["mean relay hops when unbounded", f"{stats['mean_hops_unbounded']:.2f}"],
+            ],
+            title="Multi-hop headroom beyond VIA's bounce/transit action space",
+        ),
+    )
+
+    assert stats["n_pairs"] >= 20
+    # Transit buys real WAN-RTT over bounce on these long-haul pairs...
+    assert stats["gain_transit"] >= 0.02
+    # ...but going beyond two relays buys almost nothing (the design point).
+    assert stats["gain_beyond"] <= 0.05
+    assert stats["mean_hops_unbounded"] <= 3.0

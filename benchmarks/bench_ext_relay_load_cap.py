@@ -1,0 +1,74 @@
+"""Per-relay load caps: the §4.6 "per-relay limits" budget variant.
+
+Uncapped VIA concentrates traffic on the few most useful relays
+(Figure 17c's skew).  A per-relay cap spreads load across the fleet;
+this bench measures how much balancing costs in PNR.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _util import emit, once
+from repro.analysis import format_table, pnr_breakdown, relative_improvement
+from repro.core.baselines import make_via
+from repro.simulation import make_inter_relay_lookup
+from repro.simulation.replay import replay
+
+METRIC = "rtt_ms"
+CAPS = (0.05, 0.15)
+
+
+@pytest.mark.benchmark(group="ext-load-cap")
+def test_ext_per_relay_load_cap(benchmark, suite, bench_world, bench_trace, bench_plan):
+    def experiment():
+        inter_relay = make_inter_relay_lookup(bench_world)
+        base = pnr_breakdown(suite.evaluate(suite.results(METRIC)["default"]))
+        table = {}
+
+        def max_load(result):
+            counts: dict[int, int] = {}
+            for outcome in result.outcomes:
+                for rid in outcome.option.relay_ids():
+                    counts[rid] = counts.get(rid, 0) + 1
+            return max(counts.values()) / max(1, len(result.outcomes))
+
+        uncapped = suite.results(METRIC)["via"]
+        table["uncapped"] = {
+            "pnr": pnr_breakdown(suite.evaluate(uncapped))[METRIC],
+            "max_load": max_load(uncapped),
+        }
+        for cap in CAPS:
+            policy = make_via(
+                METRIC, inter_relay=inter_relay, seed=42, per_relay_cap=cap
+            )
+            result = replay(bench_world, bench_trace, policy, seed=99)
+            table[f"cap {cap:.0%}"] = {
+                "pnr": pnr_breakdown(bench_plan.evaluate(result))[METRIC],
+                "max_load": max_load(result),
+            }
+        return base, table
+
+    base, table = once(benchmark, experiment)
+    rows = [
+        [name, f"{d['max_load']:.1%}", f"{d['pnr']:.3f}",
+         f"{relative_improvement(base[METRIC], d['pnr']):.0f}%"]
+        for name, d in table.items()
+    ]
+    emit(
+        "ext_relay_load_cap",
+        format_table(
+            ["variant", "busiest relay share", f"PNR({METRIC})", "improvement"],
+            rows,
+            title="§4.6 extension: per-relay load caps",
+        ),
+    )
+
+    # The cap actually flattens the hottest relay...
+    assert table["cap 5%"]["max_load"] < table["uncapped"]["max_load"]
+    assert table["cap 5%"]["max_load"] <= 0.12  # cap + sliding-window slack
+    # ...while retaining most of the improvement.
+    uncapped_impr = relative_improvement(base[METRIC], table["uncapped"]["pnr"])
+    capped_impr = relative_improvement(base[METRIC], table["cap 15%"]["pnr"])
+    assert capped_impr >= 0.6 * uncapped_impr

@@ -1,0 +1,69 @@
+"""Sharded controller: what the §7 partitioning answer costs.
+
+The paper's discussion proposes partitioning the controller for scale.
+Shards learn independently, so tomography (which pools relay-segment
+observations *across* pairs) loses coverage as K grows.  This bench
+replays VIA behind 1, 4 and 16 shards.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _util import emit, once
+from repro.analysis import format_table, pnr_breakdown, relative_improvement
+from repro.core.baselines import make_via
+from repro.core.sharding import ShardedPolicy
+from repro.simulation import make_inter_relay_lookup
+from repro.simulation.replay import replay
+
+METRIC = "rtt_ms"
+SHARD_COUNTS = (4, 16)
+
+
+@pytest.mark.benchmark(group="ext-sharding")
+def test_ext_sharded_controller(benchmark, suite, bench_world, bench_trace, bench_plan):
+    def experiment():
+        inter_relay = make_inter_relay_lookup(bench_world)
+        base = pnr_breakdown(suite.evaluate(suite.results(METRIC)["default"]))
+        table = {
+            "1 shard": {
+                "pnr": pnr_breakdown(suite.evaluate(suite.results(METRIC)["via"]))[METRIC],
+                "imbalance": 1.0,
+            }
+        }
+        for n_shards in SHARD_COUNTS:
+            policy = ShardedPolicy(
+                lambda i: make_via(METRIC, inter_relay=inter_relay, seed=42 + i),
+                n_shards,
+            )
+            result = replay(bench_world, bench_trace, policy, seed=99)
+            table[f"{n_shards} shards"] = {
+                "pnr": pnr_breakdown(bench_plan.evaluate(result))[METRIC],
+                "imbalance": policy.load_imbalance(),
+            }
+        return base, table
+
+    base, table = once(benchmark, experiment)
+    rows = [
+        [name, f"{d['imbalance']:.2f}", f"{d['pnr']:.3f}",
+         f"{relative_improvement(base[METRIC], d['pnr']):.0f}%"]
+        for name, d in table.items()
+    ]
+    emit(
+        "ext_sharded_controller",
+        format_table(
+            ["control plane", "load imbalance (max/mean)", f"PNR({METRIC})", "improvement"],
+            rows,
+            title="§7 extension: partitioned controller",
+        ),
+    )
+
+    single = relative_improvement(base[METRIC], table["1 shard"]["pnr"])
+    # Moderate sharding must stay close to the single logical controller...
+    assert relative_improvement(base[METRIC], table["4 shards"]["pnr"]) >= single - 15.0
+    # ...and even heavy sharding keeps most of the benefit (dense pairs
+    # carry their own history; only tomography coverage shrinks).
+    assert relative_improvement(base[METRIC], table["16 shards"]["pnr"]) >= 0.5 * single
+    # Hash partitioning balances load reasonably.
+    assert table["16 shards"]["imbalance"] < 6.0

@@ -1,0 +1,62 @@
+"""Trace-level quality: does VIA improve packet-trace MOS, not just averages?
+
+The paper validates its average-metric thresholds against a proprietary
+packet-trace MOS calculator (§2.2).  This bench closes the loop for the
+*policy* results: it re-synthesises RTP packet traces for evaluated calls
+(via `repro.telephony.sessions`) and scores default vs VIA vs oracle with
+the windowed, burst-sensitive trace MOS.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _util import emit, once
+from repro.analysis import format_table
+from repro.telephony.sessions import call_trace_mos
+
+METRIC = "rtt_ms"
+SAMPLE_CALLS = 400
+
+
+@pytest.mark.benchmark(group="ext-trace-mos")
+def test_ext_trace_mos(benchmark, suite):
+    def experiment():
+        rng = np.random.default_rng(2626)
+        results = suite.results(METRIC)
+        table = {}
+        for name in ("default", "via", "oracle"):
+            outcomes = suite.evaluate(results[name])
+            step = max(1, len(outcomes) // SAMPLE_CALLS)
+            sample = outcomes[::step][:SAMPLE_CALLS]
+            scores = np.array([
+                call_trace_mos(o.metrics, min(o.call.duration_s, 120.0), rng)
+                for o in sample
+            ])
+            table[name] = {
+                "mean": float(scores.mean()),
+                "p10": float(np.percentile(scores, 10)),
+                "frac_below_3": float(np.mean(scores < 3.0)),
+            }
+        return table
+
+    table = once(benchmark, experiment)
+    rows = [
+        [name, f"{d['mean']:.3f}", f"{d['p10']:.3f}", f"{d['frac_below_3']:.1%}"]
+        for name, d in table.items()
+    ]
+    emit(
+        "ext_trace_mos",
+        format_table(
+            ["strategy", "mean trace-MOS", "p10 trace-MOS", "calls below MOS 3"],
+            rows,
+            title=f"Packet-trace MOS over {SAMPLE_CALLS} evaluated calls",
+        ),
+    )
+
+    # VIA must improve fine-grained quality, not only call averages.
+    assert table["via"]["mean"] > table["default"]["mean"] + 0.03
+    assert table["via"]["p10"] >= table["default"]["p10"]
+    assert table["via"]["frac_below_3"] <= table["default"]["frac_below_3"]
+    assert table["oracle"]["mean"] >= table["via"]["mean"] - 0.05

@@ -1,0 +1,61 @@
+"""Figure 13: VIA's improvement on international vs domestic calls.
+
+Paper: VIA improves both populations significantly, with a slightly larger
+improvement on international calls (domestic calls are more often limited
+by the last mile, which relaying cannot fix).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _util import emit, once
+from repro.analysis import (
+    format_table,
+    pnr_breakdown,
+    relative_improvement,
+    split_international,
+)
+
+METRIC = "rtt_ms"
+
+
+@pytest.mark.benchmark(group="fig13")
+def test_fig13_international_vs_domestic(benchmark, suite):
+    def experiment():
+        results = suite.results(METRIC)
+        data = {}
+        for name in ("default", "via", "oracle"):
+            intl, dom = split_international(suite.evaluate(results[name]))
+            data[name] = {
+                "intl": pnr_breakdown(intl)[METRIC],
+                "dom": pnr_breakdown(dom)[METRIC],
+            }
+        return data
+
+    data = once(benchmark, experiment)
+    rows = [
+        [name, f"{values['intl']:.3f}", f"{values['dom']:.3f}"]
+        for name, values in data.items()
+    ]
+    intl_impr = relative_improvement(data["default"]["intl"], data["via"]["intl"])
+    dom_impr = relative_improvement(data["default"]["dom"], data["via"]["dom"])
+    emit(
+        "fig13_intl_domestic",
+        format_table(
+            ["strategy", "international PNR(rtt)", "domestic PNR(rtt)"],
+            rows,
+            title=(
+                "Figure 13: VIA improvement by call type "
+                f"(intl impr {intl_impr:.0f}%, domestic impr {dom_impr:.0f}%)"
+            ),
+        ),
+    )
+
+    # Both populations improve materially...
+    assert intl_impr >= 25.0
+    assert dom_impr >= 10.0
+    # ...and the strategies stay ordered on both.
+    for population in ("intl", "dom"):
+        assert data["oracle"][population] <= data["via"][population] + 0.02
+        assert data["via"][population] < data["default"][population]

@@ -1,0 +1,77 @@
+"""Figure 14: dissecting VIA's improvement by country.
+
+Paper: countries with the worst direct-path PNR sit far above the global
+PNR, and for most of them VIA lands closer to the oracle than to the
+default strategy (shown for PNR of RTT, loss and jitter).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _util import emit, once
+from repro.analysis import by_country_pnr, format_table, pnr
+from repro.netmodel.metrics import METRICS
+
+N_WORST = 8
+
+
+@pytest.mark.benchmark(group="fig14")
+def test_fig14_by_country_dissection(benchmark, suite):
+    def experiment():
+        data = {}
+        for metric in METRICS:
+            results = suite.results(metric)
+            default_out = suite.evaluate(results["default"])
+            default_by_country = by_country_pnr(default_out, metric, min_calls=300)
+            worst = sorted(
+                default_by_country, key=default_by_country.get, reverse=True
+            )[:N_WORST]
+            via_by_country = by_country_pnr(
+                suite.evaluate(results["via"]), metric, min_calls=200
+            )
+            oracle_by_country = by_country_pnr(
+                suite.evaluate(results["oracle"]), metric, min_calls=200
+            )
+            data[metric] = {
+                "global": pnr(default_out, metric),
+                "rows": [
+                    (
+                        country,
+                        default_by_country[country],
+                        via_by_country.get(country),
+                        oracle_by_country.get(country),
+                    )
+                    for country in worst
+                ],
+            }
+        return data
+
+    data = once(benchmark, experiment)
+
+    parts = []
+    for metric, block in data.items():
+        rows = [
+            [country, f"{default:.3f}",
+             "-" if via is None else f"{via:.3f}",
+             "-" if oracle is None else f"{oracle:.3f}"]
+            for country, default, via, oracle in block["rows"]
+        ]
+        parts.append(
+            format_table(
+                ["country", "default", "VIA", "oracle"],
+                rows,
+                title=f"Figure 14 ({metric}): worst countries "
+                      f"(global default PNR {block['global']:.3f})",
+            )
+        )
+    emit("fig14_by_country", "\n\n".join(parts))
+
+    for metric, block in data.items():
+        # Worst countries sit well above the global PNR.
+        assert block["rows"][0][1] > 1.5 * block["global"], metric
+        # For most listed countries VIA improves on the default...
+        comparable = [r for r in block["rows"] if r[2] is not None]
+        assert len(comparable) >= 4, metric
+        improved = sum(via < default for _c, default, via, _o in comparable)
+        assert improved >= 0.6 * len(comparable), metric

@@ -1,0 +1,56 @@
+"""Figure 18: the real-world controlled deployment (§5.5).
+
+Paper: a cloud controller plus 14 instrumented clients in five countries;
+~1000 back-to-back calls over 18 pairs with 9-20 relaying options each.
+VIA's per-call choice is within 20% of the oracle for ~70% of calls while
+picking the exact best option no more than ~30% of the time.
+
+This bench runs the actual asyncio controller/client testbed over
+localhost TCP.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _util import emit, once
+from repro.analysis import format_series
+from repro.deployment import TestbedConfig, run_testbed
+
+
+@pytest.mark.benchmark(group="fig18")
+def test_fig18_deployment_suboptimality(benchmark):
+    def experiment():
+        return run_testbed(
+            TestbedConfig(
+                n_clients=14, n_pairs=18, measurement_rounds=4, via_rounds=30, seed=99
+            )
+        )
+
+    report = once(benchmark, experiment)
+    emit(
+        "fig18_deployment",
+        format_series(
+            (
+                f"Figure 18: sub-optimality CDF over {report.n_calls} VIA calls "
+                f"({report.n_pairs} pairs, {min(report.options_per_pair)}-"
+                f"{max(report.options_per_pair)} options/pair, "
+                f"{report.n_measurements} measurements); "
+                f"exact-best {report.frac_exact_best:.0%}, "
+                f"within-20% {report.frac_within(0.2):.0%}"
+            ),
+            [(round(x, 4), round(f, 3)) for x, f in report.cdf(points=15)],
+            x_label="(Perf_VIA - Perf_oracle)/Perf_oracle",
+            y_label="fraction of calls",
+        ),
+    )
+
+    # Scale matches the paper's testbed.
+    assert report.n_pairs == 18
+    assert report.n_calls >= 400
+    assert min(report.options_per_pair) >= 9
+    # Headline shapes: within 20% of oracle for most calls, while rarely
+    # locking the single best option.
+    assert report.frac_within(0.2) >= 0.55
+    assert report.frac_exact_best <= 0.6
+    assert report.frac_within(1.0) >= 0.9

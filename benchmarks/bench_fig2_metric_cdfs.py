@@ -1,0 +1,55 @@
+"""Figure 2: CDFs of RTT, loss rate and jitter on default paths.
+
+Paper: a significant fraction of calls (over 15%) sit beyond 320 ms RTT,
+1.2% loss, or 12 ms jitter -- exactly the thresholds chosen for "poor"
+network performance.  We regenerate the three CDFs and check the mass
+beyond each threshold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _util import emit, once
+from repro.analysis import DEFAULT_THRESHOLDS, cdf_points, format_series
+from repro.netmodel.metrics import METRICS
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_metric_distributions(benchmark, suite):
+    def experiment():
+        outcomes = suite.all_default_outcomes()
+        result = {}
+        for metric in METRICS:
+            values = np.array([o.metrics.get(metric) for o in outcomes])
+            threshold = DEFAULT_THRESHOLDS.get(metric)
+            result[metric] = {
+                "cdf": cdf_points(values, n_points=21),
+                "beyond": float(np.mean(values >= threshold)),
+                "median": float(np.median(values)),
+            }
+        return result
+
+    stats = once(benchmark, experiment)
+
+    parts = []
+    for metric, data in stats.items():
+        parts.append(
+            format_series(
+                f"Figure 2 CDF ({metric}); median={data['median']:.3g}, "
+                f"P(beyond threshold)={data['beyond']:.2%}",
+                [(round(x, 4), round(f, 3)) for x, f in data["cdf"]],
+                x_label=metric, y_label="CDF",
+            )
+        )
+    emit("fig2_metric_cdfs", "\n\n".join(parts))
+
+    for metric, data in stats.items():
+        # Paper: "over 15%" beyond each threshold; allow a broad band
+        # around that on the synthetic population.
+        assert 0.08 <= data["beyond"] <= 0.40, (metric, data["beyond"])
+    # Medians in plausible VoIP ranges.
+    assert 50.0 <= stats["rtt_ms"]["median"] <= 300.0
+    assert 0.0005 <= stats["loss_rate"]["median"] <= 0.012
+    assert 2.0 <= stats["jitter_ms"]["median"] <= 12.0

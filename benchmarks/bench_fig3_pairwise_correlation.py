@@ -1,0 +1,67 @@
+"""Figure 3: pairwise correlation between network metrics.
+
+Paper: p10/p50/p90 bands of one metric as a function of another show a
+positive but *spread-out* relationship -- improving one metric could
+worsen another, motivating the combined "at least one bad" PNR.  We
+regenerate the three pairwise band plots and check both the positive
+median trend and the substantial spread.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _util import emit, once
+from repro.analysis import format_table
+from repro.analysis.stats import binned_quantile_bands, pearson_correlation
+
+PAIRS = [
+    ("rtt_ms", "loss_rate"),
+    ("rtt_ms", "jitter_ms"),
+    ("loss_rate", "jitter_ms"),
+]
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_pairwise_bands(benchmark, suite):
+    def experiment():
+        outcomes = suite.all_default_outcomes()
+        bands = {}
+        for x_metric, y_metric in PAIRS:
+            x = [o.metrics.get(x_metric) for o in outcomes]
+            y = [o.metrics.get(y_metric) for o in outcomes]
+            bands[(x_metric, y_metric)] = binned_quantile_bands(
+                x, y, n_bins=10, min_samples=1000
+            )
+        return bands
+
+    bands = once(benchmark, experiment)
+
+    parts = []
+    for (x_metric, y_metric), series in bands.items():
+        rows = [
+            [f"{b.bin_center:.4g}", f"{b.quantiles[10.0]:.4g}",
+             f"{b.quantiles[50.0]:.4g}", f"{b.quantiles[90.0]:.4g}", b.n_samples]
+            for b in series
+        ]
+        parts.append(
+            format_table(
+                [x_metric, "p10", "p50", "p90", "n"],
+                rows,
+                title=f"Figure 3: {y_metric} binned by {x_metric}",
+            )
+        )
+    emit("fig3_pairwise_correlation", "\n\n".join(parts))
+
+    for (x_metric, y_metric), series in bands.items():
+        assert len(series) >= 4, (x_metric, y_metric)
+        medians = [b.quantiles[50.0] for b in series]
+        centers = [b.bin_center for b in series]
+        # Positive overall relationship between the metrics...
+        assert pearson_correlation(centers, medians) > 0.3, (x_metric, y_metric)
+        # ...but with substantial spread: p90 well above p10 in most bins
+        # (the paper's argument that one metric does not determine another).
+        spreads = [
+            b.quantiles[90.0] / max(b.quantiles[10.0], 1e-9) for b in series
+        ]
+        assert sum(s > 2.0 for s in spreads) >= len(spreads) // 2

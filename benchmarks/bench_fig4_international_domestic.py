@@ -1,0 +1,55 @@
+"""Figure 4: international vs domestic calls, and by-country PNR.
+
+Paper: international calls see 2-3x the PNR of domestic calls on every
+metric (larger still on "at least one bad"), and by-country PNR of
+international calls is highly skewed, with the worst countries up to 70%
+while half sit at 25-50%.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _util import emit, once
+from repro.analysis import (
+    by_country_pnr,
+    format_table,
+    pnr_breakdown,
+    split_international,
+)
+from repro.netmodel.metrics import METRICS
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_international_vs_domestic(benchmark, suite):
+    def experiment():
+        outcomes = suite.all_default_outcomes()
+        intl, dom = split_international(outcomes)
+        by_country = by_country_pnr(outcomes, "rtt_ms", min_calls=400)
+        return pnr_breakdown(intl), pnr_breakdown(dom), by_country
+
+    intl, dom, by_country = once(benchmark, experiment)
+
+    rows = [
+        [metric, f"{intl[metric]:.3f}", f"{dom[metric]:.3f}",
+         f"{intl[metric] / max(dom[metric], 1e-9):.2f}x"]
+        for metric in (*METRICS, "any")
+    ]
+    ranked = sorted(by_country.items(), key=lambda kv: kv[1], reverse=True)
+    country_rows = [[c, f"{v:.3f}"] for c, v in ranked]
+    emit(
+        "fig4_international_domestic",
+        format_table(["metric", "international PNR", "domestic PNR", "ratio"], rows,
+                     title="Figure 4a: international vs domestic")
+        + "\n\n"
+        + format_table(["country", "PNR(rtt) intl calls"], country_rows,
+                       title="Figure 4b: by-country PNR (one side of call)"),
+    )
+
+    for metric in (*METRICS, "any"):
+        ratio = intl[metric] / max(dom[metric], 1e-9)
+        assert 1.3 <= ratio <= 8.0, (metric, ratio)
+    # Skewed by-country distribution: worst country well above the median.
+    values = sorted(by_country.values(), reverse=True)
+    assert len(values) >= 8
+    assert values[0] > 2.0 * values[len(values) // 2]

@@ -1,0 +1,43 @@
+"""Figure 5: poor calls are not concentrated in a few AS pairs.
+
+Paper: the worst 1000 AS pairs together account for less than 15% of all
+calls with poor performance -- localized fixes cannot help.  Scaled to
+our synthetic population: the worst few percent of pairs must cover only
+a modest share of poor calls.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _util import emit, once
+from repro.analysis import format_series, pair_contribution_curve
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_worst_pairs_contribution(benchmark, suite):
+    def experiment():
+        return pair_contribution_curve(suite.all_default_outcomes(), None)
+
+    curve = once(benchmark, experiment)
+    n_pairs = len(curve)
+    checkpoints = [1, 5, 10, 25, 50, 100, 200, n_pairs]
+    series = [
+        (n, round(curve[min(n, n_pairs) - 1][1], 3)) for n in checkpoints if n <= n_pairs
+    ]
+    emit(
+        "fig5_aspair_contribution",
+        format_series(
+            f"Figure 5: cumulative poor-call share of worst-n AS pairs "
+            f"(of {n_pairs} pairs with poor calls)",
+            series, x_label="worst n pairs", y_label="share of poor calls",
+        ),
+    )
+
+    assert n_pairs >= 100, "population too small to assess spread"
+    # The paper's point, rescaled: the worst ~1.5% of pairs (1000 of ~66k
+    # pairs in the paper) cover well under half of all poor calls.
+    worst_few = max(1, int(0.015 * n_pairs))
+    assert curve[worst_few - 1][1] < 0.45
+    # And no single pair dominates.
+    assert curve[0][1] < 0.25

@@ -1,0 +1,59 @@
+"""Figure 6: persistence and prevalence of high-PNR AS pairs.
+
+Paper: labelling a pair "high PNR" on a day when its PNR is >= 1.5x the
+overall PNR that day, 10-20% of pairs are always bad while 60-70% are bad
+less than 30% of the time with stretches of at most ~a day -- poor
+performance is temporally spread, so relay selection must be dynamic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _util import emit, once
+from repro.analysis import (
+    daily_pair_pnr,
+    format_series,
+    persistence_and_prevalence,
+)
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_persistence_prevalence(benchmark, suite):
+    def experiment():
+        pair_pnr, overall = daily_pair_pnr(
+            suite.all_default_outcomes(), None, min_calls_per_day=5
+        )
+        return persistence_and_prevalence(pair_pnr, overall, factor=1.5)
+
+    persistence, prevalence = once(benchmark, experiment)
+    persistence_arr = np.asarray(persistence)
+    prevalence_arr = np.asarray(prevalence)
+
+    def cdf(arr, points):
+        return [(p, round(float(np.mean(arr <= p)), 3)) for p in points]
+
+    emit(
+        "fig6_temporal_patterns",
+        format_series(
+            f"Figure 6a: persistence CDF over {len(persistence)} high-PNR pairs",
+            cdf(persistence_arr, [1, 2, 3, 5, 10, 25]),
+            x_label="median streak (days)", y_label="CDF",
+        )
+        + "\n\n"
+        + format_series(
+            "Figure 6b: prevalence CDF",
+            cdf(prevalence_arr, [0.1, 0.3, 0.5, 0.7, 0.9, 1.0]),
+            x_label="fraction of days high-PNR", y_label="CDF",
+        ),
+    )
+
+    assert len(prevalence) >= 30, "too few high-PNR pairs to characterise"
+    always_bad = float(np.mean(prevalence_arr >= 0.95))
+    mostly_ok = float(np.mean(prevalence_arr <= 0.5))
+    # Shape: a minority of chronic pairs, a majority of intermittent ones.
+    assert 0.0 <= always_bad <= 0.45
+    assert mostly_ok >= 0.35
+    # Most high-PNR stretches are short (a few days at most).
+    assert float(np.mean(persistence_arr <= 3.0)) >= 0.5

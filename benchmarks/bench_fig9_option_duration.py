@@ -1,0 +1,49 @@
+"""Figure 9: how long the oracle's best relaying option lasts.
+
+Paper: the optimal option for ~30% of AS pairs changes within 2 days, and
+only ~20% of pairs keep the same optimum for more than 20 days -- static
+relay configuration cannot work; selection must be dynamic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _util import emit, once
+from conftest import BENCH_DAYS as BENCH_EVAL_DAYS
+
+from repro.analysis import best_option_durations, format_series
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_best_option_duration(benchmark, suite, bench_world, bench_plan):
+    def experiment():
+        world = bench_world
+        best_by_day: dict[tuple[int, int], dict[int, object]] = {}
+        for pair in bench_plan.dense:
+            a, b = pair
+            options = world.options_for_pair(a, b)
+            per_day: dict[int, object] = {}
+            for day in range(BENCH_EVAL_DAYS):
+                per_day[day] = str(world.best_option(a, b, day, "rtt_ms", options))
+            best_by_day[pair] = per_day
+        return best_option_durations(best_by_day)
+
+    durations = once(benchmark, experiment)
+    arr = np.asarray(durations)
+    points = [(d, round(float(np.mean(arr <= d)), 3)) for d in (1, 2, 3, 5, 10, 20, 25)]
+    emit(
+        "fig9_option_duration",
+        format_series(
+            f"Figure 9: CDF of median best-option duration over {len(arr)} AS pairs",
+            points, x_label="duration (days)", y_label="CDF",
+        ),
+    )
+
+    assert len(arr) >= 20
+    short_lived = float(np.mean(arr < 2.0))
+    long_lived = float(np.mean(arr > 20.0))
+    # Paper: ~30% of pairs change within 2 days; only ~20% stable >20 days.
+    assert short_lived >= 0.15, short_lived
+    assert long_lived <= 0.40, long_lived

@@ -1,0 +1,82 @@
+"""Section 2.2 (text): validating average-metric thresholds vs packet traces.
+
+Paper: on 70K calls with full packet traces, 80% of calls rated non-poor
+by the average-metric thresholds have a packet-trace MOS above the 75th
+percentile of the calls rated poor -- i.e. thresholds on per-call average
+metrics are a reasonable approximation of fine-grained quality.
+
+We regenerate this with the RTP simulator: draw calls with varied network
+conditions, compute their call-average metrics (threshold labels) and
+their windowed packet-trace MOS, and compare the two populations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _util import emit, once
+from repro.analysis import DEFAULT_THRESHOLDS, format_table
+from repro.telephony.rtp import GilbertElliottLoss, simulate_rtp_stream, trace_metrics, trace_mos
+
+N_CALLS = 600
+
+
+@pytest.mark.benchmark(group="sec22")
+def test_sec22_thresholds_vs_packet_traces(benchmark):
+    def experiment():
+        rng = np.random.default_rng(22)
+        poor_mos = []
+        nonpoor_mos = []
+        for _ in range(N_CALLS):
+            base_owd = float(rng.lognormal(np.log(60.0), 0.7))
+            jitter_scale = float(rng.lognormal(np.log(3.0), 0.8))
+            loss_rate = float(min(0.25, rng.lognormal(np.log(0.004), 1.2)))
+            loss = GilbertElliottLoss.from_average(
+                loss_rate, burstiness=float(rng.uniform(0.1, 0.7))
+            )
+            trace = simulate_rtp_stream(
+                60.0, base_owd_ms=base_owd, jitter_scale_ms=jitter_scale,
+                loss=loss, rng=rng,
+            )
+            average = trace_metrics(trace)
+            mos = trace_mos(trace)
+            if DEFAULT_THRESHOLDS.any_poor(average):
+                poor_mos.append(mos)
+            else:
+                nonpoor_mos.append(mos)
+        poor_arr = np.asarray(poor_mos)
+        nonpoor_arr = np.asarray(nonpoor_mos)
+        poor_p75 = float(np.percentile(poor_arr, 75))
+        separation = float(np.mean(nonpoor_arr > poor_p75))
+        return {
+            "n_poor": len(poor_arr),
+            "n_nonpoor": len(nonpoor_arr),
+            "poor_median_mos": float(np.median(poor_arr)),
+            "nonpoor_median_mos": float(np.median(nonpoor_arr)),
+            "poor_p75": poor_p75,
+            "separation": separation,
+        }
+
+    stats = once(benchmark, experiment)
+    emit(
+        "sec22_trace_validation",
+        format_table(
+            ["statistic", "value", "paper"],
+            [
+                ["calls labelled poor (avg metrics)", stats["n_poor"], "-"],
+                ["calls labelled non-poor", stats["n_nonpoor"], "-"],
+                ["median trace-MOS (poor)", f"{stats['poor_median_mos']:.2f}", "-"],
+                ["median trace-MOS (non-poor)", f"{stats['nonpoor_median_mos']:.2f}", "-"],
+                ["75th pct trace-MOS of poor calls", f"{stats['poor_p75']:.2f}", "-"],
+                ["P(non-poor MOS > poor p75)", f"{stats['separation']:.0%}", "80%"],
+            ],
+            title="Section 2.2: average-metric thresholds vs packet-trace MOS",
+        ),
+    )
+
+    assert stats["n_poor"] >= 50 and stats["n_nonpoor"] >= 100
+    # The threshold labels must separate trace-level quality about as well
+    # as in the paper.
+    assert stats["separation"] >= 0.6
+    assert stats["nonpoor_median_mos"] > stats["poor_median_mos"]

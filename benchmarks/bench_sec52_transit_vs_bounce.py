@@ -1,0 +1,63 @@
+"""Section 5.2 (text): transit vs bouncing relays, and VIA's relay mix.
+
+Paper: allowing transit relays on top of bouncing lowers PNR (50% lower on
+pairs that used both); VIA's mix comes out ~54% bounce / 38% transit / 8%
+direct.  We replay VIA with and without transit options and compare, and
+report the relay mix of the full policy.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _util import emit, once
+from repro.analysis import format_table, pnr_breakdown, relative_improvement
+from repro.core.baselines import make_via
+from repro.netmodel import without_transit
+from repro.simulation import make_inter_relay_lookup
+from repro.simulation.replay import replay
+
+METRIC = "rtt_ms"
+
+
+@pytest.mark.benchmark(group="sec52")
+def test_sec52_transit_vs_bounce(benchmark, suite, bench_world, bench_trace, bench_plan):
+    def experiment():
+        full = suite.results(METRIC)
+        bounce_world = without_transit(bench_world)
+        bounce_policy = make_via(
+            METRIC, inter_relay=make_inter_relay_lookup(bench_world), seed=42
+        )
+        bounce_result = replay(bounce_world, bench_trace, bounce_policy, seed=99)
+        return {
+            "base": pnr_breakdown(suite.evaluate(full["default"])),
+            "with_transit": pnr_breakdown(suite.evaluate(full["via"])),
+            "bounce_only": pnr_breakdown(bench_plan.evaluate(bounce_result)),
+            "mix": full["via"].option_mix(),
+        }
+
+    data = once(benchmark, experiment)
+    base = data["base"][METRIC]
+    rows = [
+        ["bounce + transit", f"{data['with_transit'][METRIC]:.3f}",
+         f"{relative_improvement(base, data['with_transit'][METRIC]):.0f}%"],
+        ["bounce only", f"{data['bounce_only'][METRIC]:.3f}",
+         f"{relative_improvement(base, data['bounce_only'][METRIC]):.0f}%"],
+    ]
+    mix = data["mix"]
+    mix_rows = [[kind, f"{share:.1%}"] for kind, share in sorted(mix.items())]
+    emit(
+        "sec52_transit_vs_bounce",
+        format_table(["options", "PNR(rtt)", "improvement"], rows,
+                     title=f"Section 5.2: transit vs bounce (default PNR {base:.3f})")
+        + "\n\n"
+        + format_table(["option kind", "share of VIA calls"], mix_rows,
+                       title="VIA relay mix (paper: ~54% bounce / 38% transit / 8% direct)"),
+    )
+
+    # Transit availability must help (paper: substantially lower PNR).
+    assert data["with_transit"][METRIC] <= data["bounce_only"][METRIC] + 0.005
+    # VIA relays the overwhelming majority of calls, split across kinds.
+    assert mix.get("direct", 0.0) < 0.45
+    assert mix.get("bounce", 0.0) > 0.10
+    assert mix.get("transit", 0.0) > 0.10

@@ -1,0 +1,120 @@
+"""Section 5.3: prediction accuracy and the case for top-k + exploration.
+
+Paper: tomography-based predictions land within 20% of actual performance
+for 71% of calls, but are off by >=50% for 14% -- which is why pure
+prediction (Strawman I) fails.  And while the predicted-best option is the
+true best only ~29% of the time (k=1), the true best falls inside the
+dynamic top-k with high probability, which is what the bandit exploits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _util import emit, once
+from conftest import BENCH_DAYS
+
+from repro.analysis import format_table
+from repro.core.history import CallHistory
+from repro.core.predictor import Predictor
+from repro.core.tomography import TomographyModel
+from repro.core.topk import dynamic_top_k, fixed_top_k
+from repro.simulation import make_inter_relay_lookup
+
+METRIC_IDX = 0  # rtt
+HISTORY_DAY = BENCH_DAYS // 2
+TARGET_DAY = HISTORY_DAY + 1
+#: Mean samples per (pair, option) in the window.  Real call history is
+#: *skewed* (§4.2): most options have no samples at all and rely on
+#: tomography, a few favourites have many.  Poisson(1.0) reproduces that:
+#: ~37% of options get zero direct samples.
+MEAN_SAMPLES_PER_OPTION = 1.0
+
+
+@pytest.mark.benchmark(group="sec53")
+def test_sec53_prediction_accuracy_and_topk(benchmark, bench_world, bench_plan):
+    def experiment():
+        world = bench_world
+        rng = np.random.default_rng(1234)
+        pairs = sorted(bench_plan.dense)
+        history = CallHistory(window_hours=24.0)
+        for a, b in pairs:
+            for option in world.options_for_pair(a, b):
+                n_samples = int(rng.poisson(MEAN_SAMPLES_PER_OPTION))
+                for _ in range(n_samples):
+                    sample = world.sample_call(
+                        a, b, option, HISTORY_DAY * 24.0 + rng.uniform(0, 24), rng
+                    )
+                    history.add((a, b), option, HISTORY_DAY * 24.0 + 1.0, sample)
+        tomography = TomographyModel.fit(
+            (
+                ((key[0][0], key[0][1]), key[1], stat)
+                for key, stat in history.window_items(HISTORY_DAY)
+            ),
+            make_inter_relay_lookup(world),
+        )
+        predictor = Predictor(history, HISTORY_DAY, tomography=tomography)
+
+        errors = []
+        argmin_hits = []
+        dynamic_hits = []
+        fixed3_hits = []
+        k_sizes = []
+        for a, b in pairs:
+            options = world.options_for_pair(a, b)
+            predictions = predictor.predict_all((a, b), options)
+            if len(predictions) < 3:
+                continue
+            true_costs = {
+                o: world.true_mean(a, b, o, TARGET_DAY).rtt_ms for o in options
+            }
+            for option, prediction in predictions.items():
+                truth = true_costs[option]
+                errors.append(abs(prediction.value(METRIC_IDX) - truth) / truth)
+            best = min(true_costs, key=true_costs.get)
+            argmin = min(predictions, key=lambda o: predictions[o].value(METRIC_IDX))
+            topk = dynamic_top_k(predictions, METRIC_IDX, max_k=8)
+            top3 = fixed_top_k(predictions, METRIC_IDX, 3)
+            argmin_hits.append(argmin == best)
+            dynamic_hits.append(best in topk)
+            fixed3_hits.append(best in top3)
+            k_sizes.append(len(topk))
+        return {
+            "within20": float(np.mean(np.asarray(errors) <= 0.2)),
+            "over50": float(np.mean(np.asarray(errors) >= 0.5)),
+            "argmin": float(np.mean(argmin_hits)),
+            "top3": float(np.mean(fixed3_hits)),
+            "dynamic": float(np.mean(dynamic_hits)),
+            "avg_k": float(np.mean(k_sizes)),
+            "n_predictions": len(errors),
+        }
+
+    stats = once(benchmark, experiment)
+    emit(
+        "sec53_tomography_accuracy",
+        format_table(
+            ["statistic", "value", "paper"],
+            [
+                ["predictions within 20% of actual", f"{stats['within20']:.0%}", "71%"],
+                ["predictions off by >= 50%", f"{stats['over50']:.0%}", "14%"],
+                ["P(predicted best == true best), k=1", f"{stats['argmin']:.0%}", "29%"],
+                ["P(true best in fixed top-3)", f"{stats['top3']:.0%}", "60-80%"],
+                ["P(true best in dynamic top-k)", f"{stats['dynamic']:.0%}", ">90%"],
+                ["mean dynamic k", f"{stats['avg_k']:.1f}", "-"],
+                ["predictions evaluated", str(stats["n_predictions"]), "-"],
+            ],
+            title="Section 5.3: prediction accuracy and top-k coverage",
+        ),
+    )
+
+    assert stats["n_predictions"] > 300
+    # Prediction is useful but imperfect (the paper's premise).
+    assert 0.35 <= stats["within20"] <= 0.95
+    assert stats["over50"] >= 0.03
+    # k=1 prediction is a poor selector...
+    assert stats["argmin"] <= 0.65
+    # ...but coverage improves with k, and the dynamic top-k does best.
+    assert stats["top3"] >= stats["argmin"]
+    assert stats["dynamic"] >= stats["top3"] - 0.02
+    assert stats["dynamic"] >= 0.6

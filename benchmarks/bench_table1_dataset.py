@@ -1,0 +1,29 @@
+"""Table 1: dataset summary.
+
+Paper: 430M calls, 135M users, 1.9K ASes, 126 countries; 46.6% of calls
+international, 80.7% inter-AS, 83% wireless.  We regenerate the synthetic
+equivalent and check the composition shares, which are what drive every
+downstream experiment.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _util import emit, once
+from repro.analysis import format_table
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_dataset_summary(benchmark, bench_trace):
+    summary = once(benchmark, bench_trace.summary)
+    emit(
+        "table1_dataset",
+        format_table(["field", "value"], summary.rows(), title="Table 1: dataset summary"),
+    )
+    # Composition shares should match the paper's Table 1 population.
+    assert summary.frac_international == pytest.approx(0.466, abs=0.05)
+    assert summary.frac_inter_as == pytest.approx(0.807, abs=0.05)
+    assert 0.6 <= summary.frac_wireless <= 0.95
+    assert summary.n_countries >= 25
+    assert summary.n_calls == len(bench_trace)

@@ -1,0 +1,91 @@
+"""Session-scoped world, trace and replay cache shared by every bench.
+
+The expensive artifacts -- the synthetic world, the 50k-call trace, and
+the replays of the standard policy suite per metric -- are built once per
+pytest session and reused by all table/figure benches.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.netmodel import TopologyConfig, WorldConfig, build_world
+from repro.simulation import ExperimentPlan, standard_policies
+from repro.simulation.replay import ReplayResult
+from repro.telephony.quality import QualityModel
+from repro.workload import WorkloadConfig, generate_trace
+
+BENCH_DAYS = 25
+BENCH_CALLS = 60_000
+BENCH_PAIRS = 450
+#: §5.1-style density filter: pairs averaging >= 10 calls/day over the
+#: trace (the paper keeps pairs with >= 10 calls on >= 5 options per window).
+BENCH_MIN_PAIR_CALLS = 10 * BENCH_DAYS
+WARMUP_DAYS = 2
+
+
+@pytest.fixture(scope="session")
+def bench_world():
+    return build_world(
+        WorldConfig(
+            topology=TopologyConfig(n_countries=30, n_relays=14, seed=20160822),
+            n_days=BENCH_DAYS,
+            seed=7,
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_trace(bench_world):
+    return generate_trace(
+        bench_world.topology,
+        WorkloadConfig(n_calls=BENCH_CALLS, n_pairs=BENCH_PAIRS, seed=2016),
+        n_days=BENCH_DAYS,
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_plan(bench_world, bench_trace):
+    return ExperimentPlan(
+        world=bench_world,
+        trace=bench_trace,
+        warmup_days=WARMUP_DAYS,
+        min_pair_calls=BENCH_MIN_PAIR_CALLS,
+    )
+
+
+class SuiteCache:
+    """Lazy per-metric replays of the standard §5.2 policy suite."""
+
+    def __init__(self, plan: ExperimentPlan) -> None:
+        self.plan = plan
+        self._cache: dict[str, dict[str, ReplayResult]] = {}
+
+    def results(self, metric: str) -> dict[str, ReplayResult]:
+        if metric not in self._cache:
+            policies = standard_policies(self.plan.world, metric, seed=42)
+            # Ratings are cheap and only the rtt suite needs them (Fig 1).
+            quality = QualityModel(rating_fraction=1.0) if metric == "rtt_ms" else None
+            self._cache[metric] = self.plan.run(policies, seed=99, quality=quality)
+        return self._cache[metric]
+
+    def default_outcomes(self):
+        """Evaluation-slice default-path outcomes (with ratings)."""
+        return self.plan.evaluate(self.results("rtt_ms")["default"])
+
+    def all_default_outcomes(self):
+        """Unfiltered default-path outcomes (population studies, Fig 1-6)."""
+        return self.results("rtt_ms")["default"].outcomes
+
+    def evaluate(self, result: ReplayResult):
+        return self.plan.evaluate(result)
+
+
+@pytest.fixture(scope="session")
+def suite(bench_plan):
+    return SuiteCache(bench_plan)

@@ -1,0 +1,77 @@
+"""Calibration harness: check the synthetic world against the paper's shapes.
+
+Prints the direct-path metric distribution (Figure 2 targets: ~15% of
+calls beyond each poor threshold), the international/domestic PNR ratio
+(Figure 4: 2-3x), and the oracle's headroom (Figure 8: PNR reduction up
+to ~53%, metric medians down 30-60%).
+
+Run:  python scripts/calibrate_world.py [n_calls]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+import numpy as np
+
+from repro import build_world, generate_trace, WorldConfig, WorkloadConfig
+from repro.analysis import (
+    DEFAULT_THRESHOLDS,
+    pnr_breakdown,
+    relative_improvement,
+    split_international,
+)
+from repro.core.baselines import DefaultPolicy, OraclePolicy
+from repro.netmodel import TopologyConfig
+from repro.simulation import ExperimentPlan
+
+
+def main() -> None:
+    n_calls = int(sys.argv[1]) if len(sys.argv) > 1 else 30_000
+    t0 = time.time()
+    world = build_world(
+        WorldConfig(topology=TopologyConfig(n_countries=30, n_relays=14), n_days=20)
+    )
+    trace = generate_trace(
+        world.topology, WorkloadConfig(n_calls=n_calls, n_pairs=600), n_days=20
+    )
+    plan = ExperimentPlan(world=world, trace=trace, warmup_days=1, min_pair_calls=30)
+    results = plan.run(
+        {"default": DefaultPolicy(), "oracle": OraclePolicy(world, "rtt_ms")}, seed=3
+    )
+    print(f"replay: {time.time() - t0:.1f}s")
+
+    direct = plan.evaluate(results["default"])
+    rtt = np.array([o.metrics.rtt_ms for o in direct])
+    loss = np.array([o.metrics.loss_rate for o in direct])
+    jit = np.array([o.metrics.jitter_ms for o in direct])
+    for name, arr, thr in (
+        ("rtt", rtt, DEFAULT_THRESHOLDS.rtt_ms),
+        ("loss", loss, DEFAULT_THRESHOLDS.loss_rate),
+        ("jitter", jit, DEFAULT_THRESHOLDS.jitter_ms),
+    ):
+        q = np.percentile(arr, [10, 50, 85, 90, 99])
+        print(
+            f"{name:7s} p10={q[0]:.4g} p50={q[1]:.4g} p85={q[2]:.4g} "
+            f"p90={q[3]:.4g} p99={q[4]:.4g}  PNR={np.mean(arr >= thr):.3f}"
+        )
+
+    intl, dom = split_international(direct)
+    b_i, b_d = pnr_breakdown(intl), pnr_breakdown(dom)
+    print("intl/domestic PNR ratio:",
+          {k: round(b_i[k] / b_d[k], 2) if b_d[k] else None for k in b_i})
+
+    base = pnr_breakdown(direct)
+    orc = pnr_breakdown(plan.evaluate(results["oracle"]))
+    print("default PNR:", {k: round(v, 3) for k, v in base.items()})
+    print("oracle  PNR:", {k: round(v, 3) for k, v in orc.items()})
+    print("oracle PNR impr:",
+          {k: f"{relative_improvement(base[k], orc[k]):.0f}%" for k in base})
+    o_rtt = np.array([o.metrics.rtt_ms for o in plan.evaluate(results["oracle"])])
+    print(f"oracle rtt median impr: {relative_improvement(float(np.median(rtt)), float(np.median(o_rtt))):.0f}%")
+    print("oracle mix:", results["oracle"].option_mix())
+
+
+if __name__ == "__main__":
+    main()

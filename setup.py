@@ -1,0 +1,11 @@
+"""Legacy editable-install shim.
+
+The offline build environment has setuptools but not ``wheel``, so the
+PEP 517 editable path (which shells out to ``bdist_wheel``) fails.  With
+this shim and no ``[build-system]`` table in pyproject.toml, ``pip
+install -e .`` falls back to ``setup.py develop``, which works offline.
+"""
+
+from setuptools import setup
+
+setup()

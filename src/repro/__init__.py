@@ -1,0 +1,60 @@
+"""Reproduction of "VIA: Improving Internet Telephony Call Quality Using
+Predictive Relay Selection" (Jiang et al., SIGCOMM 2016).
+
+Quickstart::
+
+    from repro import build_world, generate_trace, WorldConfig, WorkloadConfig
+    from repro.simulation import ExperimentPlan, standard_policies
+    from repro.analysis import pnr_breakdown
+
+    world = build_world(WorldConfig())
+    trace = generate_trace(world.topology, WorkloadConfig(n_calls=50_000))
+    plan = ExperimentPlan(world=world, trace=trace)
+    results = plan.run(standard_policies(world, "rtt_ms"))
+    for name, result in results.items():
+        print(name, pnr_breakdown(plan.evaluate(result)))
+
+Package map (see DESIGN.md for the full inventory):
+
+* :mod:`repro.netmodel`   -- synthetic Internet (topology, segments, world)
+* :mod:`repro.telephony`  -- calls, codecs, E-model MOS, RTP traces
+* :mod:`repro.workload`   -- Skype-like trace generation
+* :mod:`repro.core`       -- VIA relay selection (the paper's contribution)
+* :mod:`repro.simulation` -- chronological replay (§5.1 methodology)
+* :mod:`repro.analysis`   -- PNR, distributions, spatial/temporal patterns
+* :mod:`repro.deployment` -- asyncio controller/client testbed (§5.5)
+"""
+
+from repro.netmodel import (
+    PathMetrics,
+    RelayOption,
+    OptionKind,
+    TopologyConfig,
+    World,
+    WorldConfig,
+    build_world,
+)
+from repro.workload import TraceDataset, WorkloadConfig, generate_trace
+from repro.telephony import Call, CallOutcome
+from repro.core import ViaConfig, ViaPolicy, make_via
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PathMetrics",
+    "RelayOption",
+    "OptionKind",
+    "TopologyConfig",
+    "World",
+    "WorldConfig",
+    "build_world",
+    "TraceDataset",
+    "WorkloadConfig",
+    "generate_trace",
+    "Call",
+    "CallOutcome",
+    "ViaConfig",
+    "ViaPolicy",
+    "make_via",
+    "__version__",
+]

@@ -1,0 +1,110 @@
+"""Poor Network Rate (PNR): the paper's headline statistic.
+
+PNR of a metric over a set of calls = fraction of calls whose average
+value of that metric is beyond the poor threshold.  The combined
+"at least one bad" PNR counts calls poor on *any* metric.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.analysis.thresholds import DEFAULT_THRESHOLDS, Thresholds
+from repro.netmodel.metrics import METRICS, PathMetrics
+from repro.telephony.call import CallOutcome
+
+__all__ = [
+    "is_poor",
+    "at_least_one_bad",
+    "pnr",
+    "pnr_with_sem",
+    "pnr_breakdown",
+    "relative_improvement",
+]
+
+
+def is_poor(
+    metrics: PathMetrics, metric: str, thresholds: Thresholds = DEFAULT_THRESHOLDS
+) -> bool:
+    """Is one call poor on one named metric?"""
+    return thresholds.is_poor(metrics, metric)
+
+
+def at_least_one_bad(
+    metrics: PathMetrics, thresholds: Thresholds = DEFAULT_THRESHOLDS
+) -> bool:
+    """Is one call poor on any of the three metrics?"""
+    return thresholds.any_poor(metrics)
+
+
+def pnr(
+    outcomes: Iterable[CallOutcome],
+    metric: str | None = None,
+    thresholds: Thresholds = DEFAULT_THRESHOLDS,
+) -> float:
+    """PNR over outcomes; ``metric=None`` means "at least one bad".
+
+    Returns 0.0 for an empty population (so improvement math stays
+    well-defined on degenerate slices).
+    """
+    total = 0
+    poor = 0
+    for outcome in outcomes:
+        total += 1
+        if metric is None:
+            poor += thresholds.any_poor(outcome.metrics)
+        else:
+            poor += thresholds.is_poor(outcome.metrics, metric)
+    if total == 0:
+        return 0.0
+    return poor / total
+
+
+def pnr_with_sem(
+    outcomes: Sequence[CallOutcome],
+    metric: str | None = None,
+    thresholds: Thresholds = DEFAULT_THRESHOLDS,
+) -> tuple[float, float]:
+    """(PNR, standard error) -- the paper adds SEM error bars to its plots.
+
+    PNR is a binomial proportion, so ``sem = sqrt(p (1 - p) / n)``.
+    Returns (0, 0) for an empty population.
+    """
+    n = len(outcomes)
+    if n == 0:
+        return (0.0, 0.0)
+    p = pnr(outcomes, metric, thresholds)
+    return (p, (p * (1.0 - p) / n) ** 0.5)
+
+
+def pnr_breakdown(
+    outcomes: Sequence[CallOutcome], thresholds: Thresholds = DEFAULT_THRESHOLDS
+) -> dict[str, float]:
+    """PNR per metric plus the combined "any" PNR, in one pass."""
+    counts = {metric: 0 for metric in METRICS}
+    any_poor = 0
+    total = 0
+    for outcome in outcomes:
+        total += 1
+        bad = False
+        for metric in METRICS:
+            if thresholds.is_poor(outcome.metrics, metric):
+                counts[metric] += 1
+                bad = True
+        any_poor += bad
+    if total == 0:
+        return {**{metric: 0.0 for metric in METRICS}, "any": 0.0}
+    result = {metric: counts[metric] / total for metric in METRICS}
+    result["any"] = any_poor / total
+    return result
+
+
+def relative_improvement(baseline: float, improved: float) -> float:
+    """The paper's improvement statistic: ``100 * (b - a) / b`` percent.
+
+    Positive = better (the statistic went down).  Returns 0 when the
+    baseline is 0 (nothing to improve).
+    """
+    if baseline <= 0.0:
+        return 0.0
+    return 100.0 * (baseline - improved) / baseline

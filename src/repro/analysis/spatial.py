@@ -1,0 +1,93 @@
+"""Spatial dissection: international/domestic splits, country and AS-pair
+breakdowns (Figures 4, 5, 13, 14 of the paper)."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Sequence
+
+from repro.analysis.pnr import pnr
+from repro.analysis.thresholds import DEFAULT_THRESHOLDS, Thresholds
+from repro.telephony.call import CallOutcome
+
+__all__ = [
+    "split_international",
+    "by_country_pnr",
+    "pair_contribution_curve",
+]
+
+
+def split_international(
+    outcomes: Sequence[CallOutcome],
+) -> tuple[list[CallOutcome], list[CallOutcome]]:
+    """(international, domestic) partition of outcomes."""
+    international: list[CallOutcome] = []
+    domestic: list[CallOutcome] = []
+    for outcome in outcomes:
+        if outcome.call.international:
+            international.append(outcome)
+        else:
+            domestic.append(outcome)
+    return international, domestic
+
+
+def by_country_pnr(
+    outcomes: Sequence[CallOutcome],
+    metric: str | None = None,
+    *,
+    international_only: bool = True,
+    min_calls: int = 200,
+    thresholds: Thresholds = DEFAULT_THRESHOLDS,
+) -> dict[str, float]:
+    """PNR per country "of one side of a call" (Figures 4b and 14).
+
+    Each call counts towards both endpoints' countries; international-only
+    filtering matches the paper's Figure 14 ("one side of the
+    international call in that country").
+    """
+    buckets: dict[str, list[CallOutcome]] = defaultdict(list)
+    for outcome in outcomes:
+        call = outcome.call
+        if international_only and not call.international:
+            continue
+        buckets[call.src_country].append(outcome)
+        if call.dst_country != call.src_country:
+            buckets[call.dst_country].append(outcome)
+    return {
+        country: pnr(members, metric, thresholds)
+        for country, members in buckets.items()
+        if len(members) >= min_calls
+    }
+
+
+def pair_contribution_curve(
+    outcomes: Sequence[CallOutcome],
+    metric: str | None = None,
+    thresholds: Thresholds = DEFAULT_THRESHOLDS,
+) -> list[tuple[int, float]]:
+    """Cumulative share of poor calls from the worst-n AS pairs (Figure 5).
+
+    Pairs are ranked by their absolute contribution of poor calls; the
+    curve gives (n, fraction of all poor calls covered by the top n).
+    The paper's point: even the worst 1000 AS pairs cover <15%, so poor
+    performance is not a few bad pockets.
+    """
+    poor_by_pair: dict[tuple[int, int], int] = defaultdict(int)
+    total_poor = 0
+    for outcome in outcomes:
+        if metric is None:
+            bad = thresholds.any_poor(outcome.metrics)
+        else:
+            bad = thresholds.is_poor(outcome.metrics, metric)
+        if bad:
+            poor_by_pair[outcome.call.as_pair] += 1
+            total_poor += 1
+    if total_poor == 0:
+        return []
+    ranked = sorted(poor_by_pair.values(), reverse=True)
+    curve: list[tuple[int, float]] = []
+    cumulative = 0
+    for n, count in enumerate(ranked, start=1):
+        cumulative += count
+        curve.append((n, cumulative / total_poor))
+    return curve

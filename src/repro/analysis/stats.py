@@ -1,0 +1,189 @@
+"""Distribution statistics: CDFs, binned curves, percentile improvements.
+
+The building blocks behind Figures 1-3 (metric distributions and their
+relationship to PCR) and Figure 12b (improvement computed *between
+percentiles* of two strategies' distributions, which avoids per-call
+pairing bias -- the paper's method).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "cdf_points",
+    "binned_curve",
+    "binned_quantile_bands",
+    "BinnedPoint",
+    "QuantileBand",
+    "pearson_correlation",
+    "percentile_improvement",
+    "percentile_summary",
+]
+
+
+def cdf_points(values: Sequence[float], n_points: int = 100) -> list[tuple[float, float]]:
+    """(value, cumulative fraction) points of the empirical CDF."""
+    if n_points < 2:
+        raise ValueError("n_points must be >= 2")
+    array = np.sort(np.asarray(list(values), dtype=float))
+    if array.size == 0:
+        return []
+    fractions = np.linspace(0.0, 1.0, n_points)
+    quantiles = np.quantile(array, fractions)
+    return [(float(q), float(f)) for q, f in zip(quantiles, fractions)]
+
+
+@dataclass(frozen=True, slots=True)
+class BinnedPoint:
+    """One bin of a binned-statistic curve."""
+
+    bin_center: float
+    value: float
+    n_samples: int
+
+
+def binned_curve(
+    x: Sequence[float],
+    y: Sequence[float],
+    *,
+    n_bins: int = 20,
+    min_samples: int = 1000,
+    x_max_quantile: float = 0.99,
+) -> list[BinnedPoint]:
+    """Mean of ``y`` binned by ``x`` (the Figure 1 construction).
+
+    Bins with fewer than ``min_samples`` points are dropped, mirroring the
+    paper's ">= 1000 samples per bin for statistical significance".  The
+    top ``1 - x_max_quantile`` of x is excluded so one outlier cannot
+    stretch the binning.
+    """
+    xs = np.asarray(list(x), dtype=float)
+    ys = np.asarray(list(y), dtype=float)
+    if xs.shape != ys.shape:
+        raise ValueError("x and y must align")
+    if xs.size == 0:
+        return []
+    x_max = float(np.quantile(xs, x_max_quantile))
+    x_min = float(xs.min())
+    if x_max <= x_min:
+        return [BinnedPoint(bin_center=x_min, value=float(ys.mean()), n_samples=int(xs.size))]
+    edges = np.linspace(x_min, x_max, n_bins + 1)
+    indices = np.clip(np.digitize(xs, edges) - 1, 0, n_bins - 1)
+    points: list[BinnedPoint] = []
+    for b in range(n_bins):
+        mask = (indices == b) & (xs <= x_max)
+        count = int(mask.sum())
+        if count < min_samples:
+            continue
+        points.append(
+            BinnedPoint(
+                bin_center=float((edges[b] + edges[b + 1]) / 2.0),
+                value=float(ys[mask].mean()),
+                n_samples=count,
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True, slots=True)
+class QuantileBand:
+    """One bin of a binned quantile-band curve (Figure 3's p10/p50/p90)."""
+
+    bin_center: float
+    quantiles: dict[float, float]
+    n_samples: int
+
+
+def binned_quantile_bands(
+    x: Sequence[float],
+    y: Sequence[float],
+    *,
+    quantiles: Sequence[float] = (10.0, 50.0, 90.0),
+    n_bins: int = 12,
+    min_samples: int = 1000,
+    x_max_quantile: float = 0.99,
+) -> list[QuantileBand]:
+    """Percentile bands of ``y`` binned by ``x`` (the Figure 3 construction:
+    the distribution of one metric as a function of another)."""
+    xs = np.asarray(list(x), dtype=float)
+    ys = np.asarray(list(y), dtype=float)
+    if xs.shape != ys.shape:
+        raise ValueError("x and y must align")
+    if xs.size == 0:
+        return []
+    x_max = float(np.quantile(xs, x_max_quantile))
+    x_min = float(xs.min())
+    if x_max <= x_min:
+        return [
+            QuantileBand(
+                bin_center=x_min,
+                quantiles={float(q): float(np.percentile(ys, q)) for q in quantiles},
+                n_samples=int(xs.size),
+            )
+        ]
+    edges = np.linspace(x_min, x_max, n_bins + 1)
+    indices = np.clip(np.digitize(xs, edges) - 1, 0, n_bins - 1)
+    bands: list[QuantileBand] = []
+    for b in range(n_bins):
+        mask = (indices == b) & (xs <= x_max)
+        count = int(mask.sum())
+        if count < min_samples:
+            continue
+        selected = ys[mask]
+        bands.append(
+            QuantileBand(
+                bin_center=float((edges[b] + edges[b + 1]) / 2.0),
+                quantiles={float(q): float(np.percentile(selected, q)) for q in quantiles},
+                n_samples=count,
+            )
+        )
+    return bands
+
+
+def pearson_correlation(x: Sequence[float], y: Sequence[float]) -> float:
+    """Pearson correlation coefficient (the Fig 1 caption's 0.97/0.95/0.91)."""
+    xs = np.asarray(list(x), dtype=float)
+    ys = np.asarray(list(y), dtype=float)
+    if xs.size < 2:
+        raise ValueError("need at least two points")
+    if np.allclose(xs.std(), 0.0) or np.allclose(ys.std(), 0.0):
+        raise ValueError("degenerate (constant) input")
+    return float(np.corrcoef(xs, ys)[0, 1])
+
+
+def percentile_summary(
+    values: Sequence[float], percentiles: Sequence[float] = (10, 50, 90, 99)
+) -> dict[float, float]:
+    """Selected percentiles of a sample."""
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise ValueError("empty sample")
+    return {float(p): float(np.percentile(array, p)) for p in percentiles}
+
+
+def percentile_improvement(
+    baseline: Sequence[float],
+    improved: Sequence[float],
+    percentiles: Sequence[float] = (50, 90, 99),
+) -> dict[float, float]:
+    """Relative improvement between matching percentiles of two samples.
+
+    The Figure 12b method: "first calculate the percentiles of performance
+    of each strategy and calculate the improvement between these
+    percentiles (which avoids the bias of calculating improvement on each
+    call)".  Returns percent improvement (positive = ``improved`` lower).
+    """
+    base = np.asarray(list(baseline), dtype=float)
+    new = np.asarray(list(improved), dtype=float)
+    if base.size == 0 or new.size == 0:
+        raise ValueError("empty sample")
+    result: dict[float, float] = {}
+    for p in percentiles:
+        b = float(np.percentile(base, p))
+        a = float(np.percentile(new, p))
+        result[float(p)] = 0.0 if b <= 0.0 else 100.0 * (b - a) / b
+    return result

@@ -1,0 +1,133 @@
+"""Temporal patterns: persistence, prevalence, best-option duration.
+
+Implements §2.4 (Figure 6) and the Figure 9 analysis:
+
+* an AS pair has *high PNR* on a day when its PNR is at least 50% above
+  the overall PNR of all calls that day,
+* **persistence** = the median length (days) of its consecutive high-PNR
+  stretches; **prevalence** = the fraction of its active days that are
+  high-PNR,
+* **best-option duration** = how long the oracle's choice for a pair
+  stays the same (Figure 9's case for dynamic selection).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.pnr import pnr
+from repro.analysis.thresholds import DEFAULT_THRESHOLDS, Thresholds
+from repro.telephony.call import CallOutcome
+
+__all__ = [
+    "daily_pair_pnr",
+    "persistence_and_prevalence",
+    "best_option_durations",
+]
+
+
+def daily_pair_pnr(
+    outcomes: Sequence[CallOutcome],
+    metric: str | None = None,
+    *,
+    min_calls_per_day: int = 5,
+    thresholds: Thresholds = DEFAULT_THRESHOLDS,
+) -> tuple[dict[tuple[int, int], dict[int, float]], dict[int, float]]:
+    """(per-pair daily PNR, overall daily PNR).
+
+    Pair-days with fewer than ``min_calls_per_day`` calls are dropped
+    (too noisy to label), mirroring the paper's conservatism.
+    """
+    by_pair_day: dict[tuple[int, int], dict[int, list[CallOutcome]]] = defaultdict(
+        lambda: defaultdict(list)
+    )
+    by_day: dict[int, list[CallOutcome]] = defaultdict(list)
+    for outcome in outcomes:
+        day = outcome.call.day
+        by_pair_day[outcome.call.as_pair][day].append(outcome)
+        by_day[day].append(outcome)
+    pair_pnr: dict[tuple[int, int], dict[int, float]] = {}
+    for pair, days in by_pair_day.items():
+        series = {
+            day: pnr(calls, metric, thresholds)
+            for day, calls in days.items()
+            if len(calls) >= min_calls_per_day
+        }
+        if series:
+            pair_pnr[pair] = series
+    overall = {day: pnr(calls, metric, thresholds) for day, calls in by_day.items()}
+    return pair_pnr, overall
+
+
+def _high_pnr_flags(
+    series: dict[int, float], overall: dict[int, float], factor: float
+) -> list[tuple[int, bool]]:
+    flags = []
+    for day in sorted(series):
+        baseline = overall.get(day, 0.0)
+        flags.append((day, series[day] >= factor * baseline and series[day] > 0.0))
+    return flags
+
+
+def persistence_and_prevalence(
+    pair_pnr: dict[tuple[int, int], dict[int, float]],
+    overall: dict[int, float],
+    *,
+    factor: float = 1.5,
+) -> tuple[list[float], list[float]]:
+    """(persistence values, prevalence values) across high-PNR AS pairs.
+
+    ``factor`` = 1.5 implements "PNR at least 50% higher than the overall
+    PNR of all calls on that day".  Pairs that are never high-PNR are
+    excluded (the paper plots the distribution over high-PNR pairs).
+    """
+    persistences: list[float] = []
+    prevalences: list[float] = []
+    for series in pair_pnr.values():
+        flags = _high_pnr_flags(series, overall, factor)
+        high_days = [day for day, high in flags if high]
+        if not high_days:
+            continue
+        prevalences.append(len(high_days) / len(flags))
+        # Streaks of consecutive high days (calendar-consecutive).
+        streaks: list[int] = []
+        run = 1
+        for prev, cur in zip(high_days, high_days[1:]):
+            if cur == prev + 1:
+                run += 1
+            else:
+                streaks.append(run)
+                run = 1
+        streaks.append(run)
+        persistences.append(float(np.median(streaks)))
+    return persistences, prevalences
+
+
+def best_option_durations(
+    best_by_day: dict[tuple[int, int], dict[int, object]],
+) -> list[float]:
+    """Median run length (days) of each pair's oracle-best option (Fig 9).
+
+    ``best_by_day[pair][day]`` is any hashable identifier of the best
+    relaying option for that pair/day.  For each pair we compute run
+    lengths of identical consecutive choices and keep the median.
+    """
+    durations: list[float] = []
+    for days in best_by_day.values():
+        ordered = [days[day] for day in sorted(days)]
+        if not ordered:
+            continue
+        runs: list[int] = []
+        run = 1
+        for prev, cur in zip(ordered, ordered[1:]):
+            if cur == prev:
+                run += 1
+            else:
+                runs.append(run)
+                run = 1
+        runs.append(run)
+        durations.append(float(np.median(runs)))
+    return durations

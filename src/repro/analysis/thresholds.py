@@ -1,0 +1,53 @@
+"""Poor-network-performance thresholds (§2.2 of the paper).
+
+The paper picks RTT >= 320 ms, loss >= 1.2%, jitter >= 12 ms -- chosen so
+that a bit over 15% of default-routed calls are "poor" on each metric,
+consistent with ITU guidance (G.114's 150 ms one-way delay, ~1% loss).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netmodel.metrics import METRICS, PathMetrics
+
+__all__ = [
+    "POOR_RTT_MS",
+    "POOR_LOSS_RATE",
+    "POOR_JITTER_MS",
+    "Thresholds",
+    "DEFAULT_THRESHOLDS",
+]
+
+POOR_RTT_MS = 320.0
+POOR_LOSS_RATE = 0.012
+POOR_JITTER_MS = 12.0
+
+
+@dataclass(frozen=True, slots=True)
+class Thresholds:
+    """A (rtt, loss, jitter) poor-performance threshold triple."""
+
+    rtt_ms: float = POOR_RTT_MS
+    loss_rate: float = POOR_LOSS_RATE
+    jitter_ms: float = POOR_JITTER_MS
+
+    def __post_init__(self) -> None:
+        if self.rtt_ms <= 0 or self.loss_rate <= 0 or self.jitter_ms <= 0:
+            raise ValueError("thresholds must be positive")
+
+    def get(self, metric: str) -> float:
+        if metric not in METRICS:
+            raise KeyError(f"unknown metric {metric!r}; expected one of {METRICS}")
+        return getattr(self, metric)
+
+    def is_poor(self, metrics: PathMetrics, metric: str) -> bool:
+        """Is the call poor on one named metric?"""
+        return metrics.get(metric) >= self.get(metric)
+
+    def any_poor(self, metrics: PathMetrics) -> bool:
+        """Is at least one of the three metrics poor ("at least one bad")?"""
+        return any(self.is_poor(metrics, metric) for metric in METRICS)
+
+
+DEFAULT_THRESHOLDS = Thresholds()

@@ -1,0 +1,216 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Subcommands:
+
+* ``simulate`` -- build a world + trace, replay a policy suite, print PNR.
+* ``trace``    -- generate a call trace and save it as JSON lines.
+* ``testbed``  -- run the §5.5 asyncio controller/client deployment.
+* ``quality``  -- E-model MOS / poor-call probability for a metric triple.
+
+Examples::
+
+    python -m repro simulate --calls 20000 --metric rtt_ms
+    python -m repro trace --calls 5000 --out /tmp/trace.jsonl
+    python -m repro testbed --pairs 18 --via-rounds 30
+    python -m repro quality --rtt 320 --loss 0.012 --jitter 12
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis import format_table, pnr_breakdown, relative_improvement
+from repro.core.costs import COST_MODEL_NAMES
+from repro.netmodel import TopologyConfig, WorldConfig, build_world
+from repro.netmodel.metrics import PathMetrics
+from repro.simulation import ExperimentPlan, standard_policies
+from repro.telephony.quality import mos_from_network, poor_call_probability
+from repro.workload import WorkloadConfig, generate_trace
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="VIA (SIGCOMM 2016) reproduction: predictive relay selection",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="replay a policy suite and report PNR")
+    _add_world_args(sim)
+    sim.add_argument("--trace-in", default=None,
+                     help="replay a saved trace (.jsonl from `repro trace`) "
+                          "instead of generating one; world args still "
+                          "control the network model")
+    sim.add_argument("--metric", default="rtt_ms", choices=COST_MODEL_NAMES,
+                     help="objective the policies optimise")
+    sim.add_argument("--no-strawmen", action="store_true",
+                     help="only default / VIA / oracle")
+    sim.add_argument("--warmup-days", type=int, default=2)
+    sim.add_argument("--min-pair-calls", type=int, default=100,
+                     help="density floor for evaluated AS pairs")
+    sim.add_argument("--full-report", action="store_true",
+                     help="print the full multi-section report (PNR with "
+                          "error bars, percentile improvements, intl/"
+                          "domestic split, relay mix)")
+
+    trace = sub.add_parser("trace", help="generate a call trace as JSON lines")
+    _add_world_args(trace)
+    trace.add_argument("--out", required=True, help="output path (.jsonl)")
+
+    testbed = sub.add_parser("testbed", help="run the §5.5 live deployment")
+    testbed.add_argument("--clients", type=int, default=14)
+    testbed.add_argument("--pairs", type=int, default=18)
+    testbed.add_argument("--measurement-rounds", type=int, default=4)
+    testbed.add_argument("--via-rounds", type=int, default=30)
+    testbed.add_argument("--seed", type=int, default=99)
+
+    quality = sub.add_parser("quality", help="score a (rtt, loss, jitter) triple")
+    quality.add_argument("--rtt", type=float, required=True, help="RTT in ms")
+    quality.add_argument("--loss", type=float, required=True, help="loss rate [0,1]")
+    quality.add_argument("--jitter", type=float, required=True, help="jitter in ms")
+
+    return parser
+
+
+def _add_world_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--calls", type=int, default=20_000)
+    parser.add_argument("--pairs-population", type=int, default=400, dest="n_pairs")
+    parser.add_argument("--days", type=int, default=15)
+    parser.add_argument("--countries", type=int, default=20)
+    parser.add_argument("--relays", type=int, default=10)
+    parser.add_argument("--seed", type=int, default=7)
+
+
+def _build_world(args: argparse.Namespace):
+    return build_world(
+        WorldConfig(
+            topology=TopologyConfig(n_countries=args.countries, n_relays=args.relays),
+            n_days=args.days,
+            seed=args.seed,
+        )
+    )
+
+
+def _build_world_and_trace(args: argparse.Namespace):
+    world = _build_world(args)
+    trace = generate_trace(
+        world.topology,
+        WorkloadConfig(n_calls=args.calls, n_pairs=args.n_pairs, seed=args.seed),
+        n_days=args.days,
+    )
+    return world, trace
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    if args.trace_in:
+        from repro.workload import TraceDataset
+
+        world = _build_world(args)
+        trace = TraceDataset.load_jsonl(args.trace_in)
+    else:
+        world, trace = _build_world_and_trace(args)
+    plan = ExperimentPlan(
+        world=world, trace=trace,
+        warmup_days=args.warmup_days, min_pair_calls=args.min_pair_calls,
+    )
+    policies = standard_policies(
+        world, args.metric, include_strawmen=not args.no_strawmen
+    )
+    results = plan.run(policies, seed=args.seed)
+    if args.full_report:
+        from repro.analysis import experiment_report
+
+        evaluated = {name: plan.evaluate(r) for name, r in results.items()}
+        print(experiment_report(evaluated, metric=args.metric, results=results))
+        return 0
+    base = pnr_breakdown(plan.evaluate(results["default"]))
+    rows = []
+    for name, result in results.items():
+        breakdown = pnr_breakdown(plan.evaluate(result))
+        shown = args.metric if args.metric in breakdown else "any"
+        rows.append([
+            name,
+            f"{breakdown[shown]:.3f}",
+            f"{breakdown['any']:.3f}",
+            f"{relative_improvement(base[shown], breakdown[shown]):.0f}%",
+        ])
+    print(format_table(
+        ["strategy", f"PNR({args.metric})" if args.metric in base else "PNR(any)",
+         "PNR(any)", "improvement"],
+        rows,
+        title=f"Simulation: {len(trace):,} calls, {len(plan.dense)} dense pairs, "
+              f"optimising {args.metric}",
+    ))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    _world, trace = _build_world_and_trace(args)
+    trace.save_jsonl(args.out)
+    summary = trace.summary()
+    print(f"wrote {summary.n_calls:,} calls to {args.out} "
+          f"({100 * summary.frac_international:.0f}% international, "
+          f"{summary.n_as_pairs} AS pairs, {args.days} days)")
+    return 0
+
+
+def _cmd_testbed(args: argparse.Namespace) -> int:
+    from repro.deployment import TestbedConfig, run_testbed
+
+    report = run_testbed(
+        TestbedConfig(
+            n_clients=args.clients,
+            n_pairs=args.pairs,
+            measurement_rounds=args.measurement_rounds,
+            via_rounds=args.via_rounds,
+            seed=args.seed,
+        )
+    )
+    print(format_table(
+        ["statistic", "value"],
+        [
+            ["pairs", report.n_pairs],
+            ["VIA-driven calls", report.n_calls],
+            ["measurement calls", report.n_measurements],
+            ["options per pair", f"{min(report.options_per_pair)}-{max(report.options_per_pair)}"],
+            ["picked exact best", f"{report.frac_exact_best:.0%}"],
+            ["within 20% of oracle", f"{report.frac_within(0.2):.0%}"],
+            ["within 50% of oracle", f"{report.frac_within(0.5):.0%}"],
+        ],
+        title="§5.5 controlled deployment (Figure 18)",
+    ))
+    return 0
+
+
+def _cmd_quality(args: argparse.Namespace) -> int:
+    try:
+        metrics = PathMetrics(rtt_ms=args.rtt, loss_rate=args.loss, jitter_ms=args.jitter)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    mos = mos_from_network(metrics)
+    pcr = poor_call_probability(metrics)
+    print(f"MOS = {mos:.2f}   P(rated poor) = {pcr:.1%}")
+    return 0
+
+
+_COMMANDS = {
+    "simulate": _cmd_simulate,
+    "trace": _cmd_trace,
+    "testbed": _cmd_testbed,
+    "quality": _cmd_quality,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

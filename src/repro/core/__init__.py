@@ -1,0 +1,77 @@
+"""VIA relay selection: prediction-guided exploration (the paper's core).
+
+The pipeline of Figure 10:
+
+1. :mod:`repro.core.history` -- per (pair, option, window) performance
+   aggregation from completed calls,
+2. :mod:`repro.core.tomography` -- linear network tomography expanding
+   coverage to unseen relay paths (Figure 11),
+3. :mod:`repro.core.predictor` + :mod:`repro.core.topk` -- mean/SEM
+   prediction with 95% confidence bounds and the dynamic top-k pruning of
+   Algorithm 2,
+4. :mod:`repro.core.bandit` -- the modified UCB1 exploration-exploitation
+   of Algorithm 3, and
+5. :mod:`repro.core.policy` -- Algorithm 1 tying it all together, with the
+   budgeted relaying of §4.6.
+
+:mod:`repro.core.baselines` provides the oracle and both strawmen of §4.2.
+"""
+
+from repro.core.keys import Granularity, PairKeyer, PairView
+from repro.core.history import CallHistory, RunningStat
+from repro.core.tomography import TomographyModel
+from repro.core.predictor import Prediction, Predictor
+from repro.core.topk import dynamic_top_k, fixed_top_k
+from repro.core.bandit import UCB1Explorer
+from repro.core.budget import BudgetGate, RelayLoadTracker
+from repro.core.policy import SelectionPolicy, ViaConfig, ViaPolicy, make_policy
+from repro.core.probing import ActiveProber, ProbeRequest
+from repro.core.caching import CachedAssignmentPolicy
+from repro.core.coordinates import CoordinateSystem, NodeCoordinate, VivaldiConfig
+from repro.core.costs import CostModel, MetricCost, MosCost, make_cost_model
+from repro.core.hybrid import HybridReactivePolicy, ProbePlan, blend_call_metrics
+from repro.core.baselines import (
+    DefaultPolicy,
+    OraclePolicy,
+    make_strawman_exploration,
+    make_strawman_prediction,
+    make_via,
+)
+
+__all__ = [
+    "Granularity",
+    "PairKeyer",
+    "PairView",
+    "CallHistory",
+    "RunningStat",
+    "TomographyModel",
+    "Prediction",
+    "Predictor",
+    "dynamic_top_k",
+    "fixed_top_k",
+    "UCB1Explorer",
+    "BudgetGate",
+    "RelayLoadTracker",
+    "CachedAssignmentPolicy",
+    "CoordinateSystem",
+    "NodeCoordinate",
+    "VivaldiConfig",
+    "CostModel",
+    "MetricCost",
+    "MosCost",
+    "make_cost_model",
+    "SelectionPolicy",
+    "ViaConfig",
+    "ViaPolicy",
+    "make_policy",
+    "ActiveProber",
+    "ProbeRequest",
+    "HybridReactivePolicy",
+    "ProbePlan",
+    "blend_call_metrics",
+    "DefaultPolicy",
+    "OraclePolicy",
+    "make_via",
+    "make_strawman_prediction",
+    "make_strawman_exploration",
+]

@@ -1,0 +1,90 @@
+"""Client-side decision caching: the §3.1 / §7 controller-scalability lever.
+
+The paper notes that clients could "cache the relaying decisions and
+refresh periodically" to avoid overloading the controller, and that the
+per-call overhead is one measurement upload plus one control exchange.
+:class:`CachedAssignmentPolicy` implements the control-plane half: each
+(pair) caches the controller's last decision for a TTL, so only cache
+misses reach the wrapped policy.  Measurement uploads still happen for
+every call (they feed learning).
+
+The trade-off this exposes -- controller queries saved vs staleness cost
+-- is measured in ``benchmarks/bench_ext_decision_cache.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.core.keys import PairKeyer
+from repro.core.policy import SelectionPolicy
+from repro.netmodel.metrics import PathMetrics
+from repro.netmodel.options import RelayOption
+from repro.telephony.call import Call
+
+__all__ = ["CachedAssignmentPolicy"]
+
+
+class CachedAssignmentPolicy:
+    """Wraps any policy with a per-pair decision cache.
+
+    ``ttl_hours`` is how long a cached decision stays valid; 0 disables
+    caching (every call queries the wrapped policy).  Cached options are
+    stored in canonical pair orientation so both call directions share
+    one entry, mirroring how a client-side cache keyed on the peer would
+    behave under the controller's symmetric view.
+    """
+
+    def __init__(
+        self,
+        inner: SelectionPolicy,
+        *,
+        ttl_hours: float = 1.0,
+        granularity: str = "as",
+    ) -> None:
+        if ttl_hours < 0.0:
+            raise ValueError(f"ttl_hours must be >= 0: {ttl_hours}")
+        self.inner = inner
+        self.ttl_hours = ttl_hours
+        self.name = f"cached[{inner.name}, ttl={ttl_hours:g}h]"
+        self._keyer = PairKeyer(granularity)  # type: ignore[arg-type]
+        self._cache: dict[Hashable, tuple[float, RelayOption]] = {}
+        self.n_calls = 0
+        self.n_controller_queries = 0
+
+    @property
+    def query_fraction(self) -> float:
+        """Fraction of calls that actually reached the controller."""
+        if self.n_calls == 0:
+            return 0.0
+        return self.n_controller_queries / self.n_calls
+
+    def assign(self, call: Call, options: list[RelayOption]) -> RelayOption:
+        self.n_calls += 1
+        view = self._keyer.view(call)
+        if self.ttl_hours > 0.0:
+            entry = self._cache.get(view.pair_key)
+            if entry is not None:
+                expiry, cached_option = entry
+                if call.t_hours < expiry:
+                    candidate = view.denormalize(cached_option)
+                    # A stale option may no longer be offered (e.g. relay
+                    # decommissioned); fall through to a fresh query then.
+                    if candidate in options:
+                        return candidate
+        self.n_controller_queries += 1
+        choice = self.inner.assign(call, options)
+        if self.ttl_hours > 0.0:
+            self._cache[view.pair_key] = (
+                call.t_hours + self.ttl_hours,
+                view.normalize(choice),
+            )
+        return choice
+
+    def observe(self, call: Call, option: RelayOption, metrics: PathMetrics) -> None:
+        # Measurement uploads are not cached: every call feeds learning.
+        self.inner.observe(call, option, metrics)
+
+    def invalidate(self) -> None:
+        """Drop all cached decisions (e.g. on a controller push)."""
+        self._cache.clear()

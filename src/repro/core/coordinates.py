@@ -1,0 +1,156 @@
+"""Vivaldi network coordinates: the coordinate-based prediction alternative.
+
+The paper's related work contrasts its tomography with coordinate-based
+Internet distance prediction (Vivaldi [18], GNP-style approaches [29]).
+Tomography covers *relay* paths (they decompose into shared segments);
+what it cannot predict is the **direct path of a never-seen AS pair**.
+A coordinate embedding can: every observed direct-path RTT is a spring
+constraint between two AS coordinates, and unseen pair RTTs fall out as
+coordinate distances.
+
+This module implements the decentralised Vivaldi algorithm (Dabek et al.,
+SIGCOMM 2004) with the height-vector model (vector part = wide-area
+distance, height = access-link penalty), plus adaptive timesteps driven by
+per-node error estimates.  :class:`CoordinateSystem.estimate_rtt` then
+serves as an optional direct-path fallback inside the VIA predictor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+import numpy as np
+
+__all__ = ["VivaldiConfig", "NodeCoordinate", "CoordinateSystem"]
+
+
+@dataclass(frozen=True, slots=True)
+class VivaldiConfig:
+    """Vivaldi tuning constants (defaults follow the original paper)."""
+
+    dimensions: int = 4
+    #: ce -- how fast the per-node error estimate adapts.
+    error_gain: float = 0.25
+    #: cc -- fraction of the prediction error corrected per update.
+    position_gain: float = 0.25
+    min_height_ms: float = 0.1
+    initial_error: float = 1.0
+    seed: int = 20040830  # SIGCOMM'04, where Vivaldi was published
+
+    def __post_init__(self) -> None:
+        if self.dimensions < 1:
+            raise ValueError("dimensions must be >= 1")
+        if not 0.0 < self.error_gain <= 1.0 or not 0.0 < self.position_gain <= 1.0:
+            raise ValueError("gains must be in (0, 1]")
+        if self.min_height_ms < 0.0:
+            raise ValueError("min_height_ms must be >= 0")
+
+
+@dataclass(slots=True)
+class NodeCoordinate:
+    """One node's position: Euclidean vector + access-link height."""
+
+    vector: np.ndarray
+    height: float
+    error: float
+    n_updates: int = 0
+
+    def distance_to(self, other: "NodeCoordinate") -> float:
+        """Predicted RTT between two nodes (ms)."""
+        return float(np.linalg.norm(self.vector - other.vector)) + self.height + other.height
+
+
+class CoordinateSystem:
+    """A Vivaldi embedding learned from observed pairwise RTTs.
+
+    Nodes (any hashable keys -- AS numbers here) are created lazily at the
+    origin with small random jitter; each :meth:`observe` performs one
+    symmetric spring relaxation step.
+    """
+
+    def __init__(self, config: VivaldiConfig | None = None) -> None:
+        self.config = config or VivaldiConfig()
+        self._nodes: dict[Hashable, NodeCoordinate] = {}
+        self._rng = np.random.default_rng(self.config.seed)
+        self.n_observations = 0
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def node(self, key: Hashable) -> NodeCoordinate:
+        """The node's coordinate, creating a fresh one if unknown."""
+        coordinate = self._nodes.get(key)
+        if coordinate is None:
+            coordinate = NodeCoordinate(
+                vector=self._rng.normal(0.0, 0.1, self.config.dimensions),
+                height=self.config.min_height_ms,
+                error=self.config.initial_error,
+            )
+            self._nodes[key] = coordinate
+        return coordinate
+
+    def observe(self, a: Hashable, b: Hashable, rtt_ms: float) -> None:
+        """Fold one measured RTT between nodes ``a`` and ``b``.
+
+        Both endpoints move (the controller sees both sides), which halves
+        convergence time versus the one-sided client protocol.
+        """
+        if a == b:
+            return  # self-distances carry no embedding information
+        if rtt_ms <= 0.0 or not np.isfinite(rtt_ms):
+            raise ValueError(f"rtt_ms must be positive and finite: {rtt_ms}")
+        self.n_observations += 1
+        self._update_one(self.node(a), self.node(b), rtt_ms)
+        self._update_one(self.node(b), self.node(a), rtt_ms)
+
+    def _update_one(self, node: NodeCoordinate, peer: NodeCoordinate, rtt_ms: float) -> None:
+        cfg = self.config
+        predicted = node.distance_to(peer)
+        error = rtt_ms - predicted
+
+        # Confidence weighting: certain nodes move less.
+        weight = node.error / max(1e-9, node.error + peer.error)
+        relative_error = abs(error) / rtt_ms
+        node.error = min(
+            cfg.initial_error,
+            relative_error * cfg.error_gain * weight
+            + node.error * (1.0 - cfg.error_gain * weight),
+        )
+
+        step = cfg.position_gain * weight * error
+        direction = node.vector - peer.vector
+        norm = float(np.linalg.norm(direction))
+        if norm < 1e-9:
+            direction = self._rng.normal(0.0, 1.0, cfg.dimensions)
+            norm = float(np.linalg.norm(direction))
+        node.vector = node.vector + step * direction / norm
+        # Heights absorb the share of the path the vector space cannot:
+        # they grow/shrink proportionally to their part of the prediction.
+        if predicted > 0.0:
+            height_share = (node.height + peer.height) / predicted
+            node.height = max(cfg.min_height_ms, node.height + step * height_share)
+        node.n_updates += 1
+
+    def estimate_rtt(self, a: Hashable, b: Hashable, *, min_updates: int = 5) -> float | None:
+        """Predicted RTT between two (possibly never co-observed) nodes.
+
+        Returns ``None`` unless both endpoints have been embedded with at
+        least ``min_updates`` observations each -- fresh coordinates sit
+        near the origin and would predict nonsense.
+        """
+        node_a = self._nodes.get(a)
+        node_b = self._nodes.get(b)
+        if node_a is None or node_b is None:
+            return None
+        if node_a.n_updates < min_updates or node_b.n_updates < min_updates:
+            return None
+        return node_a.distance_to(node_b)
+
+    def estimation_confidence(self, a: Hashable, b: Hashable) -> float | None:
+        """Combined relative error estimate of the two endpoints (0 = exact)."""
+        node_a = self._nodes.get(a)
+        node_b = self._nodes.get(b)
+        if node_a is None or node_b is None:
+            return None
+        return float(np.sqrt(node_a.error * node_b.error))

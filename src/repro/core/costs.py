@@ -1,0 +1,120 @@
+"""Cost models: what the relay selector minimises.
+
+The paper optimises each network metric individually (Q(c, r) = the
+metric's value).  :class:`MetricCost` implements that.  As an extension we
+also provide :class:`MosCost`, which minimises E-model impairment
+(``4.5 - MOS``) -- optimising user-perceived quality directly rather than
+one network metric at a time.
+
+A cost model must supply, for the pruning and bandit stages, a point
+estimate plus optimistic/pessimistic bounds derived from a
+:class:`~repro.core.predictor.Prediction`.  For :class:`MosCost` this uses
+the monotonicity of MOS in each metric: the optimistic cost evaluates MOS
+at all three lower confidence bounds, the pessimistic one at all three
+upper bounds.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+from repro.core.predictor import Prediction, metric_index
+from repro.netmodel.metrics import METRICS, PathMetrics
+from repro.telephony.codec import DEFAULT_CODEC, CodecSpec
+from repro.telephony.quality import mos_from_network
+
+__all__ = ["CostModel", "MetricCost", "MosCost", "make_cost_model", "COST_MODEL_NAMES"]
+
+#: Valid values for ``ViaConfig.metric``.
+COST_MODEL_NAMES: tuple[str, ...] = (*METRICS, "mos")
+
+
+class CostModel(Protocol):
+    """What Algorithm 1 needs from a cost function (lower = better)."""
+
+    name: str
+
+    def call_cost(self, metrics: PathMetrics) -> float:
+        """Realised cost of one completed call."""
+        ...
+
+    def predicted(self, prediction: Prediction) -> float:
+        """Point-estimate cost of a prediction."""
+        ...
+
+    def predicted_lower(self, prediction: Prediction) -> float:
+        """Optimistic (95% lower) cost bound."""
+        ...
+
+    def predicted_upper(self, prediction: Prediction) -> float:
+        """Pessimistic (95% upper) cost bound."""
+        ...
+
+
+class MetricCost:
+    """The paper's per-metric objective: Q(c, r) = metric value."""
+
+    def __init__(self, metric: str) -> None:
+        self.name = metric
+        self._idx = metric_index(metric)
+
+    def call_cost(self, metrics: PathMetrics) -> float:
+        return metrics.get(self.name)
+
+    def predicted(self, prediction: Prediction) -> float:
+        return prediction.value(self._idx)
+
+    def predicted_lower(self, prediction: Prediction) -> float:
+        return prediction.lower(self._idx)
+
+    def predicted_upper(self, prediction: Prediction) -> float:
+        return prediction.upper(self._idx)
+
+
+def _triple_to_metrics(values: np.ndarray) -> PathMetrics:
+    """Clamp a (rtt, loss, jitter) vector into a valid PathMetrics."""
+    return PathMetrics(
+        rtt_ms=float(max(0.0, values[0])),
+        loss_rate=float(np.clip(values[1], 0.0, 1.0)),
+        jitter_ms=float(max(0.0, values[2])),
+    )
+
+
+class MosCost:
+    """Impairment objective: minimise ``4.5 - MOS`` (extension).
+
+    MOS is monotone non-increasing in each of RTT, loss and jitter, so
+    bounds follow from evaluating the E-model at the elementwise
+    confidence-bound triples.
+    """
+
+    _Z95 = 1.96
+
+    def __init__(self, codec: CodecSpec = DEFAULT_CODEC) -> None:
+        self.name = "mos"
+        self.codec = codec
+
+    def call_cost(self, metrics: PathMetrics) -> float:
+        return 4.5 - mos_from_network(metrics, self.codec)
+
+    def predicted(self, prediction: Prediction) -> float:
+        return self.call_cost(_triple_to_metrics(prediction.mean))
+
+    def predicted_lower(self, prediction: Prediction) -> float:
+        optimistic = prediction.mean - self._Z95 * prediction.sem
+        return self.call_cost(_triple_to_metrics(optimistic))
+
+    def predicted_upper(self, prediction: Prediction) -> float:
+        pessimistic = prediction.mean + self._Z95 * prediction.sem
+        return self.call_cost(_triple_to_metrics(pessimistic))
+
+
+def make_cost_model(metric: str, codec: CodecSpec = DEFAULT_CODEC) -> CostModel:
+    """Resolve a ``ViaConfig.metric`` value to its cost model."""
+    if metric in METRICS:
+        return MetricCost(metric)
+    if metric == "mos":
+        return MosCost(codec)
+    raise KeyError(f"unknown cost model {metric!r}; expected one of {COST_MODEL_NAMES}")

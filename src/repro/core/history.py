@@ -1,0 +1,234 @@
+"""Call-history store: stage 1 of the VIA pipeline (Figure 10).
+
+Clients push their per-call network metrics to the controller; the
+controller aggregates them per (pair key, relaying option, time window).
+The store keeps Welford running statistics per metric, so mean and
+standard-error-of-mean queries are O(1) and numerically stable.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Iterator
+
+import numpy as np
+
+from repro.netmodel.metrics import METRICS, PathMetrics
+from repro.netmodel.options import RelayOption
+
+__all__ = ["RunningStat", "CallHistory", "history_to_dict", "history_from_dict"]
+
+_N_METRICS = len(METRICS)
+
+
+class RunningStat:
+    """Welford running mean/variance for the three metrics at once."""
+
+    __slots__ = ("count", "_mean", "_m2")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = np.zeros(_N_METRICS)
+        self._m2 = np.zeros(_N_METRICS)
+
+    def push(self, metrics: PathMetrics) -> None:
+        """Fold one call's (rtt, loss, jitter) into the aggregate."""
+        values = (metrics.rtt_ms, metrics.loss_rate, metrics.jitter_ms)
+        self.count += 1
+        for i in range(_N_METRICS):
+            delta = values[i] - self._mean[i]
+            self._mean[i] += delta / self.count
+            self._m2[i] += delta * (values[i] - self._mean[i])
+
+    @property
+    def mean(self) -> np.ndarray:
+        """Per-metric sample mean, as a length-3 array (rtt, loss, jitter)."""
+        return self._mean.copy()
+
+    def variance(self) -> np.ndarray:
+        """Per-metric sample variance (ddof=1); zeros below two samples."""
+        if self.count < 2:
+            return np.zeros(_N_METRICS)
+        return self._m2 / (self.count - 1)
+
+    def sem(self) -> np.ndarray:
+        """Per-metric standard error of the mean; zeros below two samples."""
+        if self.count < 2:
+            return np.zeros(_N_METRICS)
+        return np.sqrt(self.variance() / self.count)
+
+    def mean_metrics(self) -> PathMetrics:
+        """The mean triple as a :class:`PathMetrics` value."""
+        return PathMetrics(
+            rtt_ms=float(self._mean[0]),
+            loss_rate=float(min(1.0, max(0.0, self._mean[1]))),
+            jitter_ms=float(self._mean[2]),
+        )
+
+    def __repr__(self) -> str:
+        return f"RunningStat(count={self.count}, mean={np.round(self._mean, 4)})"
+
+
+PairKey = Hashable
+HistoryKey = tuple[PairKey, RelayOption]
+
+
+class CallHistory:
+    """Windowed (pair, option) -> RunningStat store.
+
+    ``window_hours`` matches the controller's refresh period T (24 h by
+    default, §4.3).  Old windows can be pruned to bound memory in long
+    replays; the predictor only ever reads the immediately preceding
+    window.
+    """
+
+    def __init__(self, window_hours: float = 24.0) -> None:
+        if window_hours <= 0.0:
+            raise ValueError(f"window_hours must be > 0: {window_hours}")
+        self.window_hours = window_hours
+        self._windows: dict[int, dict[HistoryKey, RunningStat]] = {}
+
+    def window_of(self, t_hours: float) -> int:
+        """The window index containing absolute time ``t_hours``."""
+        if t_hours < 0.0:
+            raise ValueError(f"t_hours must be >= 0: {t_hours}")
+        return int(t_hours // self.window_hours)
+
+    def add(
+        self,
+        pair_key: PairKey,
+        option: RelayOption,
+        t_hours: float,
+        metrics: PathMetrics,
+    ) -> None:
+        """Record one completed call's measured performance."""
+        window = self.window_of(t_hours)
+        bucket = self._windows.setdefault(window, {})
+        stat = bucket.get((pair_key, option))
+        if stat is None:
+            stat = RunningStat()
+            bucket[(pair_key, option)] = stat
+        stat.push(metrics)
+
+    def stats(
+        self, pair_key: PairKey, option: RelayOption, window: int
+    ) -> RunningStat | None:
+        """The aggregate for one (pair, option) in one window, if any."""
+        bucket = self._windows.get(window)
+        if bucket is None:
+            return None
+        return bucket.get((pair_key, option))
+
+    def window_items(self, window: int) -> Iterator[tuple[HistoryKey, RunningStat]]:
+        """All (pair, option) aggregates recorded in one window."""
+        bucket = self._windows.get(window)
+        if bucket is None:
+            return iter(())
+        return iter(bucket.items())
+
+    def pair_options(self, pair_key: PairKey, window: int) -> list[RelayOption]:
+        """Options with any samples for ``pair_key`` in ``window``."""
+        bucket = self._windows.get(window)
+        if bucket is None:
+            return []
+        return [opt for (key, opt) in bucket if key == pair_key]
+
+    def windows(self) -> list[int]:
+        """Window indices with any data, ascending."""
+        return sorted(self._windows)
+
+    def prune_before(self, window: int) -> int:
+        """Drop windows older than ``window``; returns how many were dropped."""
+        stale = [w for w in self._windows if w < window]
+        for w in stale:
+            del self._windows[w]
+        return len(stale)
+
+    def total_calls(self) -> int:
+        """Total number of calls folded into the store."""
+        return sum(
+            stat.count for bucket in self._windows.values() for stat in bucket.values()
+        )
+
+    def __contains__(self, window: int) -> bool:
+        if not isinstance(window, int):
+            raise TypeError("membership test expects a window index")
+        return window in self._windows
+
+
+def sem_floor(mean: float, relative: float = 0.05, absolute: float = 1e-6) -> float:
+    """A lower bound on SEM used to avoid overconfident zero-variance
+    predictions from tiny samples."""
+    return max(absolute, relative * abs(mean))
+
+
+def confidence_bounds(mean: float, sem: float, z: float = 1.96) -> tuple[float, float]:
+    """(lower, upper) 95% confidence bounds used throughout §4.4."""
+    if sem < 0.0 or math.isnan(sem):
+        raise ValueError(f"sem must be non-negative: {sem}")
+    return (mean - z * sem, mean + z * sem)
+
+
+def _encode_key(value):
+    """JSON-safe form of a pair-side key (int, str, or (int, int) tuple)."""
+    if isinstance(value, tuple):
+        return {"t": list(value)}
+    return value
+
+
+def _decode_key(value):
+    if isinstance(value, dict) and "t" in value:
+        return tuple(value["t"])
+    return value
+
+
+def history_to_dict(history: CallHistory) -> dict:
+    """Serialise a :class:`CallHistory` to JSON-compatible primitives.
+
+    Used for controller checkpointing: the learned per-(pair, option,
+    window) aggregates are the state worth surviving a restart (bandit and
+    pruning state rebuild at the next refresh).
+    """
+    windows = {}
+    for window in history.windows():
+        entries = []
+        for (pair_key, option), stat in history.window_items(window):
+            entries.append(
+                {
+                    "pair": [_encode_key(pair_key[0]), _encode_key(pair_key[1])],
+                    "option": {
+                        "kind": option.kind.value,
+                        "ingress": option.ingress,
+                        "egress": option.egress,
+                    },
+                    "count": stat.count,
+                    "mean": [float(x) for x in stat._mean],
+                    "m2": [float(x) for x in stat._m2],
+                }
+            )
+        windows[str(window)] = entries
+    return {"window_hours": history.window_hours, "windows": windows}
+
+
+def history_from_dict(data: dict) -> CallHistory:
+    """Rebuild a :class:`CallHistory` from :func:`history_to_dict` output."""
+    from repro.netmodel.options import OptionKind
+
+    history = CallHistory(window_hours=float(data["window_hours"]))
+    for window_str, entries in data["windows"].items():
+        window = int(window_str)
+        bucket = history._windows.setdefault(window, {})
+        for entry in entries:
+            pair_key = (_decode_key(entry["pair"][0]), _decode_key(entry["pair"][1]))
+            option_data = entry["option"]
+            option = RelayOption(
+                kind=OptionKind(option_data["kind"]),
+                ingress=option_data["ingress"],
+                egress=option_data["egress"],
+            )
+            stat = RunningStat()
+            stat.count = int(entry["count"])
+            stat._mean = np.asarray(entry["mean"], dtype=float)
+            stat._m2 = np.asarray(entry["m2"], dtype=float)
+            bucket[(pair_key, option)] = stat
+    return history

@@ -1,0 +1,81 @@
+"""Spatial keying: at what granularity does the controller aggregate?
+
+The paper aggregates at the AS-pair level by default and studies coarser
+(country) and finer (IP prefix) granularities in Figure 17a.  A
+:class:`PairKeyer` maps a call to a canonical unordered pair key plus a
+``flipped`` flag.  Because path performance in the world (and on the real
+Internet, to first order) is direction-symmetric, pooling both directions
+of a pair doubles data density; the flag lets transit options be stored in
+a canonical orientation and mapped back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Literal
+
+from repro.netmodel.options import RelayOption
+from repro.telephony.call import Call
+
+__all__ = ["Granularity", "PairView", "PairKeyer"]
+
+Granularity = Literal["country", "as", "prefix"]
+
+#: All granularities, coarse to fine (the x-axis of Figure 17a).
+GRANULARITIES: tuple[Granularity, ...] = ("country", "as", "prefix")
+
+
+@dataclass(frozen=True, slots=True)
+class PairView:
+    """A call's canonical pair key and orientation.
+
+    ``flipped`` is True when the call's source sorts *after* its
+    destination under the granularity's key ordering; transit options must
+    then be reversed before storage and after retrieval.
+    """
+
+    pair_key: tuple[Hashable, Hashable]
+    flipped: bool
+
+    def normalize(self, option: RelayOption) -> RelayOption:
+        """Store-orientation of ``option`` for this call."""
+        return option.reversed() if self.flipped else option
+
+    def denormalize(self, option: RelayOption) -> RelayOption:
+        """Call-orientation of a stored ``option``."""
+        return option.reversed() if self.flipped else option
+
+
+class PairKeyer:
+    """Maps calls to pair keys at a chosen spatial granularity."""
+
+    def __init__(self, granularity: Granularity = "as") -> None:
+        if granularity not in GRANULARITIES:
+            raise ValueError(
+                f"unknown granularity {granularity!r}; expected one of {GRANULARITIES}"
+            )
+        self.granularity: Granularity = granularity
+
+    def side_keys(self, call: Call) -> tuple[Hashable, Hashable]:
+        """(source key, destination key) for one call."""
+        if self.granularity == "country":
+            return (call.src_country, call.dst_country)
+        if self.granularity == "as":
+            return (call.src_asn, call.dst_asn)
+        return ((call.src_asn, call.src_prefix), (call.dst_asn, call.dst_prefix))
+
+    def view(self, call: Call) -> PairView:
+        """Canonical pair view for one call."""
+        src_key, dst_key = self.side_keys(call)
+        if self._sorts_after(src_key, dst_key):
+            return PairView(pair_key=(dst_key, src_key), flipped=True)
+        return PairView(pair_key=(src_key, dst_key), flipped=False)
+
+    @staticmethod
+    def _sorts_after(a: Hashable, b: Hashable) -> bool:
+        # Keys within one granularity are homogeneous (str, int, or
+        # (int, int) tuples), so direct comparison is well-defined.
+        return a > b  # type: ignore[operator]
+
+    def __repr__(self) -> str:
+        return f"PairKeyer(granularity={self.granularity!r})"

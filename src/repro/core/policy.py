@@ -1,0 +1,455 @@
+"""Algorithm 1: the VIA relay-selection policy (prediction-guided exploration).
+
+One :class:`ViaPolicy` instance plays the role of the paper's controller
+for a single optimised metric:
+
+* every ``refresh_hours`` (T, default 24) it rebuilds the tomography model
+  and predictor from the previous window's call history (stages 2-3),
+* per call it prunes to the top-k candidates (Algorithm 2) and runs the
+  modified UCB1 bandit over them (Algorithm 3), with an ε fraction of
+  calls sent to uniformly random options for general exploration,
+* optionally it applies the §4.6 budget gate before any relayed choice.
+
+Configuration switches also express the paper's ablations and both
+strawmen (see :mod:`repro.core.baselines`), so every compared strategy
+shares this one code path and differs only where the paper says it does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Hashable, Protocol
+
+import numpy as np
+
+from repro.core.bandit import UCB1Explorer
+from repro.core.budget import BudgetGate, RelayLoadTracker
+from repro.core.coordinates import CoordinateSystem
+from repro.core.costs import COST_MODEL_NAMES, CostModel, make_cost_model
+from repro.core.history import CallHistory, history_from_dict, history_to_dict
+from repro.core.keys import Granularity, PairKeyer, PairView
+from repro.core.predictor import Prediction, Predictor
+from repro.core.tomography import InterRelayLookup, TomographyModel
+from repro.core.topk import dynamic_top_k_cost, fixed_top_k_cost
+from repro.netmodel.metrics import PathMetrics
+from repro.netmodel.options import DIRECT, RelayOption
+from repro.telephony.call import Call
+
+__all__ = ["SelectionPolicy", "ViaConfig", "ViaPolicy", "make_policy"]
+
+
+class SelectionPolicy(Protocol):
+    """What the replay engine needs from any relay-selection strategy."""
+
+    name: str
+
+    def assign(self, call: Call, options: list[RelayOption]) -> RelayOption:
+        """Pick a relaying option for ``call`` among ``options``."""
+        ...
+
+    def observe(self, call: Call, option: RelayOption, metrics: PathMetrics) -> None:
+        """Learn from the realised performance of an assigned call."""
+        ...
+
+
+@dataclass(frozen=True, slots=True)
+class ViaConfig:
+    """Every knob of Algorithm 1 and its ablations.
+
+    ``topk_mode``:
+      * ``dynamic`` -- Algorithm 2 (confidence-interval top-k); the paper.
+      * ``fixed``   -- best ``fixed_k`` predicted means (Figure 15 ablation).
+      * ``argmin``  -- k = 1, no bandit: pure prediction (Strawman I).
+      * ``all``     -- no pruning: explore everything (Strawman II).
+
+    ``selector``:
+      * ``ucb``    -- modified UCB1 (Algorithm 3).
+      * ``greedy`` -- ε-greedy on empirical means (Strawman II's explorer).
+
+    ``ucb_mode`` chooses the paper's top-k-upper-bound normalisation
+    (``via``) or the classic range normalisation (``classic``, the other
+    Figure 15 ablation).
+    """
+
+    metric: str = "rtt_ms"
+    refresh_hours: float = 24.0
+    epsilon: float = 0.03
+    topk_mode: str = "dynamic"
+    fixed_k: int = 2
+    max_k: int | None = 6
+    selector: str = "ucb"
+    ucb_mode: str = "via"
+    exploration_coef: float = 0.1
+    greedy_epsilon: float = 0.1
+    min_direct_samples: int = 3
+    use_tomography: bool = True
+    #: Extension: learn a Vivaldi embedding from direct-path RTTs and use
+    #: it to predict the direct path of never-seen pairs.
+    use_coordinates: bool = False
+    budget: float = 1.0
+    budget_aware: bool = True
+    #: Per-relay load cap (§4.6's per-relay budget variant): no single
+    #: relay may carry more than this share of recent calls.  None = off.
+    per_relay_cap: float | None = None
+    #: Sliding window (calls) over which per-relay load is measured.
+    per_relay_window: int = 2000
+    granularity: Granularity = "as"
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.metric not in COST_MODEL_NAMES:
+            raise ValueError(
+                f"unknown metric {self.metric!r}; expected one of {COST_MODEL_NAMES}"
+            )
+        if self.topk_mode not in ("dynamic", "fixed", "argmin", "all"):
+            raise ValueError(f"unknown topk_mode: {self.topk_mode!r}")
+        if self.selector not in ("ucb", "greedy"):
+            raise ValueError(f"unknown selector: {self.selector!r}")
+        if not 0.0 <= self.epsilon <= 1.0:
+            raise ValueError("epsilon must be in [0, 1]")
+        if not 0.0 <= self.greedy_epsilon <= 1.0:
+            raise ValueError("greedy_epsilon must be in [0, 1]")
+        if self.refresh_hours <= 0.0:
+            raise ValueError("refresh_hours must be > 0")
+        if not 0.0 <= self.budget <= 1.0:
+            raise ValueError("budget must be in [0, 1]")
+        if self.fixed_k < 1:
+            raise ValueError("fixed_k must be >= 1")
+
+    def with_metric(self, metric: str) -> "ViaConfig":
+        """A copy optimising a different metric (runs are per-metric, §5)."""
+        return replace(self, metric=metric)
+
+
+@dataclass(slots=True)
+class _PairState:
+    """Per-(pair, period) cached pruning + bandit state."""
+
+    options: list[RelayOption]
+    topk: list[RelayOption]
+    predictions: dict[RelayOption, Prediction]
+    bandit: UCB1Explorer | None
+    benefit: float | None = None
+    argmin_choice: RelayOption | None = None
+    greedy_counts: dict[RelayOption, int] = field(default_factory=dict)
+    greedy_sums: dict[RelayOption, float] = field(default_factory=dict)
+
+
+class ViaPolicy:
+    """Stateful controller implementing Algorithm 1 for one metric."""
+
+    def __init__(
+        self,
+        config: ViaConfig | None = None,
+        *,
+        inter_relay: InterRelayLookup | None = None,
+        name: str | None = None,
+    ) -> None:
+        self.config = config or ViaConfig()
+        self.name = name or f"via[{self.config.metric}]"
+        self._cost: CostModel = make_cost_model(self.config.metric)
+        self._inter_relay = inter_relay
+        self._keyer = PairKeyer(self.config.granularity)
+        self._rng = np.random.default_rng(self.config.seed)
+        self.history = CallHistory(window_hours=self.config.refresh_hours)
+        self._period = -1
+        self._predictor: Predictor | None = None
+        self._pair_state: dict[Hashable, _PairState] = {}
+        self._budget_gate: BudgetGate | None = None
+        if self.config.budget < 1.0:
+            self._budget_gate = BudgetGate(self.config.budget, aware=self.config.budget_aware)
+        self._coordinates: CoordinateSystem | None = None
+        if self.config.use_coordinates:
+            self._coordinates = CoordinateSystem()
+        self._load_tracker: RelayLoadTracker | None = None
+        if self.config.per_relay_cap is not None:
+            self._load_tracker = RelayLoadTracker(
+                self.config.per_relay_cap, window=self.config.per_relay_window
+            )
+        # Diagnostics used by benches (§5.2 relay-mix, refresh counts).
+        self.n_refreshes = 0
+        self.n_epsilon_explorations = 0
+
+    # ------------------------------------------------------------------
+    # SelectionPolicy interface
+    # ------------------------------------------------------------------
+
+    def assign(self, call: Call, options: list[RelayOption]) -> RelayOption:
+        if not options:
+            raise ValueError("assign() needs at least one option")
+        period = int(call.t_hours // self.config.refresh_hours)
+        if period != self._period:
+            self._refresh(period)
+        view = self._keyer.view(call)
+        norm_options = [view.normalize(o) for o in options]
+        state = self._state_for(view.pair_key, call.direct_blocked, norm_options)
+
+        gate = self._budget_gate
+        if gate is not None and not gate.allows(state.benefit):
+            fallback = self._fallback(norm_options)
+            gate.record(state.benefit, relayed=fallback.is_relayed)
+            return view.denormalize(fallback)
+
+        choice = self._choose(state, norm_options)
+        tracker = self._load_tracker
+        if tracker is not None:
+            if choice.is_relayed and tracker.would_exceed(choice):
+                choice = self._divert_overloaded(state, choice)
+            tracker.record(choice)
+        if gate is not None:
+            gate.record(state.benefit, relayed=choice.is_relayed)
+        return view.denormalize(choice)
+
+    def observe(self, call: Call, option: RelayOption, metrics: PathMetrics) -> None:
+        view = self._keyer.view(call)
+        norm = view.normalize(option)
+        self.history.add(view.pair_key, norm, call.t_hours, metrics)
+        if self._coordinates is not None and not option.is_relayed:
+            side_s, side_d = view.pair_key
+            if side_s != side_d:
+                self._coordinates.observe(side_s, side_d, metrics.rtt_ms)
+        state = self._pair_state.get((view.pair_key, call.direct_blocked))
+        if state is None:
+            return
+        cost = self._cost.call_cost(metrics)
+        if state.bandit is not None and norm in state.bandit.arms:
+            state.bandit.update(norm, cost)
+        if self.config.selector == "greedy":
+            state.greedy_counts[norm] = state.greedy_counts.get(norm, 0) + 1
+            state.greedy_sums[norm] = state.greedy_sums.get(norm, 0.0) + cost
+
+    # ------------------------------------------------------------------
+    # Stages 2-3: periodic refresh
+    # ------------------------------------------------------------------
+
+    def _refresh(self, period: int) -> None:
+        self._period = period
+        self._pair_state = {}
+        self.n_refreshes += 1
+        window = period - 1
+        if window < 0:
+            self._predictor = None
+            return
+        tomography: TomographyModel | None = None
+        if self.config.use_tomography and self._inter_relay is not None:
+            tomography = TomographyModel.fit(
+                (
+                    ((key[0][0], key[0][1]), key[1], stat)
+                    for key, stat in self.history.window_items(window)
+                ),
+                self._inter_relay,
+            )
+        self._predictor = Predictor(
+            self.history,
+            window,
+            tomography=tomography,
+            coordinates=self._coordinates,
+            min_direct_samples=self.config.min_direct_samples,
+        )
+        # Only the window feeding the current predictor is ever read again.
+        self.history.prune_before(window)
+
+    def _state_for(
+        self, pair_key: Hashable, direct_blocked: bool, norm_options: list[RelayOption]
+    ) -> _PairState:
+        # NAT-blocked calls see a direct-less option set, so they get their
+        # own pruning/bandit state alongside the pair's regular one.
+        state_key = (pair_key, direct_blocked)
+        state = self._pair_state.get(state_key)
+        if state is not None:
+            return state
+        predictions: dict[RelayOption, Prediction] = {}
+        if self._predictor is not None:
+            predictions = self._predictor.predict_all(pair_key, norm_options)  # type: ignore[arg-type]
+        topk = self._prune(predictions, norm_options)
+        bandit: UCB1Explorer | None = None
+        argmin_choice: RelayOption | None = None
+        if self.config.topk_mode == "argmin":
+            if predictions:
+                argmin_choice = min(
+                    predictions, key=lambda o: self._cost.predicted(predictions[o])
+                )
+        elif self.config.selector == "ucb":
+            mode = self.config.ucb_mode if predictions else "classic"
+            bandit = UCB1Explorer.from_cost_model(
+                topk,
+                predictions,
+                self._cost,
+                exploration_coef=self.config.exploration_coef,
+                mode=mode,
+            )
+        state = _PairState(
+            options=list(norm_options),
+            topk=topk,
+            predictions=predictions,
+            bandit=bandit,
+            benefit=self._benefit(predictions),
+            argmin_choice=argmin_choice,
+        )
+        self._pair_state[state_key] = state
+        return state
+
+    def _prune(
+        self,
+        predictions: dict[RelayOption, Prediction],
+        norm_options: list[RelayOption],
+    ) -> list[RelayOption]:
+        mode = self.config.topk_mode
+        if mode == "all" or len(predictions) < 2:
+            # Nothing (or not enough) to prune with: candidate set is all
+            # options, ordered with direct first (cold-start exploration).
+            return list(norm_options)
+        if mode == "dynamic":
+            return dynamic_top_k_cost(predictions, self._cost, max_k=self.config.max_k)
+        if mode == "fixed":
+            return fixed_top_k_cost(predictions, self._cost, self.config.fixed_k)
+        # argmin: pruning is irrelevant, selection happens directly.
+        return fixed_top_k_cost(predictions, self._cost, 1)
+
+    @staticmethod
+    def _fallback(norm_options: list[RelayOption]) -> RelayOption:
+        """The do-nothing choice: the default path when it is on offer,
+        else the first offered option (NAT-blocked calls have no direct)."""
+        if DIRECT in norm_options:
+            return DIRECT
+        return norm_options[0]
+
+    def _benefit(self, predictions: dict[RelayOption, Prediction]) -> float | None:
+        """Predicted gain of the best relayed option over the direct path."""
+        direct = predictions.get(DIRECT)
+        if direct is None:
+            return None
+        relayed = [
+            self._cost.predicted(p) for o, p in predictions.items() if o.is_relayed
+        ]
+        if not relayed:
+            return None
+        return self._cost.predicted(direct) - min(relayed)
+
+    # ------------------------------------------------------------------
+    # Stage 4: per-call selection
+    # ------------------------------------------------------------------
+
+    def _choose(self, state: _PairState, norm_options: list[RelayOption]) -> RelayOption:
+        # Stage 4b: ε general exploration over ALL relaying options, which
+        # keeps top-k honest under non-stationary performance (§4.5).
+        if self.config.epsilon > 0.0 and self._rng.random() < self.config.epsilon:
+            self.n_epsilon_explorations += 1
+            return norm_options[int(self._rng.integers(len(norm_options)))]
+        if self.config.topk_mode == "argmin":
+            if state.argmin_choice is not None:
+                return state.argmin_choice
+            return self._fallback(state.options)
+        if self.config.selector == "greedy":
+            return self._choose_greedy(state)
+        assert state.bandit is not None
+        return state.bandit.choose()
+
+    def _divert_overloaded(self, state: _PairState, choice: RelayOption) -> RelayOption:
+        """Per-relay cap exceeded: fall back to the best uncongested option.
+
+        Walks the pair's top-k in predicted order and returns the first
+        option whose relays are all under the cap; the direct path (never
+        congested in this model) is the final fallback.
+        """
+        assert self._load_tracker is not None
+        for candidate in state.topk:
+            if candidate == choice:
+                continue
+            if not candidate.is_relayed or not self._load_tracker.would_exceed(candidate):
+                return candidate
+        return self._fallback(state.options)
+
+    def _choose_greedy(self, state: _PairState) -> RelayOption:
+        """ε-greedy over the candidate set on empirical means (Strawman II)."""
+        candidates = state.topk
+        if self._rng.random() < self.config.greedy_epsilon:
+            return candidates[int(self._rng.integers(len(candidates)))]
+        tried = [c for c in candidates if state.greedy_counts.get(c, 0) > 0]
+        if not tried:
+            return candidates[int(self._rng.integers(len(candidates)))]
+        return min(
+            tried, key=lambda c: state.greedy_sums[c] / state.greedy_counts[c]
+        )
+
+    # ------------------------------------------------------------------
+    # Checkpointing (controller restarts, §7 operational concerns)
+    # ------------------------------------------------------------------
+
+    def save_state(self, path) -> None:
+        """Checkpoint the learned call history to ``path`` (JSON).
+
+        Bandit and pruning state are per-period and rebuild at the next
+        refresh; the windowed history is the state worth persisting.
+        """
+        import json
+        from pathlib import Path
+
+        payload = {
+            "format": "via-policy-state-v1",
+            "metric": self.config.metric,
+            "period": self._period,
+            "history": history_to_dict(self.history),
+        }
+        Path(path).write_text(json.dumps(payload), encoding="utf-8")
+
+    def load_state(self, path) -> None:
+        """Restore a checkpoint written by :meth:`save_state`.
+
+        The next assigned call triggers a refresh, rebuilding predictor,
+        tomography and per-pair bandit state from the restored history.
+        """
+        import json
+        from pathlib import Path
+
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        if payload.get("format") != "via-policy-state-v1":
+            raise ValueError(f"unrecognised checkpoint format in {path}")
+        if payload.get("metric") != self.config.metric:
+            raise ValueError(
+                f"checkpoint optimises {payload.get('metric')!r}, "
+                f"policy optimises {self.config.metric!r}"
+            )
+        self.history = history_from_dict(payload["history"])
+        self._period = -1  # force a refresh on the next call
+        self._pair_state = {}
+        self._predictor = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def period(self) -> int:
+        """The current refresh period index (-1 before the first call)."""
+        return self._period
+
+    def coverage_holes(self):
+        """(pair_key, option) combinations with no prediction this period.
+
+        These are the "holes" §7 of the paper proposes filling with active
+        measurements: options the predictor could reach neither through
+        direct history nor through tomography.  Yields pairs in the order
+        they were first seen this period.
+        """
+        for (pair_key, _direct_blocked), state in self._pair_state.items():
+            for option in state.options:
+                if option not in state.predictions:
+                    yield pair_key, option
+
+    @property
+    def relayed_fraction(self) -> float | None:
+        """Fraction of calls relayed so far (only tracked under a budget)."""
+        if self._budget_gate is None:
+            return None
+        return self._budget_gate.relayed_fraction
+
+
+def make_policy(
+    config: ViaConfig,
+    *,
+    inter_relay: InterRelayLookup | None = None,
+    name: str | None = None,
+) -> ViaPolicy:
+    """Convenience constructor mirroring :class:`ViaPolicy`."""
+    return ViaPolicy(config, inter_relay=inter_relay, name=name)

@@ -1,0 +1,115 @@
+"""Active measurements: the §7 "future work" extension, implemented.
+
+The paper's VIA relies purely on passive measurements from real calls and
+suggests augmenting them with *active* measurements -- mock calls
+orchestrated by the controller to fill "holes" in coverage, making both
+tomography and the bandit more effective, subject to a probing budget.
+
+:class:`ActiveProber` implements exactly that on top of a
+:class:`~repro.core.policy.ViaPolicy` at AS granularity: after each real
+call it accrues probe allowance (``probe_fraction`` probes per call) and
+spends it on (pair, option) combinations the current predictor cannot
+reach.  The replay engine executes the probes as mock calls and feeds the
+measurements back to the policy.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable
+
+from repro.core.policy import ViaPolicy
+from repro.netmodel.options import RelayOption
+from repro.telephony.call import Call
+
+__all__ = ["ProbeRequest", "ActiveProber"]
+
+#: A probe: make a mock call between two ASes over one relaying option.
+ProbeRequest = tuple[int, int, RelayOption]
+
+
+class ActiveProber:
+    """Schedules mock-call probes into the policy's coverage holes.
+
+    ``probe_fraction`` is the probing budget: probes issued per real call
+    (0.05 = one mock call per twenty real calls).  Holes are recomputed
+    lazily whenever the policy enters a new refresh period; each hole is
+    probed at most ``probes_per_hole`` times per period.
+    """
+
+    def __init__(
+        self,
+        policy: ViaPolicy,
+        *,
+        probe_fraction: float = 0.05,
+        probes_per_hole: int = 2,
+        max_queue: int = 10_000,
+    ) -> None:
+        if policy.config.granularity != "as":
+            raise ValueError(
+                "active probing needs AS granularity: pair keys must be "
+                "addressable AS numbers to place a mock call"
+            )
+        if not 0.0 <= probe_fraction <= 1.0:
+            raise ValueError(f"probe_fraction must be in [0, 1]: {probe_fraction}")
+        if probes_per_hole < 1 or max_queue < 1:
+            raise ValueError("probes_per_hole and max_queue must be >= 1")
+        self.policy = policy
+        self.probe_fraction = probe_fraction
+        self.probes_per_hole = probes_per_hole
+        self.max_queue = max_queue
+        self._queue: deque[ProbeRequest] = deque()
+        self._seen_period = -1
+        self._allowance = 0.0
+        self.n_probes_issued = 0
+
+    def _refill_queue(self) -> None:
+        """Rebuild the probe queue from the policy's current holes."""
+        self._queue.clear()
+        for pair_key, option in self.policy.coverage_holes():
+            src, dst = self._pair_asns(pair_key)
+            for _ in range(self.probes_per_hole):
+                if len(self._queue) >= self.max_queue:
+                    return
+                self._queue.append((src, dst, option))
+
+    @staticmethod
+    def _pair_asns(pair_key: Hashable) -> tuple[int, int]:
+        src, dst = pair_key  # type: ignore[misc]
+        return int(src), int(dst)
+
+    def probes_after(self, call: Call) -> list[ProbeRequest]:
+        """Probes to launch right after one real call completes."""
+        if self.probe_fraction <= 0.0:
+            return []
+        if self.policy.period != self._seen_period:
+            self._seen_period = self.policy.period
+            self._refill_queue()
+        self._allowance += self.probe_fraction
+        issued: list[ProbeRequest] = []
+        while self._allowance >= 1.0 and self._queue:
+            issued.append(self._queue.popleft())
+            self._allowance -= 1.0
+            self.n_probes_issued += 1
+        # Unspendable allowance does not bank across dry spells forever.
+        self._allowance = min(self._allowance, 10.0)
+        return issued
+
+    def make_probe_call(self, request: ProbeRequest, t_hours: float, call_id: int) -> Call:
+        """A synthetic mock-call record carrying the probe's endpoints.
+
+        Country fields are placeholders: probing operates at AS
+        granularity, where only the AS numbers key the history.
+        """
+        src, dst, _option = request
+        return Call(
+            call_id=call_id,
+            t_hours=t_hours,
+            src_asn=src,
+            dst_asn=dst,
+            src_country="probe",
+            dst_country="probe",
+            src_user=-1,
+            dst_user=-1,
+            duration_s=10.0,
+        )

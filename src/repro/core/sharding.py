@@ -1,0 +1,84 @@
+"""Sharded (partitioned) controller: the §7 scalability question, measured.
+
+The paper's discussion asks whether one logical controller can handle a
+large service and points at partitioning (and C3-style split control) as
+the likely answer.  Partitioning is not free, though: a shard only sees
+the measurements of *its* pairs, so cross-pair learning -- tomography
+above all -- loses coverage.
+
+:class:`ShardedPolicy` models a K-way partitioned control plane: each
+shard is an independent policy (e.g. a full
+:class:`~repro.core.policy.ViaPolicy`), and calls are routed to shards by
+a stable hash of their canonical pair key.  Comparing K = 1 against
+larger K quantifies what partitioning costs in selection quality
+(`benchmarks/bench_ext_sharded_controller.py`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable, Hashable
+
+from repro.core.keys import PairKeyer
+from repro.core.policy import SelectionPolicy
+from repro.netmodel.metrics import PathMetrics
+from repro.netmodel.options import RelayOption
+from repro.telephony.call import Call
+
+__all__ = ["ShardedPolicy", "stable_shard_of"]
+
+
+def stable_shard_of(pair_key: Hashable, n_shards: int) -> int:
+    """Deterministic, platform-independent shard assignment.
+
+    Uses blake2 over the repr of the canonical pair key so the mapping is
+    stable across processes and Python hash randomisation.
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1: {n_shards}")
+    digest = hashlib.blake2s(repr(pair_key).encode("utf-8"), digest_size=4).digest()
+    return int.from_bytes(digest, "big") % n_shards
+
+
+class ShardedPolicy:
+    """A K-way partitioned control plane over independent shard policies.
+
+    ``shard_factory(i)`` builds shard ``i``'s policy; shards never share
+    state (that is the point).  Pair keys are computed at ``granularity``
+    so both directions of a pair land on the same shard.
+    """
+
+    def __init__(
+        self,
+        shard_factory: Callable[[int], SelectionPolicy],
+        n_shards: int,
+        *,
+        granularity: str = "as",
+        name: str | None = None,
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1: {n_shards}")
+        self.shards: list[SelectionPolicy] = [shard_factory(i) for i in range(n_shards)]
+        self.n_shards = n_shards
+        self._keyer = PairKeyer(granularity)  # type: ignore[arg-type]
+        self.name = name or f"sharded[{n_shards}x{self.shards[0].name}]"
+        self.shard_calls: list[int] = [0] * n_shards
+
+    def _shard_for(self, call: Call) -> int:
+        return stable_shard_of(self._keyer.view(call).pair_key, self.n_shards)
+
+    def assign(self, call: Call, options: list[RelayOption]) -> RelayOption:
+        shard = self._shard_for(call)
+        self.shard_calls[shard] += 1
+        return self.shards[shard].assign(call, options)
+
+    def observe(self, call: Call, option: RelayOption, metrics: PathMetrics) -> None:
+        self.shards[self._shard_for(call)].observe(call, option, metrics)
+
+    def load_imbalance(self) -> float:
+        """max/mean shard load -- 1.0 is perfectly balanced."""
+        total = sum(self.shard_calls)
+        if total == 0:
+            return 1.0
+        mean = total / self.n_shards
+        return max(self.shard_calls) / mean

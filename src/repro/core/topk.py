@@ -1,0 +1,111 @@
+"""Dynamic top-k pruning: Algorithm 2 of the paper.
+
+The top-k set is the *minimal* set of relaying options such that the lower
+95% confidence bound of every option outside the set exceeds the upper
+bound of every option inside -- i.e. everything pruned is, with high
+confidence, worse than everything kept.  k therefore adapts to prediction
+certainty: tight confidence intervals yield small k, noisy ones widen the
+candidate set for the bandit.
+
+The generic entry points take a :class:`~repro.core.costs.CostModel`
+(supporting both per-metric and MOS objectives); the ``metric_idx``
+variants keep the paper's plain per-metric interface.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.predictor import Prediction
+from repro.netmodel.options import RelayOption
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.costs import CostModel
+
+__all__ = ["dynamic_top_k", "fixed_top_k", "dynamic_top_k_cost", "fixed_top_k_cost"]
+
+
+def dynamic_top_k_cost(
+    predictions: dict[RelayOption, Prediction],
+    cost_model: "CostModel",
+    *,
+    max_k: int | None = None,
+) -> list[RelayOption]:
+    """Algorithm 2: minimal confident top set, best predicted cost first.
+
+    Walks options by ascending lower cost bound, tracking the maximum
+    upper bound of the set built so far; the first option whose lower
+    bound clears that maximum -- and, because of the ordering, every later
+    option too -- can be confidently excluded.  ``max_k`` optionally caps
+    the set size (keeping the best predicted costs) to bound bandit width
+    on very noisy pairs.
+    """
+    if not predictions:
+        return []
+    by_lower = sorted(
+        predictions.items(), key=lambda item: cost_model.predicted_lower(item[1])
+    )
+    kept: list[RelayOption] = [by_lower[0][0]]
+    max_upper = cost_model.predicted_upper(by_lower[0][1])
+    for option, prediction in by_lower[1:]:
+        if cost_model.predicted_lower(prediction) > max_upper:
+            break
+        kept.append(option)
+        max_upper = max(max_upper, cost_model.predicted_upper(prediction))
+    kept.sort(key=lambda opt: cost_model.predicted(predictions[opt]))
+    if max_k is not None and len(kept) > max_k:
+        kept = kept[:max_k]
+    return kept
+
+
+def fixed_top_k_cost(
+    predictions: dict[RelayOption, Prediction],
+    cost_model: "CostModel",
+    k: int,
+) -> list[RelayOption]:
+    """The fixed-k ablation of Figure 15: best k predicted costs."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1: {k}")
+    ranked = sorted(predictions, key=lambda opt: cost_model.predicted(predictions[opt]))
+    return ranked[:k]
+
+
+def dynamic_top_k(
+    predictions: dict[RelayOption, Prediction],
+    metric_idx: int,
+    *,
+    max_k: int | None = None,
+) -> list[RelayOption]:
+    """Per-metric-index convenience wrapper over :func:`dynamic_top_k_cost`."""
+    return dynamic_top_k_cost(predictions, _index_cost(metric_idx), max_k=max_k)
+
+
+def fixed_top_k(
+    predictions: dict[RelayOption, Prediction],
+    metric_idx: int,
+    k: int,
+) -> list[RelayOption]:
+    """Per-metric-index convenience wrapper over :func:`fixed_top_k_cost`."""
+    return fixed_top_k_cost(predictions, _index_cost(metric_idx), k)
+
+
+class _index_cost:  # noqa: N801 - tiny adapter, used like a function
+    """Adapter giving raw metric-index predictions the CostModel shape."""
+
+    def __init__(self, metric_idx: int) -> None:
+        from repro.netmodel.metrics import METRICS
+
+        self.name = METRICS[metric_idx]
+        self._idx = metric_idx
+
+    def call_cost(self, metrics) -> float:
+        return metrics.get(self.name)
+
+    def predicted(self, prediction: Prediction) -> float:
+        return prediction.value(self._idx)
+
+    def predicted_lower(self, prediction: Prediction) -> float:
+        return prediction.lower(self._idx)
+
+    def predicted_upper(self, prediction: Prediction) -> float:
+        return prediction.upper(self._idx)

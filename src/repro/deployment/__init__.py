@@ -1,0 +1,46 @@
+"""Controlled-deployment prototype (§5.5 of the paper).
+
+The paper deployed a cloud controller plus 14 instrumented Skype clients
+in five countries; the controller orchestrated ~1000 back-to-back calls
+over 18 caller-callee pairs through 9-20 relaying options each and
+compared VIA's per-call choice to an oracle with dense ground truth.
+
+This package is the working equivalent: a real asyncio TCP controller
+(:mod:`repro.deployment.controller`) speaking a JSON-lines protocol
+(:mod:`repro.deployment.protocol`) with instrumented client agents
+(:mod:`repro.deployment.client`), orchestrated over localhost by
+:mod:`repro.deployment.testbed`, with call performance drawn from the
+synthetic world.
+"""
+
+from repro.deployment.protocol import (
+    AssignMessage,
+    ByeMessage,
+    HelloMessage,
+    MeasurementMessage,
+    RequestMessage,
+    decode_message,
+    encode_message,
+    decode_option,
+    encode_option,
+)
+from repro.deployment.controller import ViaController
+from repro.deployment.client import TestbedClient
+from repro.deployment.testbed import TestbedConfig, TestbedReport, run_testbed
+
+__all__ = [
+    "HelloMessage",
+    "MeasurementMessage",
+    "RequestMessage",
+    "AssignMessage",
+    "ByeMessage",
+    "encode_message",
+    "decode_message",
+    "encode_option",
+    "decode_option",
+    "ViaController",
+    "TestbedClient",
+    "TestbedConfig",
+    "TestbedReport",
+    "run_testbed",
+]

@@ -1,0 +1,140 @@
+"""Instrumented client agent: the modified-Skype-client stand-in.
+
+A :class:`TestbedClient` opens one TCP connection to the controller,
+introduces itself, and then (a) reports measurements after every call and
+(b) asks the controller which relaying option an upcoming call should use
+-- the same two interactions the paper added to the Skype client.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any
+
+from repro.deployment.protocol import (
+    AssignMessage,
+    ByeMessage,
+    HelloMessage,
+    MeasurementMessage,
+    ProtocolError,
+    RequestMessage,
+    StatsMessage,
+    StatsRequestMessage,
+    decode_message,
+    encode_message,
+    encode_option,
+)
+from repro.netmodel.metrics import PathMetrics
+from repro.netmodel.options import RelayOption
+from repro.deployment.protocol import decode_option
+
+__all__ = ["TestbedClient"]
+
+
+class TestbedClient:
+    """One instrumented client, identified by ``client_id`` and a site label."""
+
+    def __init__(self, client_id: int, site: str, host: str, port: int) -> None:
+        self.client_id = client_id
+        self.site = site
+        self._host = host
+        self._port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        # One request in flight at a time per connection: replies carry no
+        # correlation id, so request/response must not interleave.
+        self._request_lock = asyncio.Lock()
+
+    async def connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(self._host, self._port)
+        await self._send(HelloMessage(client_id=self.client_id, site=self.site))
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            try:
+                await self._send(ByeMessage(client_id=self.client_id))
+            except ConnectionError:  # pragma: no cover - teardown race
+                pass
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+            self._writer = None
+            self._reader = None
+
+    async def __aenter__(self) -> "TestbedClient":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    # Protocol actions
+    # ------------------------------------------------------------------
+
+    async def report_measurement(
+        self,
+        dst_id: int,
+        option: RelayOption,
+        metrics: PathMetrics,
+        t_hours: float,
+    ) -> None:
+        """Push one completed call's metrics to the controller."""
+        await self._send(
+            MeasurementMessage(
+                src_id=self.client_id,
+                dst_id=dst_id,
+                t_hours=t_hours,
+                option=encode_option(option),
+                rtt_ms=metrics.rtt_ms,
+                loss_rate=metrics.loss_rate,
+                jitter_ms=metrics.jitter_ms,
+            )
+        )
+
+    async def request_assignment(
+        self, dst_id: int, options: list[RelayOption], t_hours: float
+    ) -> RelayOption:
+        """Ask the controller which option the next call should use."""
+        async with self._request_lock:
+            await self._send(
+                RequestMessage(
+                    src_id=self.client_id,
+                    dst_id=dst_id,
+                    t_hours=t_hours,
+                    options=[encode_option(o) for o in options],
+                )
+            )
+            reply = await self._receive()
+        if not isinstance(reply, AssignMessage):
+            raise ProtocolError(f"expected assign, got {type(reply).__name__}")
+        return decode_option(reply.option)
+
+    async def fetch_stats(self) -> StatsMessage:
+        """Query the controller's operational counters."""
+        async with self._request_lock:
+            await self._send(StatsRequestMessage())
+            reply = await self._receive()
+        if not isinstance(reply, StatsMessage):
+            raise ProtocolError(f"expected stats, got {type(reply).__name__}")
+        return reply
+
+    # ------------------------------------------------------------------
+    # Wire helpers
+    # ------------------------------------------------------------------
+
+    async def _send(self, message: Any) -> None:
+        if self._writer is None:
+            raise RuntimeError("client is not connected")
+        self._writer.write(encode_message(message))
+        await self._writer.drain()
+
+    async def _receive(self) -> Any:
+        if self._reader is None:
+            raise RuntimeError("client is not connected")
+        line = await self._reader.readline()
+        if not line:
+            raise ConnectionError("controller closed the connection")
+        return decode_message(line)

@@ -1,0 +1,175 @@
+"""The VIA controller as a real asyncio TCP service.
+
+Wraps a :class:`~repro.core.policy.ViaPolicy` behind the wire protocol:
+clients push per-call measurements (stage 1 of Figure 10) and query for
+relay assignments (stage 4).  One controller serves many concurrent
+clients; all policy state lives in-process, exactly like the paper's
+central controller on Azure.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+from typing import Any
+
+from repro.core.policy import ViaConfig, ViaPolicy
+from repro.deployment.protocol import (
+    AssignMessage,
+    ByeMessage,
+    HelloMessage,
+    MeasurementMessage,
+    ProtocolError,
+    RequestMessage,
+    StatsMessage,
+    StatsRequestMessage,
+    decode_message,
+    decode_option,
+    encode_message,
+    encode_option,
+)
+from repro.telephony.call import Call
+
+__all__ = ["ViaController"]
+
+logger = logging.getLogger(__name__)
+
+
+class ViaController:
+    """Asyncio server running the relay-selection policy.
+
+    Use as an async context manager::
+
+        async with ViaController(config) as controller:
+            ...  # connect clients to controller.port
+
+    ``client_sites`` (filled by hello messages) map client ids to site
+    labels, used only for logging and for the Call records' country field.
+    """
+
+    def __init__(
+        self,
+        policy_config: ViaConfig | None = None,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.policy = ViaPolicy(policy_config or ViaConfig(), name="controller")
+        self.host = host
+        self._requested_port = port
+        self._server: asyncio.Server | None = None
+        self.client_sites: dict[int, str] = {}
+        self.n_measurements = 0
+        self.n_requests = 0
+        self._call_counter = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        if self._server is not None:
+            raise RuntimeError("controller already started")
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.host, port=self._requested_port
+        )
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def __aenter__(self) -> "ViaController":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.stop()
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (after :meth:`start`)."""
+        if self._server is None:
+            raise RuntimeError("controller not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        peer = writer.get_extra_info("peername")
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    message = decode_message(line)
+                except ProtocolError as exc:
+                    logger.warning("dropping bad message from %s: %s", peer, exc)
+                    continue
+                if isinstance(message, HelloMessage):
+                    self.client_sites[message.client_id] = message.site
+                elif isinstance(message, MeasurementMessage):
+                    self._on_measurement(message)
+                elif isinstance(message, RequestMessage):
+                    reply = self._on_request(message)
+                    writer.write(encode_message(reply))
+                    await writer.drain()
+                elif isinstance(message, StatsRequestMessage):
+                    writer.write(encode_message(self._stats()))
+                    await writer.drain()
+                elif isinstance(message, ByeMessage):
+                    break
+                else:  # AssignMessage arriving at the server is a client bug
+                    logger.warning("unexpected %s from %s", type(message).__name__, peer)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - teardown race
+                pass
+
+    # ------------------------------------------------------------------
+    # Policy bridging
+    # ------------------------------------------------------------------
+
+    def _call_from(self, src_id: int, dst_id: int, t_hours: float) -> Call:
+        """A minimal Call record: client ids play the role of AS numbers."""
+        self._call_counter += 1
+        return Call(
+            call_id=self._call_counter,
+            t_hours=t_hours,
+            src_asn=src_id,
+            dst_asn=dst_id,
+            src_country=self.client_sites.get(src_id, "?"),
+            dst_country=self.client_sites.get(dst_id, "?"),
+            src_user=src_id,
+            dst_user=dst_id,
+        )
+
+    def _on_measurement(self, message: MeasurementMessage) -> None:
+        self.n_measurements += 1
+        call = self._call_from(message.src_id, message.dst_id, message.t_hours)
+        self.policy.observe(call, decode_option(message.option), message.metrics())
+
+    def _on_request(self, message: RequestMessage) -> AssignMessage:
+        self.n_requests += 1
+        call = self._call_from(message.src_id, message.dst_id, message.t_hours)
+        options = [decode_option(o) for o in message.options]
+        choice = self.policy.assign(call, options)
+        return AssignMessage(option=encode_option(choice))
+
+    def _stats(self) -> StatsMessage:
+        """Operator-facing counters (the §7 scalability discussion's
+        observables: per-call control load and client population)."""
+        return StatsMessage(
+            n_measurements=self.n_measurements,
+            n_requests=self.n_requests,
+            n_clients=len(self.client_sites),
+            n_refreshes=self.policy.n_refreshes,
+        )

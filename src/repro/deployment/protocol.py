@@ -1,0 +1,184 @@
+"""JSON-lines wire protocol between instrumented clients and the controller.
+
+One JSON object per line (newline-delimited), UTF-8.  Four client->server
+messages (hello, measurement, request, bye) and one server->client reply
+(assign).  The paper notes the per-call overhead is exactly this: "one
+measurement update and one control message exchange per call" (§7).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Any, Union
+
+from repro.netmodel.metrics import PathMetrics
+from repro.netmodel.options import OptionKind, RelayOption
+
+__all__ = [
+    "HelloMessage",
+    "MeasurementMessage",
+    "RequestMessage",
+    "AssignMessage",
+    "StatsRequestMessage",
+    "StatsMessage",
+    "ByeMessage",
+    "Message",
+    "encode_message",
+    "decode_message",
+    "encode_option",
+    "decode_option",
+    "ProtocolError",
+]
+
+MAX_LINE_BYTES = 64 * 1024
+
+
+class ProtocolError(ValueError):
+    """Raised on malformed or unknown wire messages."""
+
+
+def encode_option(option: RelayOption) -> dict[str, Any]:
+    """Wire form of a relaying option."""
+    return {"kind": option.kind.value, "ingress": option.ingress, "egress": option.egress}
+
+
+def decode_option(data: dict[str, Any]) -> RelayOption:
+    """Parse the wire form back into a :class:`RelayOption`."""
+    try:
+        kind = OptionKind(data["kind"])
+        return RelayOption(kind=kind, ingress=data.get("ingress"), egress=data.get("egress"))
+    except (KeyError, ValueError, TypeError) as exc:
+        raise ProtocolError(f"bad option payload: {data!r}") from exc
+
+
+@dataclass(frozen=True, slots=True)
+class HelloMessage:
+    """Client introduction: who and where."""
+
+    client_id: int
+    site: str
+
+    type: str = "hello"
+
+
+@dataclass(frozen=True, slots=True)
+class MeasurementMessage:
+    """One completed call's measured network metrics."""
+
+    src_id: int
+    dst_id: int
+    t_hours: float
+    option: dict[str, Any]
+    rtt_ms: float
+    loss_rate: float
+    jitter_ms: float
+
+    type: str = "measurement"
+
+    def metrics(self) -> PathMetrics:
+        return PathMetrics(
+            rtt_ms=self.rtt_ms, loss_rate=self.loss_rate, jitter_ms=self.jitter_ms
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class RequestMessage:
+    """Pre-call relay query: which option should this call use?"""
+
+    src_id: int
+    dst_id: int
+    t_hours: float
+    options: list[dict[str, Any]]
+
+    type: str = "request"
+
+
+@dataclass(frozen=True, slots=True)
+class AssignMessage:
+    """Controller's reply to a request."""
+
+    option: dict[str, Any]
+
+    type: str = "assign"
+
+
+@dataclass(frozen=True, slots=True)
+class StatsRequestMessage:
+    """Operator query: ask the controller for its counters."""
+
+    type: str = "stats_request"
+
+
+@dataclass(frozen=True, slots=True)
+class StatsMessage:
+    """Controller counters (measurements, requests, clients, refreshes)."""
+
+    n_measurements: int
+    n_requests: int
+    n_clients: int
+    n_refreshes: int
+
+    type: str = "stats"
+
+
+@dataclass(frozen=True, slots=True)
+class ByeMessage:
+    """Client sign-off; the controller closes the connection."""
+
+    client_id: int
+
+    type: str = "bye"
+
+
+Message = Union[
+    HelloMessage,
+    MeasurementMessage,
+    RequestMessage,
+    AssignMessage,
+    StatsRequestMessage,
+    StatsMessage,
+    ByeMessage,
+]
+
+_MESSAGE_TYPES: dict[str, type] = {
+    "hello": HelloMessage,
+    "measurement": MeasurementMessage,
+    "request": RequestMessage,
+    "assign": AssignMessage,
+    "stats_request": StatsRequestMessage,
+    "stats": StatsMessage,
+    "bye": ByeMessage,
+}
+
+
+def encode_message(message: Message) -> bytes:
+    """Serialise a message to one newline-terminated JSON line."""
+    payload = asdict(message)
+    line = json.dumps(payload, separators=(",", ":")) + "\n"
+    encoded = line.encode("utf-8")
+    if len(encoded) > MAX_LINE_BYTES:
+        raise ProtocolError(f"message exceeds {MAX_LINE_BYTES} bytes")
+    return encoded
+
+
+def decode_message(line: bytes | str) -> Message:
+    """Parse one wire line into its message dataclass."""
+    if isinstance(line, bytes):
+        if len(line) > MAX_LINE_BYTES:
+            raise ProtocolError(f"line exceeds {MAX_LINE_BYTES} bytes")
+        line = line.decode("utf-8", errors="strict")
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"not valid JSON: {line[:80]!r}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError(f"expected a JSON object: {line[:80]!r}")
+    msg_type = payload.pop("type", None)
+    cls = _MESSAGE_TYPES.get(msg_type)
+    if cls is None:
+        raise ProtocolError(f"unknown message type: {msg_type!r}")
+    try:
+        return cls(**payload)
+    except TypeError as exc:
+        raise ProtocolError(f"bad fields for {msg_type!r}: {exc}") from exc

@@ -1,0 +1,71 @@
+"""Synthetic Internet substrate for the VIA reproduction.
+
+The paper's evaluation is driven by a proprietary trace of 430M Skype calls.
+This package builds the substitute: a generative model of the Internet as
+seen by a VoIP service -- countries, autonomous systems, clients, datacenter
+relays, and per-segment network performance processes with realistic spatial
+skew and day-scale temporal dynamics.
+
+The central entry point is :class:`repro.netmodel.world.World`, which can
+
+* enumerate relaying options for any AS pair (direct / bounce / transit),
+* report the ground-truth mean performance of any option on any day
+  (used by the oracle baseline), and
+* draw per-call metric samples for any option at any time (used by the
+  replay simulator, per the sampling semantics of Section 5.1 of the paper).
+"""
+
+from repro.netmodel.geo import GeoPoint, haversine_km, propagation_rtt_ms
+from repro.netmodel.metrics import PathMetrics, Metric, METRICS
+from repro.netmodel.options import RelayOption, OptionKind
+from repro.netmodel.topology import (
+    AutonomousSystem,
+    Country,
+    RelayNode,
+    Topology,
+    TopologyConfig,
+    build_topology,
+)
+from repro.netmodel.dynamics import RegimeProcess, RegimeConfig, diurnal_factor
+from repro.netmodel.graph import backbone_graph, best_multihop_route, overlay_graph
+from repro.netmodel.segments import NoiseConfig, SegmentModel, heavy_tailed_inflation
+from repro.netmodel.world import (
+    OptionFilteredWorld,
+    World,
+    WorldConfig,
+    build_world,
+    restrict_relays,
+    without_transit,
+)
+
+__all__ = [
+    "GeoPoint",
+    "haversine_km",
+    "propagation_rtt_ms",
+    "PathMetrics",
+    "Metric",
+    "METRICS",
+    "RelayOption",
+    "OptionKind",
+    "AutonomousSystem",
+    "Country",
+    "RelayNode",
+    "Topology",
+    "TopologyConfig",
+    "build_topology",
+    "RegimeProcess",
+    "RegimeConfig",
+    "diurnal_factor",
+    "NoiseConfig",
+    "backbone_graph",
+    "overlay_graph",
+    "best_multihop_route",
+    "SegmentModel",
+    "heavy_tailed_inflation",
+    "World",
+    "WorldConfig",
+    "OptionFilteredWorld",
+    "restrict_relays",
+    "without_transit",
+    "build_world",
+]

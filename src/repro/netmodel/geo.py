@@ -1,0 +1,67 @@
+"""Geographic primitives: coordinates, great-circle distance, propagation delay.
+
+Network round-trip time in the synthetic world is anchored to physics: the
+floor for any path is the great-circle propagation delay of light in fiber.
+Everything else (BGP path inflation, queueing, access links) is layered on
+top of this floor by :mod:`repro.netmodel.segments`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "EARTH_RADIUS_KM",
+    "FIBER_KM_PER_MS",
+    "GeoPoint",
+    "haversine_km",
+    "propagation_rtt_ms",
+]
+
+EARTH_RADIUS_KM = 6371.0
+
+#: Speed of light in fiber is ~2/3 of c: about 200 km per millisecond
+#: (one way).  Used to convert great-circle distance into a lower bound
+#: on round-trip time.
+FIBER_KM_PER_MS = 200.0
+
+
+@dataclass(frozen=True, slots=True)
+class GeoPoint:
+    """A point on the Earth's surface in decimal degrees."""
+
+    lat: float
+    lon: float
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.lat <= 90.0:
+            raise ValueError(f"latitude out of range: {self.lat}")
+        if not -180.0 <= self.lon <= 180.0:
+            raise ValueError(f"longitude out of range: {self.lon}")
+
+    def distance_km(self, other: "GeoPoint") -> float:
+        """Great-circle distance to ``other`` in kilometres."""
+        return haversine_km(self, other)
+
+
+def haversine_km(a: GeoPoint, b: GeoPoint) -> float:
+    """Great-circle distance between two points, in kilometres."""
+    lat1, lon1 = math.radians(a.lat), math.radians(a.lon)
+    lat2, lon2 = math.radians(b.lat), math.radians(b.lon)
+    dlat = lat2 - lat1
+    dlon = lon2 - lon1
+    h = math.sin(dlat / 2.0) ** 2 + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2.0) ** 2
+    # Clamp to guard against floating-point drift pushing h just above 1.
+    h = min(1.0, max(0.0, h))
+    return 2.0 * EARTH_RADIUS_KM * math.asin(math.sqrt(h))
+
+
+def propagation_rtt_ms(a: GeoPoint, b: GeoPoint) -> float:
+    """Physical round-trip propagation delay between two points in ms.
+
+    This is the *floor*: a perfectly straight fiber run with no queueing.
+    Real paths are longer by an inflation factor modelled per segment.
+    """
+    one_way_ms = haversine_km(a, b) / FIBER_KM_PER_MS
+    return 2.0 * one_way_ms

@@ -1,0 +1,98 @@
+"""Relaying options: the action space of the relay-selection problem.
+
+A call between a caller and a callee can take one of three kinds of path
+(Figure 7 of the paper):
+
+* ``DIRECT`` -- the default BGP-derived Internet path,
+* ``BOUNCE`` -- caller -> relay -> callee, "bouncing off" one datacenter,
+* ``TRANSIT`` -- caller -> ingress relay -> (private backbone) -> egress
+  relay -> callee.
+
+:class:`RelayOption` instances are hashable value objects used as dictionary
+keys throughout the history store, predictor and bandit.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["OptionKind", "RelayOption", "DIRECT"]
+
+
+class OptionKind(enum.Enum):
+    """The three path kinds available to a call."""
+
+    DIRECT = "direct"
+    BOUNCE = "bounce"
+    TRANSIT = "transit"
+
+
+@dataclass(frozen=True, slots=True)
+class RelayOption:
+    """One relaying option.
+
+    ``ingress`` / ``egress`` are relay identifiers (integers assigned by the
+    topology).  For ``DIRECT`` both are ``None``; for ``BOUNCE`` they are
+    equal; for ``TRANSIT`` they differ.
+    """
+
+    kind: OptionKind
+    ingress: int | None = None
+    egress: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind is OptionKind.DIRECT:
+            if self.ingress is not None or self.egress is not None:
+                raise ValueError("DIRECT options carry no relay identifiers")
+        elif self.kind is OptionKind.BOUNCE:
+            if self.ingress is None or self.ingress != self.egress:
+                raise ValueError("BOUNCE options need ingress == egress relay id")
+        elif self.kind is OptionKind.TRANSIT:
+            if self.ingress is None or self.egress is None or self.ingress == self.egress:
+                raise ValueError("TRANSIT options need two distinct relay ids")
+
+    @staticmethod
+    def direct() -> "RelayOption":
+        return DIRECT
+
+    @staticmethod
+    def bounce(relay_id: int) -> "RelayOption":
+        return RelayOption(OptionKind.BOUNCE, ingress=relay_id, egress=relay_id)
+
+    @staticmethod
+    def transit(ingress: int, egress: int) -> "RelayOption":
+        return RelayOption(OptionKind.TRANSIT, ingress=ingress, egress=egress)
+
+    @property
+    def is_relayed(self) -> bool:
+        """True for bounce and transit options (anything using the overlay)."""
+        return self.kind is not OptionKind.DIRECT
+
+    def relay_ids(self) -> tuple[int, ...]:
+        """The distinct relay ids this option uses, in path order."""
+        if self.kind is OptionKind.DIRECT:
+            return ()
+        if self.kind is OptionKind.BOUNCE:
+            assert self.ingress is not None
+            return (self.ingress,)
+        assert self.ingress is not None and self.egress is not None
+        return (self.ingress, self.egress)
+
+    def reversed(self) -> "RelayOption":
+        """The same option seen from the callee's side (transit swaps ends)."""
+        if self.kind is OptionKind.TRANSIT:
+            assert self.ingress is not None and self.egress is not None
+            return RelayOption.transit(self.egress, self.ingress)
+        return self
+
+    def __str__(self) -> str:
+        if self.kind is OptionKind.DIRECT:
+            return "direct"
+        if self.kind is OptionKind.BOUNCE:
+            return f"bounce({self.ingress})"
+        return f"transit({self.ingress}->{self.egress})"
+
+
+#: The singleton default-path option.
+DIRECT = RelayOption(OptionKind.DIRECT)

@@ -1,0 +1,281 @@
+"""Topology generation: countries, autonomous systems, clients and relays.
+
+The synthetic topology mirrors the population the paper studies:
+
+* ~126 countries in the Skype trace; we ship 40 real countries with real
+  coordinates and skewed call-volume weights (configurable subset),
+* ~1.9K ASes; each country hosts several eyeball ASes with heterogeneous
+  access quality (some wired-dominant, some wireless-heavy),
+* tens of relay sites at real datacenter metros, all inside one provider AS
+  and interconnected by a private backbone (as with Skype's relays).
+
+The topology is *static*; time-varying behaviour lives in
+:mod:`repro.netmodel.dynamics` and :mod:`repro.netmodel.segments`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.netmodel.geo import GeoPoint
+
+__all__ = [
+    "Country",
+    "AutonomousSystem",
+    "RelayNode",
+    "TopologyConfig",
+    "Topology",
+    "build_topology",
+    "COUNTRY_CATALOG",
+    "RELAY_SITE_CATALOG",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Country:
+    """A country with a representative population-centre coordinate.
+
+    ``call_weight`` skews how much call volume originates here;
+    ``infra_quality`` in ``(0, 1]`` scales how good domestic networks are
+    (1.0 = best).  Low-quality countries get higher BGP inflation, more
+    loss, and more wireless clients -- the populations where the paper
+    finds PNR up to 70%.
+    """
+
+    code: str
+    name: str
+    location: GeoPoint
+    call_weight: float
+    infra_quality: float
+
+
+@dataclass(frozen=True, slots=True)
+class AutonomousSystem:
+    """An eyeball AS: the unit at which VIA makes relaying decisions."""
+
+    asn: int
+    country: str
+    location: GeoPoint
+    #: Fraction of this AS's clients on a wireless last hop.
+    wireless_fraction: float
+    #: Last-mile quality multiplier in (0, 1]; lower = worse access network.
+    access_quality: float
+    #: Number of /24-like prefixes (used for sub-AS granularity studies).
+    n_prefixes: int
+
+
+@dataclass(frozen=True, slots=True)
+class RelayNode:
+    """A managed relay hosted in a datacenter metro."""
+
+    relay_id: int
+    site: str
+    location: GeoPoint
+
+
+# (code, name, lat, lon, call_weight, infra_quality)
+# Call weights are heavy-tailed; infra quality loosely tracks typical
+# fixed-broadband health so that by-country PNR comes out skewed (Fig 4b).
+COUNTRY_CATALOG: tuple[tuple[str, str, float, float, float, float], ...] = (
+    ("US", "United States", 39.8, -98.6, 10.0, 0.92),
+    ("IN", "India", 22.0, 79.0, 9.0, 0.55),
+    ("GB", "United Kingdom", 52.5, -1.5, 4.5, 0.93),
+    ("DE", "Germany", 51.0, 10.0, 4.0, 0.94),
+    ("BR", "Brazil", -10.0, -52.0, 4.0, 0.60),
+    ("RU", "Russia", 56.0, 38.0, 3.5, 0.68),
+    ("CN", "China", 33.0, 109.0, 3.5, 0.70),
+    ("FR", "France", 46.5, 2.5, 3.0, 0.93),
+    ("PH", "Philippines", 13.0, 122.0, 3.0, 0.45),
+    ("MX", "Mexico", 23.5, -102.0, 2.8, 0.58),
+    ("ID", "Indonesia", -2.0, 118.0, 2.8, 0.48),
+    ("PK", "Pakistan", 30.0, 70.0, 2.5, 0.42),
+    ("NG", "Nigeria", 9.0, 8.0, 2.3, 0.35),
+    ("BD", "Bangladesh", 24.0, 90.0, 2.2, 0.40),
+    ("EG", "Egypt", 26.5, 30.0, 2.0, 0.50),
+    ("VN", "Vietnam", 16.0, 107.5, 2.0, 0.52),
+    ("TR", "Turkey", 39.0, 35.0, 2.0, 0.62),
+    ("IT", "Italy", 42.5, 12.5, 2.0, 0.88),
+    ("ES", "Spain", 40.0, -3.5, 2.0, 0.90),
+    ("CA", "Canada", 56.0, -106.0, 1.8, 0.92),
+    ("AU", "Australia", -25.0, 134.0, 1.8, 0.88),
+    ("PL", "Poland", 52.0, 19.5, 1.7, 0.85),
+    ("UA", "Ukraine", 49.0, 32.0, 1.6, 0.66),
+    ("SA", "Saudi Arabia", 24.0, 45.0, 1.5, 0.64),
+    ("AE", "UAE", 24.0, 54.0, 1.5, 0.75),
+    ("KE", "Kenya", 0.5, 38.0, 1.3, 0.38),
+    ("ZA", "South Africa", -29.0, 25.0, 1.3, 0.55),
+    ("AR", "Argentina", -34.0, -64.0, 1.3, 0.62),
+    ("CO", "Colombia", 4.0, -73.0, 1.2, 0.55),
+    ("TH", "Thailand", 15.5, 101.0, 1.2, 0.60),
+    ("JP", "Japan", 36.0, 138.0, 1.2, 0.95),
+    ("KR", "South Korea", 36.5, 128.0, 1.0, 0.96),
+    ("NL", "Netherlands", 52.2, 5.3, 1.0, 0.96),
+    ("SE", "Sweden", 62.0, 15.0, 0.9, 0.95),
+    ("SG", "Singapore", 1.35, 103.8, 0.9, 0.95),
+    ("LK", "Sri Lanka", 7.5, 80.5, 0.8, 0.45),
+    ("MA", "Morocco", 32.0, -6.0, 0.8, 0.48),
+    ("PE", "Peru", -10.0, -76.0, 0.7, 0.50),
+    ("RO", "Romania", 46.0, 25.0, 0.7, 0.80),
+    ("ET", "Ethiopia", 9.0, 39.5, 0.6, 0.30),
+)
+
+# Datacenter metros hosting managed relays (site, lat, lon), modelled on
+# the footprint of a large cloud provider.
+RELAY_SITE_CATALOG: tuple[tuple[str, float, float], ...] = (
+    ("us-east", 38.9, -77.0),
+    ("us-west", 37.4, -122.1),
+    ("us-central", 41.9, -93.6),
+    ("brazil-south", -23.5, -46.6),
+    ("europe-west", 52.4, 4.9),
+    ("europe-north", 53.3, -6.3),
+    ("uk-south", 51.5, -0.1),
+    ("france-central", 48.9, 2.4),
+    ("germany-central", 50.1, 8.7),
+    ("uae-north", 25.3, 55.3),
+    ("india-west", 19.1, 72.9),
+    ("india-south", 13.1, 80.3),
+    ("southeastasia", 1.35, 103.8),
+    ("eastasia", 22.3, 114.2),
+    ("japan-east", 35.7, 139.7),
+    ("korea-central", 37.6, 127.0),
+    ("australia-east", -33.9, 151.2),
+    ("southafrica-north", -26.2, 28.0),
+    ("canada-central", 43.7, -79.4),
+    ("chile-central", -33.5, -70.7),
+)
+
+
+@dataclass(frozen=True, slots=True)
+class TopologyConfig:
+    """Knobs controlling topology size.
+
+    The defaults give a medium world suitable for benchmarks; tests use
+    much smaller values.
+    """
+
+    n_countries: int = 40
+    #: Mean number of eyeball ASes per country (scaled by call weight).
+    ases_per_country: float = 4.0
+    n_relays: int = 20
+    #: Mean number of /24-like prefixes per AS.
+    prefixes_per_as: float = 6.0
+    seed: int = 20160822  # SIGCOMM'16 started August 22, 2016.
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.n_countries <= len(COUNTRY_CATALOG):
+            raise ValueError(
+                f"n_countries must be in [1, {len(COUNTRY_CATALOG)}]: {self.n_countries}"
+            )
+        if not 1 <= self.n_relays <= len(RELAY_SITE_CATALOG):
+            raise ValueError(f"n_relays must be in [1, {len(RELAY_SITE_CATALOG)}]: {self.n_relays}")
+        if self.ases_per_country < 1.0:
+            raise ValueError("ases_per_country must be >= 1")
+        if self.prefixes_per_as < 1.0:
+            raise ValueError("prefixes_per_as must be >= 1")
+
+
+@dataclass(slots=True)
+class Topology:
+    """The static entities of the synthetic world."""
+
+    config: TopologyConfig
+    countries: dict[str, Country]
+    ases: dict[int, AutonomousSystem]
+    relays: dict[int, RelayNode]
+    #: ASNs grouped by country code, in insertion order.
+    country_ases: dict[str, list[int]] = field(default_factory=dict)
+
+    def as_of(self, asn: int) -> AutonomousSystem:
+        return self.ases[asn]
+
+    def relay_of(self, relay_id: int) -> RelayNode:
+        return self.relays[relay_id]
+
+    def country_of_as(self, asn: int) -> str:
+        return self.ases[asn].country
+
+    def is_international(self, src_asn: int, dst_asn: int) -> bool:
+        return self.ases[src_asn].country != self.ases[dst_asn].country
+
+    def nearest_relays(self, location: GeoPoint, n: int) -> list[int]:
+        """Relay ids sorted by great-circle distance from ``location``."""
+        ranked = sorted(
+            self.relays.values(), key=lambda r: location.distance_km(r.location)
+        )
+        return [r.relay_id for r in ranked[:n]]
+
+    @property
+    def asns(self) -> list[int]:
+        return list(self.ases)
+
+    @property
+    def relay_ids(self) -> list[int]:
+        return list(self.relays)
+
+
+def build_topology(config: TopologyConfig | None = None) -> Topology:
+    """Build a deterministic topology from ``config``.
+
+    Countries are taken in catalog order (largest call weights first), so a
+    small ``n_countries`` still yields a geographically diverse world.  AS
+    locations scatter around their country's centre; access quality mixes
+    the country's infrastructure score with per-AS variation so that even
+    good countries contain some weak ISPs (and vice versa).
+    """
+    config = config or TopologyConfig()
+    rng = np.random.default_rng(config.seed)
+
+    countries: dict[str, Country] = {}
+    for code, name, lat, lon, weight, quality in COUNTRY_CATALOG[: config.n_countries]:
+        countries[code] = Country(
+            code=code,
+            name=name,
+            location=GeoPoint(lat, lon),
+            call_weight=weight,
+            infra_quality=quality,
+        )
+
+    ases: dict[int, AutonomousSystem] = {}
+    country_ases: dict[str, list[int]] = {code: [] for code in countries}
+    next_asn = 1000
+    for country in countries.values():
+        # Bigger markets host more ISPs.
+        mean_ases = config.ases_per_country * (0.5 + 0.5 * country.call_weight / 10.0)
+        n_ases = max(1, int(rng.poisson(mean_ases)))
+        for _ in range(n_ases):
+            lat = float(np.clip(country.location.lat + rng.normal(0.0, 3.0), -89.0, 89.0))
+            lon = float(np.clip(country.location.lon + rng.normal(0.0, 3.0), -179.0, 179.0))
+            # Per-AS quality: beta noise around the country score.
+            access_quality = float(
+                np.clip(country.infra_quality * rng.beta(8.0, 2.0) / 0.8, 0.1, 1.0)
+            )
+            # Wireless share is high overall (83% of calls in the paper) and
+            # higher in low-infrastructure countries.
+            wireless_fraction = float(
+                np.clip(rng.beta(5.0, 3.0) * (1.1 - 0.35 * country.infra_quality), 0.1, 0.95)
+            )
+            n_prefixes = max(1, int(rng.poisson(config.prefixes_per_as)))
+            ases[next_asn] = AutonomousSystem(
+                asn=next_asn,
+                country=country.code,
+                location=GeoPoint(lat, lon),
+                wireless_fraction=wireless_fraction,
+                access_quality=access_quality,
+                n_prefixes=n_prefixes,
+            )
+            country_ases[country.code].append(next_asn)
+            next_asn += 1
+
+    relays: dict[int, RelayNode] = {}
+    for relay_id, (site, lat, lon) in enumerate(RELAY_SITE_CATALOG[: config.n_relays]):
+        relays[relay_id] = RelayNode(relay_id=relay_id, site=site, location=GeoPoint(lat, lon))
+
+    return Topology(
+        config=config,
+        countries=countries,
+        ases=ases,
+        relays=relays,
+        country_ases=country_ases,
+    )

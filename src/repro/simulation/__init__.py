@@ -1,0 +1,28 @@
+"""Trace replay: the §5.1 evaluation methodology.
+
+Calls are replayed chronologically; each policy assigns a relaying option
+per call and the world draws the realised performance from the (pair,
+option, 24-hour window) ground-truth distribution.  Policies learn only
+from the outcomes of the calls they assigned.
+"""
+
+from repro.simulation.replay import ReplayResult, replay
+from repro.simulation.experiment import (
+    ExperimentPlan,
+    dense_pairs,
+    evaluation_slice,
+    make_inter_relay_lookup,
+    run_policies,
+    standard_policies,
+)
+
+__all__ = [
+    "ReplayResult",
+    "replay",
+    "ExperimentPlan",
+    "dense_pairs",
+    "evaluation_slice",
+    "make_inter_relay_lookup",
+    "run_policies",
+    "standard_policies",
+]

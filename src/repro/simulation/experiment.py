@@ -1,0 +1,159 @@
+"""Experiment orchestration: build policy suites, replay, slice for eval.
+
+Provides the pieces every benchmark shares:
+
+* :func:`standard_policies` -- the §5.2 strategy suite (default, oracle,
+  Strawman I, Strawman II, VIA) for one metric,
+* :func:`run_policies` -- replay each policy over the same trace,
+* :func:`dense_pairs` / :func:`evaluation_slice` -- the §5.1 density
+  filter (the paper keeps AS pairs with enough calls over enough options)
+  and warm-up trimming, so PNR is computed on comparable populations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.baselines import (
+    DefaultPolicy,
+    OraclePolicy,
+    make_strawman_exploration,
+    make_strawman_prediction,
+    make_via,
+)
+from repro.core.policy import SelectionPolicy
+from repro.core.tomography import InterRelayLookup
+from repro.netmodel.metrics import PathMetrics
+from repro.netmodel.world import World
+from repro.simulation.replay import ReplayResult, replay
+from repro.telephony.call import CallOutcome
+from repro.telephony.quality import QualityModel
+from repro.workload.trace import TraceDataset
+
+__all__ = [
+    "ExperimentPlan",
+    "make_inter_relay_lookup",
+    "standard_policies",
+    "run_policies",
+    "dense_pairs",
+    "evaluation_slice",
+]
+
+
+def make_inter_relay_lookup(world: World) -> InterRelayLookup:
+    """The provider's knowledge of its own backbone (§4.4).
+
+    The paper had Skype's measured RTT/loss/jitter between relay nodes; we
+    expose the backbone segments' base performance, which the stable
+    private-WAN regime keeps accurate.
+    """
+
+    def lookup(r1: int, r2: int) -> PathMetrics:
+        return world.inter_segment(r1, r2).base
+
+    return lookup
+
+
+def standard_policies(
+    world: World,
+    metric: str,
+    *,
+    seed: int = 42,
+    include_strawmen: bool = True,
+) -> dict[str, SelectionPolicy]:
+    """The strategy suite Figure 12 compares, keyed by short name."""
+    inter_relay = make_inter_relay_lookup(world)
+    policies: dict[str, SelectionPolicy] = {
+        "default": DefaultPolicy(),
+        "oracle": OraclePolicy(world, metric),
+        "via": make_via(metric, inter_relay=inter_relay, seed=seed),
+    }
+    if include_strawmen:
+        policies["strawman-prediction"] = make_strawman_prediction(
+            metric, inter_relay=inter_relay, seed=seed + 1
+        )
+        policies["strawman-exploration"] = make_strawman_exploration(
+            metric, seed=seed + 2
+        )
+    return policies
+
+
+def run_policies(
+    world: World,
+    trace: TraceDataset,
+    policies: dict[str, SelectionPolicy],
+    *,
+    seed: int = 0,
+    quality: QualityModel | None = None,
+) -> dict[str, ReplayResult]:
+    """Replay the same trace through each policy with a shared noise seed."""
+    return {
+        name: replay(world, trace, policy, seed=seed, quality=quality)
+        for name, policy in policies.items()
+    }
+
+
+def dense_pairs(trace: TraceDataset, min_calls: int = 50) -> set[tuple[int, int]]:
+    """AS pairs with enough call volume for statistically meaningful PNR.
+
+    The §5.1 analogue of the paper's ">= 10 calls on >= 5 relay options
+    per window" filter, expressed as a total-volume floor.
+    """
+    if min_calls < 1:
+        raise ValueError("min_calls must be >= 1")
+    return {pair for pair, count in trace.pair_counts().items() if count >= min_calls}
+
+
+def evaluation_slice(
+    outcomes: list[CallOutcome],
+    *,
+    warmup_days: int = 0,
+    pairs: set[tuple[int, int]] | None = None,
+) -> list[CallOutcome]:
+    """Outcomes used for scoring: after warm-up, dense pairs only."""
+    cutoff_hours = warmup_days * 24.0
+    kept = []
+    for outcome in outcomes:
+        call = outcome.call
+        if call.t_hours < cutoff_hours:
+            continue
+        if pairs is not None and call.as_pair not in pairs:
+            continue
+        kept.append(outcome)
+    return kept
+
+
+@dataclass(slots=True)
+class ExperimentPlan:
+    """A reusable bundle: world + trace + evaluation filters.
+
+    Benches construct one plan and run many policy suites against it;
+    ``evaluate`` applies the same slice to every result so comparisons are
+    apples-to-apples.
+    """
+
+    world: World
+    trace: TraceDataset
+    warmup_days: int = 2
+    min_pair_calls: int = 50
+    _dense: set[tuple[int, int]] | None = field(default=None, repr=False)
+
+    @property
+    def dense(self) -> set[tuple[int, int]]:
+        if self._dense is None:
+            self._dense = dense_pairs(self.trace, self.min_pair_calls)
+        return self._dense
+
+    def evaluate(self, result: ReplayResult) -> list[CallOutcome]:
+        return evaluation_slice(
+            result.outcomes, warmup_days=self.warmup_days, pairs=self.dense
+        )
+
+    def run(
+        self,
+        policies: dict[str, SelectionPolicy],
+        *,
+        seed: int = 0,
+        quality: QualityModel | None = None,
+    ) -> dict[str, ReplayResult]:
+        return run_policies(self.world, self.trace, policies, seed=seed, quality=quality)

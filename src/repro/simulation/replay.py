@@ -1,0 +1,158 @@
+"""Chronological trace replay against one policy.
+
+Implements the simulation semantics of §5.1: calls are replayed in trace
+order; when a policy assigns call *c* to option *r*, its realised
+performance is a fresh draw from the ground-truth distribution of
+(*c*'s pair, *r*, *c*'s day) -- equivalent to sampling a random call from
+the same pair/option/window.  The policy then observes that outcome, so it
+"gains knowledge as it goes along".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from typing import TYPE_CHECKING
+
+from repro.core.policy import SelectionPolicy
+from repro.netmodel.world import World
+from repro.telephony.call import CallOutcome
+from repro.telephony.quality import QualityModel
+from repro.workload.trace import TraceDataset
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import cycle guard
+    from repro.core.probing import ActiveProber
+
+__all__ = ["ReplayResult", "replay"]
+
+
+@dataclass(slots=True)
+class ReplayResult:
+    """Outcomes of one (policy, trace) replay plus bookkeeping."""
+
+    policy_name: str
+    outcomes: list[CallOutcome] = field(default_factory=list)
+    #: Active mock-call probes issued during the replay (§7 extension).
+    n_probes: int = 0
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def relayed_fraction(self) -> float:
+        if not self.outcomes:
+            return 0.0
+        return sum(o.option.is_relayed for o in self.outcomes) / len(self.outcomes)
+
+    def option_mix(self) -> dict[str, float]:
+        """Fraction of calls per option kind (the §5.2 relay-mix numbers)."""
+        if not self.outcomes:
+            return {}
+        counts: dict[str, int] = {}
+        for outcome in self.outcomes:
+            kind = outcome.option.kind.value
+            counts[kind] = counts.get(kind, 0) + 1
+        total = len(self.outcomes)
+        return {kind: count / total for kind, count in counts.items()}
+
+
+def replay(
+    world: World,
+    trace: TraceDataset,
+    policy: SelectionPolicy,
+    *,
+    seed: int = 0,
+    quality: QualityModel | None = None,
+    prober: "ActiveProber | None" = None,
+) -> ReplayResult:
+    """Replay ``trace`` through ``policy`` on ``world``.
+
+    ``quality`` optionally samples user ratings for a fraction of calls
+    (used by the PCR analyses); pass ``QualityModel(rating_fraction=...)``.
+    ``prober`` optionally executes active mock-call measurements between
+    real calls (the §7 extension; see :mod:`repro.core.probing`).
+
+    The outcome RNG is derived from ``seed`` only, so two policies replayed
+    with the same seed face identical noise *processes* (though different
+    assignment sequences consume draws differently).
+    """
+    rng = np.random.default_rng(seed)
+    result = ReplayResult(policy_name=policy.name)
+    outcomes = result.outcomes
+    sample_call = world.sample_call
+    options_for_pair = world.options_for_pair
+    probe_call_id = -1
+    plan_probe = getattr(policy, "plan_probe", None)
+    for call in trace:
+        options = options_for_pair(call.src_asn, call.dst_asn)
+        if call.direct_blocked:
+            # NAT/firewall pair: the default path is not establishable, so
+            # only relayed options are on the table (§2.1).
+            options = [o for o in options if o.is_relayed]
+        if plan_probe is not None:
+            plan = plan_probe(call, options)
+            if plan is not None:
+                outcomes.append(
+                    _probed_outcome(world, policy, call, plan, rng, quality)
+                )
+                continue
+        option = policy.assign(call, options)
+        metrics = sample_call(
+            call.src_asn,
+            call.dst_asn,
+            option,
+            call.t_hours,
+            rng,
+            src_wireless=call.src_wireless,
+            dst_wireless=call.dst_wireless,
+            src_prefix=call.src_prefix,
+            dst_prefix=call.dst_prefix,
+        )
+        policy.observe(call, option, metrics)
+        rating = quality.maybe_rate(metrics, rng) if quality is not None else None
+        outcomes.append(CallOutcome(call=call, option=option, metrics=metrics, rating=rating))
+        if prober is not None:
+            for request in prober.probes_after(call):
+                src, dst, probe_option = request
+                mock = prober.make_probe_call(request, call.t_hours, probe_call_id)
+                probe_call_id -= 1
+                probe_metrics = sample_call(src, dst, probe_option, call.t_hours, rng)
+                policy.observe(mock, probe_option, probe_metrics)
+    result.n_probes = prober.n_probes_issued if prober is not None else 0
+    return result
+
+
+def _probed_outcome(world, policy, call, plan, rng, quality) -> CallOutcome:
+    """One hybrid-reactive call: probe candidates, switch to the winner.
+
+    Media rides the predicted-best candidate during the probe window; the
+    call then continues on the observed winner.  The recorded metrics are
+    the duration-weighted blend of both phases (see
+    :mod:`repro.core.hybrid`).
+    """
+    from repro.core.hybrid import blend_call_metrics
+
+    kwargs = dict(
+        src_wireless=call.src_wireless,
+        dst_wireless=call.dst_wireless,
+        src_prefix=call.src_prefix,
+        dst_prefix=call.dst_prefix,
+    )
+    samples = {
+        candidate: world.sample_call(
+            call.src_asn, call.dst_asn, candidate, call.t_hours, rng, **kwargs
+        )
+        for candidate in plan.candidates
+    }
+    final = policy.commit_probe(call, plan, samples)
+    rest = world.sample_call(
+        call.src_asn, call.dst_asn, final, call.t_hours, rng, **kwargs
+    )
+    policy.observe(call, final, rest)
+    metrics = blend_call_metrics(
+        samples[plan.primary], rest, policy.probe_weight(call)
+    )
+    rating = quality.maybe_rate(metrics, rng) if quality is not None else None
+    return CallOutcome(call=call, option=final, metrics=metrics, rating=rating)

@@ -1,0 +1,54 @@
+"""VoIP telephony substrate: calls, codecs, quality models, RTP traces.
+
+The paper links network metrics to user experience through two quality
+measures: the user-labelled *Poor Call Rate* (PCR, ratings of 1-2 on a
+5-point scale) and the *Mean Opinion Score* (MOS) computed with the
+E-model of Cole & Rosenbluth [17] / ITU-T G.107.  This package implements
+both, plus an RTP-style packet-trace simulator used to validate that
+thresholds on call-average metrics approximate packet-trace MOS (§2.2).
+"""
+
+from repro.telephony.call import Call, CallOutcome
+from repro.telephony.codec import CodecSpec, G711, G729, SILK_WB, OPUS_WB, DEFAULT_CODEC
+from repro.telephony.quality import (
+    QualityModel,
+    mos_from_network,
+    mos_from_r_factor,
+    poor_call_probability,
+    r_factor,
+    sample_rating,
+)
+from repro.telephony.rtp import (
+    GilbertElliottLoss,
+    PacketTrace,
+    rfc3550_jitter,
+    simulate_rtp_stream,
+    trace_metrics,
+    trace_mos,
+)
+from repro.telephony.sessions import call_trace_mos, trace_for_call
+
+__all__ = [
+    "Call",
+    "CallOutcome",
+    "CodecSpec",
+    "G711",
+    "G729",
+    "SILK_WB",
+    "OPUS_WB",
+    "DEFAULT_CODEC",
+    "QualityModel",
+    "r_factor",
+    "mos_from_r_factor",
+    "mos_from_network",
+    "poor_call_probability",
+    "sample_rating",
+    "GilbertElliottLoss",
+    "PacketTrace",
+    "rfc3550_jitter",
+    "simulate_rtp_stream",
+    "trace_metrics",
+    "trace_mos",
+    "trace_for_call",
+    "call_trace_mos",
+]

@@ -1,0 +1,99 @@
+"""Codec descriptions used by the quality models and the RTP simulator.
+
+Each codec carries the E-model equipment-impairment parameters
+``(ie_base, ie_gamma2, ie_gamma3)`` of the Cole-Rosenbluth fit
+``Ie = ie_base + ie_gamma2 * ln(1 + ie_gamma3 * e)`` where ``e`` is the
+effective packet-loss fraction, plus packetisation facts for the packet
+simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CodecSpec", "G711", "G729", "SILK_WB", "OPUS_WB", "DEFAULT_CODEC"]
+
+
+@dataclass(frozen=True, slots=True)
+class CodecSpec:
+    """Static properties of an audio codec as the E-model sees it."""
+
+    name: str
+    bitrate_kbps: float
+    frame_ms: float
+    #: Encoder+decoder algorithmic/lookahead delay (ms, one way).
+    codec_delay_ms: float
+    #: Equipment impairment at zero loss.
+    ie_base: float
+    #: Loss sensitivity: Ie = ie_base + ie_gamma2 * ln(1 + ie_gamma3 * e).
+    ie_gamma2: float
+    ie_gamma3: float
+
+    def __post_init__(self) -> None:
+        if self.bitrate_kbps <= 0 or self.frame_ms <= 0:
+            raise ValueError("bitrate and frame size must be positive")
+        if self.codec_delay_ms < 0:
+            raise ValueError("codec delay must be non-negative")
+
+    @property
+    def packets_per_second(self) -> float:
+        """Packet rate assuming one frame per RTP packet."""
+        return 1000.0 / self.frame_ms
+
+    def ie_at_loss(self, effective_loss: float) -> float:
+        """Equipment impairment Ie at an effective loss fraction."""
+        import math
+
+        if effective_loss < 0.0:
+            raise ValueError(f"loss must be >= 0: {effective_loss}")
+        return self.ie_base + self.ie_gamma2 * math.log1p(self.ie_gamma3 * effective_loss)
+
+
+#: G.711 with packet-loss concealment -- the Cole-Rosenbluth reference fit
+#: (Ie = 0 + 30 ln(1 + 15 e)).
+G711 = CodecSpec(
+    name="G.711+PLC",
+    bitrate_kbps=64.0,
+    frame_ms=20.0,
+    codec_delay_ms=0.25,
+    ie_base=0.0,
+    ie_gamma2=30.0,
+    ie_gamma3=15.0,
+)
+
+#: G.729a+VAD per Cole-Rosenbluth: Ie = 11 + 40 ln(1 + 10 e).
+G729 = CodecSpec(
+    name="G.729a+VAD",
+    bitrate_kbps=8.0,
+    frame_ms=20.0,
+    codec_delay_ms=25.0,
+    ie_base=11.0,
+    ie_gamma2=40.0,
+    ie_gamma3=10.0,
+)
+
+#: A SILK-like wideband codec (what Skype used): low base impairment,
+#: moderate loss robustness thanks to in-band FEC.
+SILK_WB = CodecSpec(
+    name="SILK-WB",
+    bitrate_kbps=24.0,
+    frame_ms=20.0,
+    codec_delay_ms=5.0,
+    ie_base=2.0,
+    ie_gamma2=28.0,
+    ie_gamma3=12.0,
+)
+
+#: An Opus-like wideband codec for completeness.
+OPUS_WB = CodecSpec(
+    name="Opus-WB",
+    bitrate_kbps=32.0,
+    frame_ms=20.0,
+    codec_delay_ms=6.5,
+    ie_base=1.0,
+    ie_gamma2=25.0,
+    ie_gamma3=12.0,
+)
+
+#: Default codec for all quality computations (Skype-era wideband).
+DEFAULT_CODEC = SILK_WB

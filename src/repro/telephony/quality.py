@@ -1,0 +1,169 @@
+"""Call-quality models: E-model MOS, Poor Call Rate, and rating sampling.
+
+Implements the analytic VoIP quality model of Cole & Rosenbluth, "Voice
+over IP Performance Monitoring" (CCR 2001) -- the model the paper uses in
+§2.2 -- which simplifies the ITU-T G.107 E-model to
+
+    R = 94.2 - Id(d) - Ie(e)
+    Id = 0.024 d + 0.11 (d - 177.3) H(d - 177.3)
+    Ie = gamma1 + gamma2 ln(1 + gamma3 e)
+
+with one-way delay ``d`` (ms) and effective loss ``e`` (fraction).  Jitter
+enters through the de-jitter buffer: buffered packets add delay, late
+packets beyond the buffer count as lost.
+
+On top of MOS we define the probability that a user labels a call "poor"
+(rating 1 or 2), calibrated so that the PCR-vs-metric curves look like
+Figure 1: monotone in each metric across its whole range.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.netmodel.metrics import PathMetrics
+from repro.telephony.codec import DEFAULT_CODEC, CodecSpec
+
+__all__ = [
+    "QualityModel",
+    "r_factor",
+    "mos_from_r_factor",
+    "mos_from_network",
+    "poor_call_probability",
+    "sample_rating",
+]
+
+#: Maximum R-factor in the Cole-Rosenbluth simplification (default G.107
+#: parameters with no other impairments).
+_R_MAX = 94.2
+
+#: Delay knee of the Id curve (ms, one-way mouth-to-ear).
+_DELAY_KNEE_MS = 177.3
+
+
+def _jitter_buffer_ms(jitter_ms: float, multiplier: float = 2.0, floor_ms: float = 10.0) -> float:
+    """Adaptive de-jitter buffer sizing: a multiple of observed jitter."""
+    return max(floor_ms, multiplier * jitter_ms)
+
+
+def _late_discard_fraction(jitter_ms: float, buffer_ms: float) -> float:
+    """Fraction of packets arriving beyond the de-jitter buffer.
+
+    Models inter-arrival delay variation as Laplace-like with scale equal
+    to the RFC 3550 jitter estimate, so the tail beyond the buffer decays
+    exponentially.  With the default buffer at 2x jitter this yields a few
+    permille of discards under normal jitter, ramping up sharply when
+    jitter spikes -- matching the paper's observation that jitter hurts
+    quality across its whole range.
+    """
+    if jitter_ms <= 0.0:
+        return 0.0
+    return 0.5 * math.exp(-buffer_ms / jitter_ms)
+
+
+def r_factor(
+    rtt_ms: float,
+    loss_rate: float,
+    jitter_ms: float,
+    codec: CodecSpec = DEFAULT_CODEC,
+) -> float:
+    """Transmission rating factor R for one call's average network metrics.
+
+    One-way mouth-to-ear delay = RTT/2 + codec delay + de-jitter buffer.
+    Effective loss = network loss + late discards at the jitter buffer.
+    """
+    if rtt_ms < 0 or jitter_ms < 0 or not 0.0 <= loss_rate <= 1.0:
+        raise ValueError("invalid network metrics")
+    buffer_ms = _jitter_buffer_ms(jitter_ms)
+    one_way_delay = rtt_ms / 2.0 + codec.codec_delay_ms + buffer_ms
+    id_impairment = 0.024 * one_way_delay
+    if one_way_delay > _DELAY_KNEE_MS:
+        id_impairment += 0.11 * (one_way_delay - _DELAY_KNEE_MS)
+    discard = _late_discard_fraction(jitter_ms, buffer_ms)
+    effective_loss = loss_rate + (1.0 - loss_rate) * discard
+    ie_impairment = codec.ie_at_loss(effective_loss)
+    return _R_MAX - id_impairment - ie_impairment
+
+
+def mos_from_r_factor(r: float) -> float:
+    """Map an R-factor to MOS via the standard G.107 cubic."""
+    if r <= 0.0:
+        return 1.0
+    if r >= 100.0:
+        return 4.5
+    mos = 1.0 + 0.035 * r + 7.0e-6 * r * (r - 60.0) * (100.0 - r)
+    # The cubic dips marginally below 1 for tiny positive R; clamp to the
+    # MOS scale.
+    return min(4.5, max(1.0, mos))
+
+
+def mos_from_network(metrics: PathMetrics, codec: CodecSpec = DEFAULT_CODEC) -> float:
+    """MOS for one call's average (RTT, loss, jitter)."""
+    return mos_from_r_factor(
+        r_factor(metrics.rtt_ms, metrics.loss_rate, metrics.jitter_ms, codec)
+    )
+
+
+def poor_call_probability(
+    metrics: PathMetrics,
+    codec: CodecSpec = DEFAULT_CODEC,
+    *,
+    mos_midpoint: float = 2.9,
+    mos_scale: float = 0.35,
+    baseline: float = 0.04,
+) -> float:
+    """Probability that a user rates this call 1 or 2.
+
+    A logistic link from MOS to dissatisfaction, plus a small baseline for
+    non-network causes (content, device, mood) so that even perfect
+    networks see some poor ratings -- as in any real rating dataset.
+    """
+    mos = mos_from_network(metrics, codec)
+    network_term = 1.0 / (1.0 + math.exp((mos - mos_midpoint) / mos_scale))
+    return min(1.0, baseline + (1.0 - baseline) * network_term)
+
+
+def sample_rating(
+    metrics: PathMetrics,
+    rng: np.random.Generator,
+    codec: CodecSpec = DEFAULT_CODEC,
+) -> int:
+    """Draw a 5-point user rating for one call.
+
+    Poor calls (probability from :func:`poor_call_probability`) rate 1-2;
+    the rest rate 3-5 with weights tilted by MOS.
+    """
+    p_poor = poor_call_probability(metrics, codec)
+    if rng.random() < p_poor:
+        return int(rng.choice((1, 2), p=(0.45, 0.55)))
+    mos = mos_from_network(metrics, codec)
+    # Tilt 3/4/5 towards 5 when MOS is high, towards 3 when marginal.
+    tilt = min(1.0, max(0.0, (mos - 2.5) / 2.0))
+    weights = np.array([1.0 - 0.8 * tilt, 1.0, 0.4 + 1.6 * tilt])
+    weights /= weights.sum()
+    return int(rng.choice((3, 4, 5), p=weights))
+
+
+@dataclass(frozen=True, slots=True)
+class QualityModel:
+    """Bundles a codec with the rating model; convenience for simulators."""
+
+    codec: CodecSpec = DEFAULT_CODEC
+    rating_fraction: float = 0.1
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rating_fraction <= 1.0:
+            raise ValueError(f"rating_fraction must be in [0, 1]: {self.rating_fraction}")
+
+    def mos(self, metrics: PathMetrics) -> float:
+        return mos_from_network(metrics, self.codec)
+
+    def maybe_rate(self, metrics: PathMetrics, rng: np.random.Generator) -> int | None:
+        """Rate the call with probability ``rating_fraction`` (as in Skype,
+        only a random subset of calls is rated)."""
+        if rng.random() >= self.rating_fraction:
+            return None
+        return sample_rating(metrics, rng, self.codec)

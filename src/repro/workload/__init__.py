@@ -1,0 +1,12 @@
+"""Call-trace generation: the synthetic stand-in for the Skype dataset.
+
+Produces chronologically ordered call intents with the population shapes
+Table 1 and §2.1 of the paper report: heavy-tailed per-pair volumes,
+a large international (46.6%) and inter-AS (80.7%) share, and a mostly
+wireless (83%) client base.
+"""
+
+from repro.workload.generator import WorkloadConfig, generate_trace
+from repro.workload.trace import TraceDataset, TraceSummary
+
+__all__ = ["WorkloadConfig", "generate_trace", "TraceDataset", "TraceSummary"]

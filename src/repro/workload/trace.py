@@ -1,0 +1,165 @@
+"""Trace containers: the dataset object experiments consume.
+
+A :class:`TraceDataset` is an immutable, chronologically sorted list of
+:class:`~repro.telephony.call.Call` intents plus the workload metadata.
+It knows how to summarise itself (for the Table 1 reproduction), filter,
+group by day, and round-trip through JSON lines.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Iterator
+
+from repro.telephony.call import Call
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.workload.generator import WorkloadConfig
+
+__all__ = ["TraceSummary", "TraceDataset"]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceSummary:
+    """Aggregate facts about a trace (the rows of Table 1)."""
+
+    n_calls: int
+    n_users: int
+    n_ases: int
+    n_countries: int
+    n_as_pairs: int
+    n_days: int
+    frac_international: float
+    frac_inter_as: float
+    frac_wireless: float
+
+    def rows(self) -> list[tuple[str, str]]:
+        """Render as (label, value) rows matching the paper's Table 1."""
+        return [
+            ("Days", str(self.n_days)),
+            ("Calls", f"{self.n_calls:,}"),
+            ("Users", f"{self.n_users:,}"),
+            ("ASes", f"{self.n_ases:,}"),
+            ("Countries/regions", str(self.n_countries)),
+            ("AS pairs", f"{self.n_as_pairs:,}"),
+            ("International calls", f"{100.0 * self.frac_international:.1f}%"),
+            ("Inter-AS calls", f"{100.0 * self.frac_inter_as:.1f}%"),
+            ("Wireless calls", f"{100.0 * self.frac_wireless:.1f}%"),
+        ]
+
+
+@dataclass(frozen=True)
+class TraceDataset:
+    """A chronologically sorted call trace."""
+
+    calls: list[Call]
+    n_days: int
+    config: "WorkloadConfig | None" = None
+
+    def __post_init__(self) -> None:
+        if self.n_days < 1:
+            raise ValueError("n_days must be >= 1")
+        for earlier, later in zip(self.calls, self.calls[1:]):
+            if later.t_hours < earlier.t_hours:
+                raise ValueError("trace must be chronologically sorted")
+
+    def __len__(self) -> int:
+        return len(self.calls)
+
+    def __iter__(self) -> Iterator[Call]:
+        return iter(self.calls)
+
+    @property
+    def horizon_hours(self) -> float:
+        return self.n_days * 24.0
+
+    def summary(self) -> TraceSummary:
+        users: set[int] = set()
+        ases: set[int] = set()
+        countries: set[str] = set()
+        pairs: set[tuple[int, int]] = set()
+        n_international = 0
+        n_inter_as = 0
+        n_wireless = 0
+        for call in self.calls:
+            users.add(call.src_user)
+            users.add(call.dst_user)
+            ases.add(call.src_asn)
+            ases.add(call.dst_asn)
+            countries.add(call.src_country)
+            countries.add(call.dst_country)
+            pairs.add(call.as_pair)
+            n_international += call.international
+            n_inter_as += call.inter_as
+            n_wireless += call.any_wireless
+        n = max(1, len(self.calls))
+        return TraceSummary(
+            n_calls=len(self.calls),
+            n_users=len(users),
+            n_ases=len(ases),
+            n_countries=len(countries),
+            n_as_pairs=len(pairs),
+            n_days=self.n_days,
+            frac_international=n_international / n,
+            frac_inter_as=n_inter_as / n,
+            frac_wireless=n_wireless / n,
+        )
+
+    def filter(self, predicate: Callable[[Call], bool]) -> "TraceDataset":
+        """A new dataset keeping only calls where ``predicate`` holds."""
+        return TraceDataset(
+            calls=[c for c in self.calls if predicate(c)],
+            n_days=self.n_days,
+            config=self.config,
+        )
+
+    def pair_counts(self) -> Counter[tuple[int, int]]:
+        """Calls per unordered AS pair (the skew §4.2 talks about)."""
+        return Counter(call.as_pair for call in self.calls)
+
+    def calls_on_day(self, day: int) -> list[Call]:
+        return [c for c in self.calls if c.day == day]
+
+    def split_by_day(self) -> dict[int, list[Call]]:
+        by_day: dict[int, list[Call]] = {}
+        for call in self.calls:
+            by_day.setdefault(call.day, []).append(call)
+        return by_day
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def save_jsonl(self, path: str | Path) -> None:
+        """Write the trace as JSON lines (one call per line)."""
+        path = Path(path)
+        with path.open("w", encoding="utf-8") as handle:
+            header = {"n_days": self.n_days, "n_calls": len(self.calls)}
+            handle.write(json.dumps({"__trace_header__": header}) + "\n")
+            for call in self.calls:
+                handle.write(json.dumps(call.to_dict()) + "\n")
+
+    @classmethod
+    def load_jsonl(cls, path: str | Path) -> "TraceDataset":
+        """Read a trace written by :meth:`save_jsonl`."""
+        path = Path(path)
+        calls: list[Call] = []
+        n_days: int | None = None
+        with path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                if "__trace_header__" in record:
+                    n_days = int(record["__trace_header__"]["n_days"])
+                    continue
+                if n_days is None:
+                    raise ValueError(f"{path} is missing the trace header line")
+                calls.append(Call.from_dict(record))
+        if n_days is None:
+            raise ValueError(f"{path} is missing the trace header line")
+        return cls(calls=calls, n_days=n_days)

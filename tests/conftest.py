@@ -1,0 +1,36 @@
+"""Shared fixtures: tiny deterministic worlds and traces for fast tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.netmodel import TopologyConfig, WorldConfig, build_world
+from repro.workload import WorkloadConfig, generate_trace
+
+
+@pytest.fixture(scope="session")
+def small_world():
+    """A small but non-trivial world: 8 countries, 6 relays, 8 days."""
+    return build_world(
+        WorldConfig(
+            topology=TopologyConfig(n_countries=8, n_relays=6, seed=11),
+            n_days=8,
+            seed=13,
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def small_trace(small_world):
+    """~4k calls over the small world's 8 days."""
+    return generate_trace(
+        small_world.topology,
+        WorkloadConfig(n_calls=4_000, n_pairs=120, seed=17),
+        n_days=8,
+    )
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(12345)

@@ -1,0 +1,221 @@
+"""Unit tests for repro.analysis (thresholds, PNR, stats, reporting)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    DEFAULT_THRESHOLDS,
+    Thresholds,
+    at_least_one_bad,
+    binned_curve,
+    cdf_points,
+    format_series,
+    format_table,
+    is_poor,
+    pearson_correlation,
+    percentile_improvement,
+    percentile_summary,
+    pnr,
+    pnr_breakdown,
+    relative_improvement,
+)
+from repro.netmodel.metrics import PathMetrics
+from repro.netmodel.options import DIRECT
+from repro.telephony.call import Call, CallOutcome
+
+GOOD = PathMetrics(rtt_ms=100.0, loss_rate=0.005, jitter_ms=5.0)
+BAD_RTT = PathMetrics(rtt_ms=400.0, loss_rate=0.005, jitter_ms=5.0)
+BAD_ALL = PathMetrics(rtt_ms=400.0, loss_rate=0.05, jitter_ms=30.0)
+
+
+def outcome(metrics: PathMetrics, call_id: int = 0) -> CallOutcome:
+    call = Call(call_id=call_id, t_hours=1.0, src_asn=1, dst_asn=2,
+                src_country="A", dst_country="B", src_user=0, dst_user=1)
+    return CallOutcome(call=call, option=DIRECT, metrics=metrics)
+
+
+class TestThresholds:
+    def test_paper_values(self):
+        assert DEFAULT_THRESHOLDS.rtt_ms == 320.0
+        assert DEFAULT_THRESHOLDS.loss_rate == 0.012
+        assert DEFAULT_THRESHOLDS.jitter_ms == 12.0
+
+    def test_is_poor_boundary_inclusive(self):
+        at_threshold = PathMetrics(rtt_ms=320.0, loss_rate=0.0, jitter_ms=0.0)
+        assert DEFAULT_THRESHOLDS.is_poor(at_threshold, "rtt_ms")
+
+    def test_any_poor(self):
+        assert not DEFAULT_THRESHOLDS.any_poor(GOOD)
+        assert DEFAULT_THRESHOLDS.any_poor(BAD_RTT)
+
+    def test_get_unknown_metric(self):
+        with pytest.raises(KeyError):
+            DEFAULT_THRESHOLDS.get("bandwidth")
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            Thresholds(rtt_ms=0.0)
+
+
+class TestPnr:
+    def test_empty_population(self):
+        assert pnr([]) == 0.0
+
+    def test_per_metric(self):
+        outcomes = [outcome(GOOD), outcome(BAD_RTT), outcome(BAD_ALL)]
+        assert pnr(outcomes, "rtt_ms") == pytest.approx(2 / 3)
+        assert pnr(outcomes, "loss_rate") == pytest.approx(1 / 3)
+
+    def test_any_metric_default(self):
+        outcomes = [outcome(GOOD), outcome(BAD_RTT)]
+        assert pnr(outcomes) == pytest.approx(0.5)
+
+    def test_breakdown_consistent_with_pnr(self):
+        outcomes = [outcome(GOOD), outcome(BAD_RTT), outcome(BAD_ALL), outcome(GOOD)]
+        breakdown = pnr_breakdown(outcomes)
+        assert breakdown["rtt_ms"] == pnr(outcomes, "rtt_ms")
+        assert breakdown["any"] == pnr(outcomes)
+
+    def test_breakdown_empty(self):
+        breakdown = pnr_breakdown([])
+        assert breakdown == {"rtt_ms": 0.0, "loss_rate": 0.0, "jitter_ms": 0.0, "any": 0.0}
+
+    def test_helpers(self):
+        assert is_poor(BAD_RTT, "rtt_ms")
+        assert not is_poor(GOOD, "rtt_ms")
+        assert at_least_one_bad(BAD_ALL)
+        assert not at_least_one_bad(GOOD)
+
+
+class TestRelativeImprovement:
+    def test_reduction_is_positive(self):
+        assert relative_improvement(0.2, 0.1) == pytest.approx(50.0)
+
+    def test_regression_is_negative(self):
+        assert relative_improvement(0.1, 0.2) == pytest.approx(-100.0)
+
+    def test_zero_baseline(self):
+        assert relative_improvement(0.0, 0.1) == 0.0
+
+
+class TestCdfPoints:
+    def test_monotone(self):
+        points = cdf_points(np.random.default_rng(0).normal(size=500))
+        xs = [p[0] for p in points]
+        ys = [p[1] for p in points]
+        assert xs == sorted(xs)
+        assert ys == sorted(ys)
+        assert ys[0] == 0.0 and ys[-1] == 1.0
+
+    def test_empty(self):
+        assert cdf_points([]) == []
+
+    def test_rejects_bad_n_points(self):
+        with pytest.raises(ValueError):
+            cdf_points([1.0], n_points=1)
+
+
+class TestBinnedCurve:
+    def test_monotone_relationship_recovered(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(0, 100, 20_000)
+        y = x / 100.0 + rng.normal(0, 0.05, x.size)
+        points = binned_curve(x, y, n_bins=10, min_samples=100)
+        values = [p.value for p in points]
+        assert values == sorted(values)
+
+    def test_min_samples_drops_sparse_bins(self):
+        x = [1.0] * 2000 + [99.0] * 5
+        y = [0.0] * 2000 + [1.0] * 5
+        points = binned_curve(x, y, n_bins=10, min_samples=1000)
+        assert len(points) == 1
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            binned_curve([1.0, 2.0], [1.0])
+
+    def test_empty(self):
+        assert binned_curve([], []) == []
+
+    def test_degenerate_constant_x(self):
+        points = binned_curve([5.0] * 100, list(range(100)), min_samples=1)
+        assert len(points) == 1
+        assert points[0].value == pytest.approx(49.5)
+
+
+class TestPearson:
+    def test_perfect_correlation(self):
+        assert pearson_correlation([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+    def test_anticorrelation(self):
+        assert pearson_correlation([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_rejects_constant(self):
+        with pytest.raises(ValueError):
+            pearson_correlation([1, 1, 1], [1, 2, 3])
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ValueError):
+            pearson_correlation([1], [1])
+
+
+class TestPercentiles:
+    def test_summary(self):
+        values = list(range(101))
+        summary = percentile_summary(values, (50, 90))
+        assert summary[50.0] == pytest.approx(50.0)
+        assert summary[90.0] == pytest.approx(90.0)
+
+    def test_summary_rejects_empty(self):
+        with pytest.raises(ValueError):
+            percentile_summary([])
+
+    def test_improvement_between_percentiles(self):
+        baseline = [100.0] * 100
+        improved = [50.0] * 100
+        result = percentile_improvement(baseline, improved, (50,))
+        assert result[50.0] == pytest.approx(50.0)
+
+    def test_improvement_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile_improvement([], [1.0])
+
+
+class TestReporting:
+    def test_format_table_aligns(self):
+        text = format_table(["a", "bb"], [["x", 1], ["yy", 2.5]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_series(self):
+        text = format_series("S", [(1, 2.0), (3, 4.0)], x_label="in", y_label="out")
+        assert "S" in text
+        assert text.count("->") >= 3  # header + 2 rows
+
+
+class TestPnrWithSem:
+    def test_empty(self):
+        from repro.analysis import pnr_with_sem
+
+        assert pnr_with_sem([]) == (0.0, 0.0)
+
+    def test_binomial_sem(self):
+        from repro.analysis import pnr_with_sem
+
+        outcomes = [outcome(BAD_RTT, call_id=i) for i in range(25)] + [
+            outcome(GOOD, call_id=100 + i) for i in range(75)
+        ]
+        p, sem = pnr_with_sem(outcomes, "rtt_ms")
+        assert p == pytest.approx(0.25)
+        assert sem == pytest.approx((0.25 * 0.75 / 100) ** 0.5)
+
+    def test_degenerate_proportion_zero_sem(self):
+        from repro.analysis import pnr_with_sem
+
+        outcomes = [outcome(GOOD, call_id=i) for i in range(10)]
+        p, sem = pnr_with_sem(outcomes, "rtt_ms")
+        assert p == 0.0 and sem == 0.0

@@ -1,0 +1,132 @@
+"""Unit tests for repro.core.baselines (default, oracle, strawmen)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.baselines import (
+    DefaultPolicy,
+    OraclePolicy,
+    make_strawman_exploration,
+    make_strawman_prediction,
+    make_via,
+)
+from repro.netmodel.metrics import PathMetrics
+from repro.netmodel.options import DIRECT
+from repro.telephony.call import Call
+
+
+def make_call(world, t_hours=1.0, call_id=0):
+    asns = world.topology.asns
+    a = asns[0]
+    b = next(x for x in asns if world.topology.is_international(a, x))
+    return Call(
+        call_id=call_id, t_hours=t_hours, src_asn=a, dst_asn=b,
+        src_country=world.topology.country_of_as(a),
+        dst_country=world.topology.country_of_as(b),
+        src_user=0, dst_user=1,
+    )
+
+
+class TestDefaultPolicy:
+    def test_always_direct(self, small_world):
+        policy = DefaultPolicy()
+        call = make_call(small_world)
+        options = small_world.options_for_pair(call.src_asn, call.dst_asn)
+        for _ in range(5):
+            assert policy.assign(call, options) is DIRECT
+
+    def test_observe_is_noop(self, small_world):
+        policy = DefaultPolicy()
+        call = make_call(small_world)
+        policy.observe(call, DIRECT, PathMetrics(100.0, 0.01, 5.0))  # no raise
+
+
+class TestOraclePolicy:
+    def test_picks_true_best(self, small_world):
+        policy = OraclePolicy(small_world, "rtt_ms")
+        call = make_call(small_world, t_hours=30.0)
+        options = small_world.options_for_pair(call.src_asn, call.dst_asn)
+        choice = policy.assign(call, options)
+        best_cost = min(
+            small_world.true_mean(call.src_asn, call.dst_asn, o, call.day).rtt_ms
+            for o in options
+        )
+        got = small_world.true_mean(call.src_asn, call.dst_asn, choice, call.day).rtt_ms
+        assert got == pytest.approx(best_cost)
+
+    def test_choice_depends_on_metric(self, small_world):
+        call = make_call(small_world, t_hours=30.0)
+        options = small_world.options_for_pair(call.src_asn, call.dst_asn)
+        choices = {
+            metric: OraclePolicy(small_world, metric).assign(call, options)
+            for metric in ("rtt_ms", "loss_rate", "jitter_ms")
+        }
+        for metric, choice in choices.items():
+            best = min(
+                small_world.true_mean(call.src_asn, call.dst_asn, o, call.day).get(metric)
+                for o in options
+            )
+            got = small_world.true_mean(
+                call.src_asn, call.dst_asn, choice, call.day
+            ).get(metric)
+            assert got == pytest.approx(best)
+
+    def test_caches_per_day(self, small_world):
+        policy = OraclePolicy(small_world, "rtt_ms")
+        call = make_call(small_world, t_hours=1.0)
+        options = small_world.options_for_pair(call.src_asn, call.dst_asn)
+        policy.assign(call, options)
+        assert len(policy._best_cache) == 1
+        policy.assign(make_call(small_world, t_hours=2.0, call_id=1), options)
+        assert len(policy._best_cache) == 1  # same pair + day -> cached
+        policy.assign(make_call(small_world, t_hours=30.0, call_id=2), options)
+        assert len(policy._best_cache) == 2
+
+    def test_reverse_direction_consistent(self, small_world):
+        policy = OraclePolicy(small_world, "rtt_ms")
+        call = make_call(small_world, t_hours=1.0)
+        options = small_world.options_for_pair(call.src_asn, call.dst_asn)
+        fwd = policy.assign(call, options)
+        rev_call = Call(
+            call_id=9, t_hours=1.5, src_asn=call.dst_asn, dst_asn=call.src_asn,
+            src_country=call.dst_country, dst_country=call.src_country,
+            src_user=1, dst_user=0,
+        )
+        rev_options = small_world.options_for_pair(rev_call.src_asn, rev_call.dst_asn)
+        rev = policy.assign(rev_call, rev_options)
+        assert rev == fwd.reversed()
+
+    def test_budgeted_oracle_limits_relaying(self, small_world):
+        policy = OraclePolicy(small_world, "rtt_ms", budget=0.0)
+        call = make_call(small_world)
+        options = small_world.options_for_pair(call.src_asn, call.dst_asn)
+        for i in range(20):
+            assert policy.assign(make_call(small_world, call_id=i), options) is DIRECT
+
+
+class TestFactories:
+    def test_make_via_configuration(self):
+        policy = make_via("loss_rate", budget=0.5)
+        assert policy.config.metric == "loss_rate"
+        assert policy.config.topk_mode == "dynamic"
+        assert policy.config.selector == "ucb"
+        assert policy.config.budget == 0.5
+        assert "loss_rate" in policy.name
+
+    def test_make_via_accepts_overrides(self):
+        policy = make_via("rtt_ms", epsilon=0.2, max_k=3)
+        assert policy.config.epsilon == 0.2
+        assert policy.config.max_k == 3
+
+    def test_strawman_prediction_is_argmin(self):
+        policy = make_strawman_prediction("rtt_ms")
+        assert policy.config.topk_mode == "argmin"
+
+    def test_strawman_exploration_has_no_pruning_or_tomography(self):
+        policy = make_strawman_exploration("rtt_ms")
+        assert policy.config.topk_mode == "all"
+        assert policy.config.selector == "greedy"
+        assert not policy.config.use_tomography
+        assert policy.config.epsilon == 0.0
+        assert policy.config.greedy_epsilon > 0.0

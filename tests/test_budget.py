@@ -1,0 +1,112 @@
+"""Unit tests for repro.core.budget (§4.6 budget gate)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.budget import BudgetGate
+
+
+class TestConstruction:
+    def test_rejects_out_of_range_budget(self):
+        with pytest.raises(ValueError):
+            BudgetGate(1.5)
+        with pytest.raises(ValueError):
+            BudgetGate(-0.1)
+
+    def test_rejects_bad_memory(self):
+        with pytest.raises(ValueError):
+            BudgetGate(0.5, benefit_memory=0)
+
+
+class TestThreshold:
+    def test_zero_before_history_accumulates(self):
+        gate = BudgetGate(0.3, min_history=100)
+        for b in np.linspace(0, 100, 50):
+            gate.record(float(b), relayed=False)
+        assert gate.threshold() == 0.0
+
+    def test_percentile_once_warm(self):
+        gate = BudgetGate(0.3, min_history=50)
+        benefits = list(np.linspace(0.0, 100.0, 101))
+        for b in benefits:
+            gate.record(b, relayed=False)
+        # Top 30% of [0, 100] starts at the 70th percentile = 70.
+        assert gate.threshold() == pytest.approx(70.0, abs=1.0)
+
+    def test_unaware_threshold_always_zero(self):
+        gate = BudgetGate(0.3, aware=False)
+        for b in np.linspace(0, 100, 200):
+            gate.record(float(b), relayed=False)
+        assert gate.threshold() == 0.0
+
+
+class TestAllows:
+    def test_zero_budget_blocks_everything(self):
+        gate = BudgetGate(0.0)
+        assert not gate.allows(1000.0)
+        assert not gate.allows(None)
+
+    def test_full_budget_unaware_allows_everything(self):
+        gate = BudgetGate(1.0, aware=False)
+        assert gate.allows(-5.0)
+        assert gate.allows(None)
+
+    def test_negative_benefit_blocked_when_aware(self):
+        gate = BudgetGate(0.5, aware=True)
+        assert not gate.allows(-1.0)
+        assert not gate.allows(0.0)
+
+    def test_unknown_benefit_allowed(self):
+        gate = BudgetGate(0.5, aware=True)
+        assert gate.allows(None)
+
+    def test_aware_gate_selects_top_percentile(self):
+        gate = BudgetGate(0.2, min_history=50)
+        for b in np.linspace(0.0, 100.0, 200):
+            gate.record(float(b), relayed=False)
+        threshold = gate.threshold()
+        assert not gate.allows(threshold - 10.0)
+        assert gate.allows(threshold + 10.0)
+
+    def test_hard_cap_enforced(self):
+        gate = BudgetGate(0.3, aware=False, min_history=10)
+        blocked = 0
+        rng = np.random.default_rng(0)
+        for _ in range(2000):
+            benefit = float(rng.uniform(0.1, 10.0))  # always positive
+            if gate.allows(benefit):
+                gate.record(benefit, relayed=True)
+            else:
+                gate.record(benefit, relayed=False)
+                blocked += 1
+        assert gate.relayed_fraction <= 0.31
+        assert blocked > 0
+
+    def test_aware_gate_stays_within_cap_on_uniform_benefits(self):
+        gate = BudgetGate(0.25, aware=True, min_history=50)
+        rng = np.random.default_rng(1)
+        for _ in range(5000):
+            benefit = float(rng.uniform(0.0, 100.0))
+            relayed = gate.allows(benefit)
+            gate.record(benefit, relayed=relayed)
+        assert gate.relayed_fraction <= 0.30
+
+
+class TestRecord:
+    def test_relayed_fraction(self):
+        gate = BudgetGate(1.0)
+        gate.record(1.0, relayed=True)
+        gate.record(1.0, relayed=False)
+        gate.record(None, relayed=True)
+        assert gate.relayed_fraction == pytest.approx(2.0 / 3.0)
+
+    def test_empty_fraction_zero(self):
+        assert BudgetGate(0.5).relayed_fraction == 0.0
+
+    def test_none_benefits_not_in_percentile_history(self):
+        gate = BudgetGate(0.3, min_history=2)
+        gate.record(None, relayed=False)
+        gate.record(None, relayed=False)
+        assert gate.threshold() == 0.0  # still no benefit history

@@ -1,0 +1,180 @@
+"""Unit tests for decision caching and per-relay load caps (extensions)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.budget import RelayLoadTracker
+from repro.core.caching import CachedAssignmentPolicy
+from repro.core.policy import ViaConfig, ViaPolicy
+from repro.netmodel.metrics import PathMetrics
+from repro.netmodel.options import DIRECT, RelayOption
+from repro.telephony.call import Call
+
+OPTIONS = [DIRECT, RelayOption.bounce(0), RelayOption.bounce(1), RelayOption.transit(0, 1)]
+
+
+def make_call(call_id=0, t_hours=1.0, src_asn=1001, dst_asn=1002) -> Call:
+    return Call(
+        call_id=call_id, t_hours=t_hours, src_asn=src_asn, dst_asn=dst_asn,
+        src_country="US", dst_country="IN", src_user=0, dst_user=1,
+    )
+
+
+def metrics(rtt: float = 100.0) -> PathMetrics:
+    return PathMetrics(rtt_ms=rtt, loss_rate=0.01, jitter_ms=5.0)
+
+
+class _FixedPolicy:
+    """Test double: always returns a fixed option, counts queries."""
+
+    name = "fixed"
+
+    def __init__(self, option: RelayOption) -> None:
+        self.option = option
+        self.assign_calls = 0
+        self.observe_calls = 0
+
+    def assign(self, call, options):
+        self.assign_calls += 1
+        return self.option
+
+    def observe(self, call, option, metrics):
+        self.observe_calls += 1
+
+
+class TestCachedAssignmentPolicy:
+    def test_rejects_negative_ttl(self):
+        with pytest.raises(ValueError):
+            CachedAssignmentPolicy(_FixedPolicy(DIRECT), ttl_hours=-1.0)
+
+    def test_cache_hit_skips_controller(self):
+        inner = _FixedPolicy(RelayOption.bounce(0))
+        cached = CachedAssignmentPolicy(inner, ttl_hours=2.0)
+        for i in range(10):
+            choice = cached.assign(make_call(call_id=i, t_hours=0.5 + 0.01 * i), OPTIONS)
+            assert choice == RelayOption.bounce(0)
+        assert inner.assign_calls == 1
+        assert cached.n_controller_queries == 1
+        assert cached.query_fraction == pytest.approx(0.1)
+
+    def test_expiry_requeries(self):
+        inner = _FixedPolicy(RelayOption.bounce(0))
+        cached = CachedAssignmentPolicy(inner, ttl_hours=1.0)
+        cached.assign(make_call(call_id=0, t_hours=0.0), OPTIONS)
+        cached.assign(make_call(call_id=1, t_hours=0.5), OPTIONS)  # hit
+        cached.assign(make_call(call_id=2, t_hours=1.5), OPTIONS)  # expired
+        assert inner.assign_calls == 2
+
+    def test_zero_ttl_disables_cache(self):
+        inner = _FixedPolicy(DIRECT)
+        cached = CachedAssignmentPolicy(inner, ttl_hours=0.0)
+        for i in range(5):
+            cached.assign(make_call(call_id=i), OPTIONS)
+        assert inner.assign_calls == 5
+
+    def test_reverse_direction_shares_entry(self):
+        inner = _FixedPolicy(RelayOption.transit(0, 1))
+        cached = CachedAssignmentPolicy(inner, ttl_hours=5.0)
+        fwd = cached.assign(make_call(call_id=0, src_asn=1001, dst_asn=1002), OPTIONS)
+        rev_options = [o.reversed() for o in OPTIONS]
+        rev = cached.assign(
+            make_call(call_id=1, src_asn=1002, dst_asn=1001, t_hours=1.1), rev_options
+        )
+        assert inner.assign_calls == 1
+        assert rev == fwd.reversed()
+
+    def test_stale_option_not_offered_triggers_requery(self):
+        inner = _FixedPolicy(RelayOption.bounce(0))
+        cached = CachedAssignmentPolicy(inner, ttl_hours=5.0)
+        cached.assign(make_call(call_id=0), OPTIONS)
+        inner.option = DIRECT  # controller would now pick something else
+        shrunk = [DIRECT, RelayOption.bounce(1)]  # bounce(0) decommissioned
+        choice = cached.assign(make_call(call_id=1, t_hours=1.2), shrunk)
+        assert choice is DIRECT
+        assert inner.assign_calls == 2
+
+    def test_observe_passthrough(self):
+        inner = _FixedPolicy(DIRECT)
+        cached = CachedAssignmentPolicy(inner, ttl_hours=1.0)
+        cached.observe(make_call(), DIRECT, metrics())
+        assert inner.observe_calls == 1
+
+    def test_invalidate(self):
+        inner = _FixedPolicy(DIRECT)
+        cached = CachedAssignmentPolicy(inner, ttl_hours=10.0)
+        cached.assign(make_call(call_id=0), OPTIONS)
+        cached.invalidate()
+        cached.assign(make_call(call_id=1, t_hours=1.1), OPTIONS)
+        assert inner.assign_calls == 2
+
+
+class TestRelayLoadTracker:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            RelayLoadTracker(0.0)
+        with pytest.raises(ValueError):
+            RelayLoadTracker(0.5, window=5)
+
+    def test_load_accounting(self):
+        tracker = RelayLoadTracker(0.5, window=100)
+        for _ in range(4):
+            tracker.record(RelayOption.bounce(3))
+        for _ in range(6):
+            tracker.record(DIRECT)
+        assert tracker.load(3) == pytest.approx(0.4)
+        assert tracker.load(9) == 0.0
+        assert len(tracker) == 10
+
+    def test_transit_counts_both_relays(self):
+        tracker = RelayLoadTracker(0.5, window=100)
+        tracker.record(RelayOption.transit(1, 2))
+        tracker.record(DIRECT)
+        assert tracker.load(1) == pytest.approx(0.5)
+        assert tracker.load(2) == pytest.approx(0.5)
+
+    def test_window_eviction(self):
+        tracker = RelayLoadTracker(0.5, window=10)
+        for _ in range(10):
+            tracker.record(RelayOption.bounce(1))
+        for _ in range(10):
+            tracker.record(DIRECT)
+        assert tracker.load(1) == 0.0
+        assert len(tracker) == 10
+
+    def test_would_exceed_warms_up_gracefully(self):
+        tracker = RelayLoadTracker(0.1, window=100)
+        # Below warm-up threshold nothing is capped.
+        assert not tracker.would_exceed(RelayOption.bounce(1))
+        for _ in range(50):
+            tracker.record(RelayOption.bounce(1))
+        assert tracker.would_exceed(RelayOption.bounce(1))
+        assert not tracker.would_exceed(RelayOption.bounce(2))
+
+    def test_loads_snapshot(self):
+        tracker = RelayLoadTracker(0.5)
+        tracker.record(RelayOption.bounce(1))
+        tracker.record(RelayOption.transit(1, 2))
+        loads = tracker.loads()
+        assert loads[1] == pytest.approx(1.0)
+        assert loads[2] == pytest.approx(0.5)
+
+
+class TestPerRelayCapPolicy:
+    def test_cap_limits_single_relay_share(self):
+        policy = ViaPolicy(ViaConfig(seed=5, per_relay_cap=0.3, epsilon=0.0, per_relay_window=200))
+        # Make bounce(0) look clearly best so the uncapped policy would
+        # send everything there.
+        for day in range(3):
+            for i in range(120):
+                call = make_call(call_id=day * 1000 + i, t_hours=day * 24.0 + 0.2 + i * 0.01)
+                option = policy.assign(call, OPTIONS)
+                rtt = {OPTIONS[0]: 300.0, OPTIONS[1]: 50.0,
+                       OPTIONS[2]: 200.0, OPTIONS[3]: 220.0}[option]
+                policy.observe(call, option, metrics(rtt))
+        tracker = policy._load_tracker
+        assert tracker is not None
+        assert all(load <= 0.45 for load in tracker.loads().values())
+
+    def test_no_cap_by_default(self):
+        assert ViaPolicy(ViaConfig()) ._load_tracker is None

@@ -1,0 +1,69 @@
+"""Calibration guard: the synthetic world stays inside the paper's bands.
+
+These tests protect the Figure 1/2/4/8 shapes from silent drift when
+world constants change.  They use a medium world (bigger than the shared
+``small_world``) because the §2 population statistics need geographic
+diversity to be meaningful.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import DEFAULT_THRESHOLDS, pnr_breakdown, split_international
+from repro.core.baselines import DefaultPolicy, OraclePolicy
+from repro.netmodel import TopologyConfig, WorldConfig, build_world
+from repro.simulation import ExperimentPlan
+from repro.workload import WorkloadConfig, generate_trace
+
+
+@pytest.fixture(scope="module")
+def medium_run():
+    world = build_world(
+        WorldConfig(topology=TopologyConfig(n_countries=25, n_relays=12, seed=5), n_days=12, seed=5)
+    )
+    trace = generate_trace(
+        world.topology, WorkloadConfig(n_calls=15_000, n_pairs=250, seed=5), n_days=12
+    )
+    plan = ExperimentPlan(world=world, trace=trace, warmup_days=1, min_pair_calls=60)
+    results = plan.run(
+        {"default": DefaultPolicy(), "oracle": OraclePolicy(world, "rtt_ms")}, seed=5
+    )
+    return plan, results
+
+
+class TestPopulationBands:
+    def test_direct_pnr_bands(self, medium_run):
+        """Figure 2: a significant but minority share of calls is poor."""
+        plan, results = medium_run
+        breakdown = pnr_breakdown(results["default"].outcomes)
+        for metric in ("rtt_ms", "loss_rate", "jitter_ms"):
+            assert 0.05 <= breakdown[metric] <= 0.40, (metric, breakdown[metric])
+        assert 0.15 <= breakdown["any"] <= 0.60
+
+    def test_direct_metric_medians_plausible(self, medium_run):
+        _plan, results = medium_run
+        outcomes = results["default"].outcomes
+        rtt = float(np.median([o.metrics.rtt_ms for o in outcomes]))
+        loss = float(np.median([o.metrics.loss_rate for o in outcomes]))
+        jitter = float(np.median([o.metrics.jitter_ms for o in outcomes]))
+        assert 50.0 <= rtt <= 300.0
+        assert 0.0005 <= loss <= DEFAULT_THRESHOLDS.loss_rate
+        assert 2.0 <= jitter <= DEFAULT_THRESHOLDS.jitter_ms
+
+    def test_international_penalty_band(self, medium_run):
+        """Figure 4: international calls are substantially worse combined."""
+        _plan, results = medium_run
+        intl, dom = split_international(results["default"].outcomes)
+        ratio = pnr_breakdown(intl)["any"] / max(pnr_breakdown(dom)["any"], 1e-9)
+        assert 1.3 <= ratio <= 10.0
+
+    def test_oracle_headroom_band(self, medium_run):
+        """Figure 8: the oracle removes a large share of poor-RTT calls
+        but not all of them (the unfixable last-mile population)."""
+        plan, results = medium_run
+        base = pnr_breakdown(plan.evaluate(results["default"]))["rtt_ms"]
+        oracle = pnr_breakdown(plan.evaluate(results["oracle"]))["rtt_ms"]
+        assert oracle < 0.6 * base
+        assert oracle > 0.0  # some poor calls must survive foresight

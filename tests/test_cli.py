@@ -1,0 +1,115 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.workload import TraceDataset
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.command == "simulate"
+        assert args.metric == "rtt_ms"
+        assert args.calls == 20_000
+
+    def test_simulate_rejects_unknown_metric(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--metric", "pesq"])
+
+    def test_trace_requires_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace"])
+
+
+class TestQualityCommand:
+    def test_good_network(self, capsys):
+        assert main(["quality", "--rtt", "50", "--loss", "0.001", "--jitter", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "MOS = " in out
+
+    def test_threshold_point_is_marginal(self, capsys):
+        main(["quality", "--rtt", "320", "--loss", "0.012", "--jitter", "12"])
+        out = capsys.readouterr().out
+        mos = float(out.split("MOS = ")[1].split()[0])
+        assert 2.0 < mos < 4.0
+
+    def test_invalid_metrics_exit_code(self, capsys):
+        assert main(["quality", "--rtt", "-5", "--loss", "0", "--jitter", "0"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestTraceCommand:
+    def test_writes_loadable_trace(self, tmp_path, capsys):
+        out = tmp_path / "trace.jsonl"
+        code = main([
+            "trace", "--calls", "500", "--days", "4", "--countries", "8",
+            "--relays", "5", "--out", str(out),
+        ])
+        assert code == 0
+        assert "wrote 500 calls" in capsys.readouterr().out
+        loaded = TraceDataset.load_jsonl(out)
+        assert len(loaded) == 500
+        assert loaded.n_days == 4
+
+
+class TestSimulateCommand:
+    def test_small_run_prints_table(self, capsys):
+        code = main([
+            "simulate", "--calls", "1500", "--days", "5", "--countries", "8",
+            "--relays", "5", "--no-strawmen", "--min-pair-calls", "20",
+            "--warmup-days", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "default" in out and "via" in out and "oracle" in out
+        assert "PNR" in out
+
+
+class TestTestbedCommand:
+    def test_small_deployment(self, capsys):
+        code = main([
+            "testbed", "--clients", "6", "--pairs", "3",
+            "--measurement-rounds", "2", "--via-rounds", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "within 20% of oracle" in out
+
+
+class TestTraceReuse:
+    def test_simulate_from_saved_trace(self, tmp_path, capsys):
+        out = tmp_path / "trace.jsonl"
+        assert main([
+            "trace", "--calls", "1200", "--days", "5", "--countries", "8",
+            "--relays", "5", "--out", str(out),
+        ]) == 0
+        capsys.readouterr()
+        code = main([
+            "simulate", "--trace-in", str(out), "--days", "5", "--countries", "8",
+            "--relays", "5", "--no-strawmen", "--min-pair-calls", "15",
+            "--warmup-days", "1",
+        ])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "1,200 calls" in text
+
+
+class TestFullReport:
+    def test_simulate_full_report(self, capsys):
+        code = main([
+            "simulate", "--calls", "1500", "--days", "5", "--countries", "8",
+            "--relays", "5", "--no-strawmen", "--min-pair-calls", "20",
+            "--warmup-days", "1", "--full-report",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "PNR by strategy" in out
+        assert "Relay mix" in out
+        assert "±" in out

@@ -1,0 +1,50 @@
+"""Unit tests for repro.telephony.codec."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telephony.codec import DEFAULT_CODEC, G711, G729, OPUS_WB, SILK_WB, CodecSpec
+
+
+class TestCodecSpec:
+    def test_packets_per_second(self):
+        assert G711.packets_per_second == pytest.approx(50.0)
+
+    def test_ie_monotone_in_loss(self):
+        for codec in (G711, G729, SILK_WB, OPUS_WB):
+            values = [codec.ie_at_loss(e) for e in (0.0, 0.01, 0.05, 0.2)]
+            assert values == sorted(values), codec.name
+
+    def test_ie_base_at_zero_loss(self):
+        assert G729.ie_at_loss(0.0) == pytest.approx(11.0)
+        assert SILK_WB.ie_at_loss(0.0) == pytest.approx(2.0)
+
+    def test_ie_rejects_negative_loss(self):
+        with pytest.raises(ValueError):
+            G711.ie_at_loss(-0.01)
+
+    def test_rejects_bad_bitrate(self):
+        with pytest.raises(ValueError):
+            CodecSpec(
+                name="x", bitrate_kbps=0.0, frame_ms=20.0, codec_delay_ms=0.0,
+                ie_base=0.0, ie_gamma2=1.0, ie_gamma3=1.0,
+            )
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ValueError):
+            CodecSpec(
+                name="x", bitrate_kbps=8.0, frame_ms=20.0, codec_delay_ms=-1.0,
+                ie_base=0.0, ie_gamma2=1.0, ie_gamma3=1.0,
+            )
+
+    def test_default_codec_is_silk(self):
+        assert DEFAULT_CODEC is SILK_WB
+
+    def test_catalog_names_unique(self):
+        names = [c.name for c in (G711, G729, SILK_WB, OPUS_WB)]
+        assert len(names) == len(set(names))
+
+    def test_narrowband_codecs_more_fragile_than_wideband(self):
+        # At moderate loss the low-bitrate G.729 should show higher Ie.
+        assert G729.ie_at_loss(0.03) > SILK_WB.ie_at_loss(0.03)

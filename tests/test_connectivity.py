@@ -1,0 +1,93 @@
+"""Tests for NAT-blocked calls (§2.1 connectivity relaying)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.baselines import DefaultPolicy, OraclePolicy, make_via
+from repro.netmodel.options import DIRECT, RelayOption
+from repro.simulation import make_inter_relay_lookup
+from repro.simulation.replay import replay
+from repro.telephony.call import Call
+from repro.workload import WorkloadConfig, generate_trace
+from repro.workload.trace import TraceDataset
+
+
+def blocked_call(call_id=0, t_hours=1.0) -> Call:
+    return Call(
+        call_id=call_id, t_hours=t_hours, src_asn=1001, dst_asn=1002,
+        src_country="US", dst_country="IN", src_user=0, dst_user=1,
+        direct_blocked=True,
+    )
+
+
+class TestCallFlag:
+    def test_default_unblocked(self):
+        call = blocked_call()
+        assert call.direct_blocked
+        unblocked = Call(call_id=1, t_hours=1.0, src_asn=1, dst_asn=2,
+                         src_country="A", dst_country="B", src_user=0, dst_user=1)
+        assert not unblocked.direct_blocked
+
+    def test_serialisation_roundtrip(self):
+        call = blocked_call()
+        assert Call.from_dict(call.to_dict()).direct_blocked
+
+
+class TestWorkloadGeneration:
+    def test_fraction_controls_population(self, small_world):
+        trace = generate_trace(
+            small_world.topology,
+            WorkloadConfig(n_calls=5_000, n_pairs=80, frac_direct_blocked=0.2, seed=41),
+            n_days=5,
+        )
+        share = sum(c.direct_blocked for c in trace) / len(trace)
+        assert share == pytest.approx(0.2, abs=0.03)
+
+    def test_default_is_zero(self, small_trace):
+        assert not any(c.direct_blocked for c in small_trace)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(frac_direct_blocked=1.5)
+
+
+class TestDefaultPolicyFallback:
+    def test_blocked_call_gets_relay(self):
+        policy = DefaultPolicy()
+        options = [DIRECT, RelayOption.bounce(0), RelayOption.bounce(1)]
+        assert policy.assign(blocked_call(), options) == RelayOption.bounce(0)
+
+    def test_relay_only_option_list(self):
+        policy = DefaultPolicy()
+        options = [RelayOption.bounce(3)]
+        assert policy.assign(blocked_call(), options) == RelayOption.bounce(3)
+
+
+class TestReplayIntegration:
+    @pytest.fixture()
+    def blocked_trace(self, small_world):
+        return generate_trace(
+            small_world.topology,
+            WorkloadConfig(n_calls=2_000, n_pairs=60, frac_direct_blocked=0.3, seed=43),
+            n_days=5,
+        )
+
+    def test_blocked_calls_never_routed_direct(self, small_world, blocked_trace):
+        for policy in (
+            DefaultPolicy(),
+            OraclePolicy(small_world, "rtt_ms"),
+            make_via("rtt_ms", inter_relay=make_inter_relay_lookup(small_world)),
+        ):
+            result = replay(small_world, blocked_trace, policy, seed=44)
+            for outcome in result.outcomes:
+                if outcome.call.direct_blocked:
+                    assert outcome.option.is_relayed, policy.name
+
+    def test_unblocked_calls_still_use_direct_under_default(
+        self, small_world, blocked_trace
+    ):
+        result = replay(small_world, blocked_trace, DefaultPolicy(), seed=44)
+        unblocked = [o for o in result.outcomes if not o.call.direct_blocked]
+        assert unblocked
+        assert all(o.option is DIRECT for o in unblocked)

@@ -1,0 +1,123 @@
+"""Unit tests for repro.core.coordinates (Vivaldi embedding)."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.coordinates import CoordinateSystem, VivaldiConfig
+
+
+def synthetic_space(n_nodes: int, rng: np.random.Generator, dims: int = 3):
+    """Ground-truth positions + heights for a synthetic metric space."""
+    positions = rng.uniform(0.0, 200.0, size=(n_nodes, dims))
+    heights = rng.uniform(2.0, 15.0, size=n_nodes)
+
+    def true_rtt(i: int, j: int) -> float:
+        return float(np.linalg.norm(positions[i] - positions[j]) + heights[i] + heights[j])
+
+    return true_rtt
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        VivaldiConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"dimensions": 0}, {"error_gain": 0.0}, {"position_gain": 1.5}, {"min_height_ms": -1.0}],
+    )
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            VivaldiConfig(**kwargs)
+
+
+class TestCoordinateSystem:
+    def test_nodes_created_lazily(self):
+        system = CoordinateSystem()
+        assert len(system) == 0
+        system.node("a")
+        assert len(system) == 1
+
+    def test_observe_rejects_bad_rtt(self):
+        system = CoordinateSystem()
+        with pytest.raises(ValueError):
+            system.observe("a", "b", 0.0)
+        with pytest.raises(ValueError):
+            system.observe("a", "b", float("nan"))
+
+    def test_self_observation_is_ignored(self):
+        system = CoordinateSystem()
+        system.observe("a", "a", 50.0)
+        assert system.n_observations == 0
+
+    def test_estimate_requires_warm_nodes(self):
+        system = CoordinateSystem()
+        assert system.estimate_rtt("a", "b") is None
+        for _ in range(3):
+            system.observe("a", "b", 100.0)
+        # 3 observations < min_updates=5 -> still None.
+        assert system.estimate_rtt("a", "b") is None
+
+    def test_two_node_convergence(self):
+        system = CoordinateSystem()
+        for _ in range(60):
+            system.observe("a", "b", 120.0)
+        estimate = system.estimate_rtt("a", "b")
+        assert estimate == pytest.approx(120.0, rel=0.15)
+
+    def test_error_estimates_shrink(self):
+        system = CoordinateSystem()
+        for _ in range(80):
+            system.observe("a", "b", 80.0)
+        confidence = system.estimation_confidence("a", "b")
+        assert confidence is not None
+        assert confidence < 0.5
+
+    def test_triangle_embedding(self):
+        # Three nodes with consistent metric distances embed accurately.
+        system = CoordinateSystem()
+        rtts = {("a", "b"): 100.0, ("b", "c"): 120.0, ("a", "c"): 160.0}
+        rng = np.random.default_rng(0)
+        keys = list(rtts)
+        for _ in range(300):
+            pair = keys[rng.integers(len(keys))]
+            system.observe(pair[0], pair[1], rtts[pair])
+        for (a, b), expected in rtts.items():
+            assert system.estimate_rtt(a, b) == pytest.approx(expected, rel=0.2)
+
+    def test_predicts_unseen_pairs_in_metric_space(self):
+        """The headline property: pairs never observed together still get
+        useful RTT estimates once both endpoints are embedded."""
+        rng = np.random.default_rng(1)
+        n = 14
+        true_rtt = synthetic_space(n, rng)
+        system = CoordinateSystem(VivaldiConfig(dimensions=3))
+        pairs = list(itertools.combinations(range(n), 2))
+        held_out = {(0, 1), (2, 3), (4, 5), (6, 7)}
+        training = [p for p in pairs if p not in held_out]
+        for _ in range(40):
+            for i, j in training:
+                noisy = true_rtt(i, j) * float(rng.lognormal(0.0, 0.05))
+                system.observe(i, j, noisy)
+        errors = []
+        for i, j in held_out:
+            estimate = system.estimate_rtt(i, j)
+            assert estimate is not None
+            errors.append(abs(estimate - true_rtt(i, j)) / true_rtt(i, j))
+        assert float(np.median(errors)) < 0.25
+
+    def test_heights_capture_access_penalty(self):
+        """A node whose every path carries a constant extra delay should
+        grow height rather than wander in space."""
+        rng = np.random.default_rng(2)
+        true_rtt = synthetic_space(8, rng)
+        system = CoordinateSystem()
+        for _ in range(60):
+            for i in range(8):
+                for j in range(i + 1, 8):
+                    penalty = 40.0 if (i == 0 or j == 0) else 0.0
+                    system.observe(i, j, true_rtt(i, j) + penalty)
+        assert system.node(0).height > system.node(3).height

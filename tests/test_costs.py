@@ -1,0 +1,117 @@
+"""Unit tests for repro.core.costs (cost models incl. MOS objective)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.costs import COST_MODEL_NAMES, MetricCost, MosCost, make_cost_model
+from repro.core.predictor import Prediction
+from repro.netmodel.metrics import METRICS, PathMetrics
+from repro.telephony.quality import mos_from_network
+
+
+def prediction(mean=(100.0, 0.01, 5.0), sem=(10.0, 0.002, 1.0)) -> Prediction:
+    return Prediction(
+        mean=np.array(mean), sem=np.array(sem), n=10, source="history"
+    )
+
+
+class TestMetricCost:
+    def test_call_cost_matches_metric(self):
+        m = PathMetrics(rtt_ms=120.0, loss_rate=0.02, jitter_ms=7.0)
+        assert MetricCost("rtt_ms").call_cost(m) == 120.0
+        assert MetricCost("loss_rate").call_cost(m) == 0.02
+        assert MetricCost("jitter_ms").call_cost(m) == 7.0
+
+    def test_predicted_bounds_bracket_point(self):
+        cost = MetricCost("rtt_ms")
+        p = prediction()
+        assert cost.predicted_lower(p) < cost.predicted(p) < cost.predicted_upper(p)
+        assert cost.predicted(p) == pytest.approx(100.0)
+
+    def test_unknown_metric_raises(self):
+        with pytest.raises(KeyError):
+            MetricCost("bandwidth")
+
+
+class TestMosCost:
+    def test_cost_decreases_with_quality(self):
+        cost = MosCost()
+        good = PathMetrics(rtt_ms=50.0, loss_rate=0.001, jitter_ms=2.0)
+        bad = PathMetrics(rtt_ms=600.0, loss_rate=0.1, jitter_ms=40.0)
+        assert cost.call_cost(good) < cost.call_cost(bad)
+
+    def test_cost_is_45_minus_mos(self):
+        cost = MosCost()
+        m = PathMetrics(rtt_ms=150.0, loss_rate=0.01, jitter_ms=8.0)
+        assert cost.call_cost(m) == pytest.approx(4.5 - mos_from_network(m))
+
+    def test_bounds_bracket_point_estimate(self):
+        cost = MosCost()
+        p = prediction(mean=(200.0, 0.02, 10.0), sem=(30.0, 0.008, 3.0))
+        assert cost.predicted_lower(p) <= cost.predicted(p) <= cost.predicted_upper(p)
+
+    def test_bounds_clamp_invalid_triples(self):
+        # Huge SEM pushes the optimistic triple negative; must not raise.
+        cost = MosCost()
+        p = prediction(mean=(10.0, 0.001, 1.0), sem=(50.0, 0.5, 10.0))
+        assert cost.predicted_lower(p) >= 0.0
+        assert cost.predicted_upper(p) <= 3.5 + 1e-9  # 4.5 - MOS_min(=1.0)
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", METRICS)
+    def test_metric_names(self, name):
+        model = make_cost_model(name)
+        assert isinstance(model, MetricCost)
+        assert model.name == name
+
+    def test_mos_name(self):
+        assert isinstance(make_cost_model("mos"), MosCost)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            make_cost_model("pesq")
+
+    def test_catalog(self):
+        assert set(COST_MODEL_NAMES) == {*METRICS, "mos"}
+
+
+class TestMosPolicyIntegration:
+    def test_via_policy_accepts_mos_metric(self):
+        from repro.core.policy import ViaConfig, ViaPolicy
+        from repro.netmodel.options import DIRECT, RelayOption
+        from repro.telephony.call import Call
+
+        policy = ViaPolicy(ViaConfig(metric="mos", seed=1))
+        options = [DIRECT, RelayOption.bounce(0), RelayOption.bounce(1)]
+        call = Call(call_id=0, t_hours=1.0, src_asn=1, dst_asn=2,
+                    src_country="A", dst_country="B", src_user=0, dst_user=1)
+        assert policy.assign(call, options) in options
+        policy.observe(call, DIRECT, PathMetrics(100.0, 0.01, 5.0))
+
+    def test_mos_oracle_picks_highest_quality(self, small_world):
+        from repro.core.baselines import OraclePolicy
+        from repro.telephony.call import Call
+
+        asns = small_world.topology.asns
+        a = asns[0]
+        b = next(x for x in asns if small_world.topology.is_international(a, x))
+        call = Call(call_id=0, t_hours=30.0, src_asn=a, dst_asn=b,
+                    src_country=small_world.topology.country_of_as(a),
+                    dst_country=small_world.topology.country_of_as(b),
+                    src_user=0, dst_user=1)
+        options = small_world.options_for_pair(a, b)
+        choice = OraclePolicy(small_world, "mos").assign(call, options)
+        best_mos = max(
+            mos_from_network(small_world.true_mean(a, b, o, call.day)) for o in options
+        )
+        got = mos_from_network(small_world.true_mean(a, b, choice, call.day))
+        assert got == pytest.approx(best_mos)
+
+    def test_config_rejects_unknown_metric(self):
+        from repro.core.policy import ViaConfig
+
+        with pytest.raises(ValueError, match="metric"):
+            ViaConfig(metric="pesq")

@@ -1,0 +1,171 @@
+"""Integration tests for the asyncio controller, client and testbed (§5.5)."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core.policy import ViaConfig
+from repro.deployment import ViaController, run_testbed
+from repro.deployment import TestbedClient as AgentClient
+from repro.deployment import TestbedConfig as DeploymentConfig
+from repro.netmodel.metrics import PathMetrics
+from repro.netmodel.options import RelayOption
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+OPTIONS = [RelayOption.bounce(0), RelayOption.bounce(1), RelayOption.transit(0, 1)]
+
+
+class TestControllerClient:
+    def test_request_returns_offered_option(self):
+        async def scenario():
+            async with ViaController(ViaConfig(seed=1)) as controller:
+                async with AgentClient(0, "US", "127.0.0.1", controller.port) as client:
+                    choice = await client.request_assignment(1, OPTIONS, t_hours=0.5)
+                    assert choice in OPTIONS
+                    assert controller.n_requests == 1
+
+        run(scenario())
+
+    def test_measurements_reach_policy_history(self):
+        async def scenario():
+            async with ViaController(ViaConfig(seed=1)) as controller:
+                async with AgentClient(0, "US", "127.0.0.1", controller.port) as client:
+                    metrics = PathMetrics(rtt_ms=120.0, loss_rate=0.01, jitter_ms=4.0)
+                    for i in range(5):
+                        await client.report_measurement(1, OPTIONS[0], metrics, 0.1 * (i + 1))
+                    # Measurements are fire-and-forget; a request round-trip
+                    # fences them before we inspect controller state.
+                    await client.request_assignment(1, OPTIONS, t_hours=0.9)
+                assert controller.n_measurements == 5
+                stat = controller.policy.history.stats((0, 1), OPTIONS[0], 0)
+                assert stat is not None and stat.count == 5
+
+        run(scenario())
+
+    def test_hello_registers_site(self):
+        async def scenario():
+            async with ViaController() as controller:
+                async with AgentClient(7, "LK", "127.0.0.1", controller.port) as _client:
+                    await _client.request_assignment(1, OPTIONS, t_hours=0.1)
+                assert controller.client_sites[7] == "LK"
+
+        run(scenario())
+
+    def test_controller_learns_to_avoid_bad_relay(self):
+        async def scenario():
+            config = ViaConfig(seed=2, epsilon=0.0, min_direct_samples=2,
+                               use_tomography=False)
+            async with ViaController(config) as controller:
+                async with AgentClient(0, "US", "127.0.0.1", controller.port) as client:
+                    good = PathMetrics(rtt_ms=60.0, loss_rate=0.001, jitter_ms=2.0)
+                    bad = PathMetrics(rtt_ms=500.0, loss_rate=0.05, jitter_ms=20.0)
+                    # Day 0: measurements establish the ranking.
+                    for i in range(6):
+                        await client.report_measurement(1, OPTIONS[0], good, 0.1 * i)
+                        await client.report_measurement(1, OPTIONS[1], bad, 0.1 * i)
+                    # Day 1: selections should strongly favour the good relay.
+                    picks = []
+                    for i in range(12):
+                        choice = await client.request_assignment(
+                            1, OPTIONS[:2], t_hours=24.1 + 0.01 * i
+                        )
+                        picks.append(choice)
+                        outcome = good if choice == OPTIONS[0] else bad
+                        await client.report_measurement(1, choice, outcome, 24.1 + 0.01 * i)
+                    assert picks.count(OPTIONS[0]) > picks.count(OPTIONS[1])
+
+        run(scenario())
+
+    def test_malformed_line_does_not_kill_connection(self):
+        async def scenario():
+            async with ViaController() as controller:
+                reader, writer = await asyncio.open_connection("127.0.0.1", controller.port)
+                writer.write(b"garbage that is not json\n")
+                await writer.drain()
+                # The connection should survive; a valid request still works.
+                client = AgentClient(1, "US", "127.0.0.1", controller.port)
+                await client.connect()
+                choice = await client.request_assignment(2, OPTIONS, t_hours=0.2)
+                assert choice in OPTIONS
+                await client.close()
+                writer.close()
+                await writer.wait_closed()
+
+        run(scenario())
+
+    def test_concurrent_clients(self):
+        async def scenario():
+            async with ViaController() as controller:
+                clients = [
+                    AgentClient(i, "US", "127.0.0.1", controller.port) for i in range(6)
+                ]
+                await asyncio.gather(*(c.connect() for c in clients))
+
+                async def one(client: AgentClient):
+                    return await client.request_assignment(99, OPTIONS, t_hours=0.3)
+
+                choices = await asyncio.gather(*(one(c) for c in clients))
+                assert all(c in OPTIONS for c in choices)
+                assert controller.n_requests == 6
+                await asyncio.gather(*(c.close() for c in clients))
+
+        run(scenario())
+
+    def test_port_property_requires_start(self):
+        controller = ViaController()
+        with pytest.raises(RuntimeError):
+            _ = controller.port
+
+    def test_client_requires_connection(self):
+        client = AgentClient(0, "US", "127.0.0.1", 1)
+        with pytest.raises(RuntimeError):
+            run(client.report_measurement(1, OPTIONS[0], PathMetrics(1.0, 0.0, 0.0), 0.0))
+
+
+class TestTestbed:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            DeploymentConfig(n_clients=1)
+        with pytest.raises(ValueError):
+            DeploymentConfig(via_rounds=0)
+        with pytest.raises(ValueError):
+            DeploymentConfig(sites=())
+
+    def test_small_run_produces_report(self):
+        config = DeploymentConfig(
+            n_clients=6, n_pairs=4, measurement_rounds=2, via_rounds=5, seed=5
+        )
+        report = run_testbed(config)
+        assert report.n_pairs == 4
+        assert report.n_calls == 4 * 5
+        assert report.n_measurements >= report.n_calls  # phase 1 + phase 2 reports
+        assert len(report.suboptimalities) == report.n_calls
+        assert all(s >= -1e-9 for s in report.suboptimalities)
+        assert 0.0 <= report.frac_exact_best <= 1.0
+        assert report.frac_within(10.0) == 1.0 or report.frac_within(10.0) > 0.9
+
+    def test_cdf_shape(self):
+        config = DeploymentConfig(
+            n_clients=6, n_pairs=3, measurement_rounds=2, via_rounds=4, seed=6
+        )
+        report = run_testbed(config)
+        cdf = report.cdf(points=5)
+        assert cdf
+        xs = [x for x, _ in cdf]
+        ys = [y for _, y in cdf]
+        assert xs == sorted(xs)
+        assert ys == sorted(ys)
+
+    def test_deterministic_given_seed(self):
+        config = DeploymentConfig(
+            n_clients=6, n_pairs=3, measurement_rounds=2, via_rounds=4, seed=7
+        )
+        r1 = run_testbed(config)
+        r2 = run_testbed(config)
+        assert r1.suboptimalities == pytest.approx(r2.suboptimalities)

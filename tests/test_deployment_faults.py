@@ -1,0 +1,128 @@
+"""Fault-injection and operational tests for the deployment layer."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core.policy import ViaConfig
+from repro.deployment import ViaController
+from repro.deployment import TestbedClient as AgentClient
+from repro.deployment.protocol import StatsMessage, encode_message, HelloMessage
+from repro.netmodel.metrics import PathMetrics
+from repro.netmodel.options import RelayOption
+
+OPTIONS = [RelayOption.bounce(0), RelayOption.bounce(1)]
+METRICS = PathMetrics(rtt_ms=100.0, loss_rate=0.01, jitter_ms=5.0)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestStatsEndpoint:
+    def test_counters_reflect_traffic(self):
+        async def scenario():
+            async with ViaController(ViaConfig(seed=1)) as controller:
+                async with AgentClient(0, "US", "127.0.0.1", controller.port) as client:
+                    await client.report_measurement(1, OPTIONS[0], METRICS, 0.1)
+                    await client.request_assignment(1, OPTIONS, 0.2)
+                    stats = await client.fetch_stats()
+                assert isinstance(stats, StatsMessage)
+                assert stats.n_measurements == 1
+                assert stats.n_requests == 1
+                assert stats.n_clients == 1
+                assert stats.n_refreshes >= 1
+
+        run(scenario())
+
+    def test_stats_visible_across_clients(self):
+        async def scenario():
+            async with ViaController() as controller:
+                async with AgentClient(0, "US", "127.0.0.1", controller.port) as a:
+                    async with AgentClient(1, "IN", "127.0.0.1", controller.port) as b:
+                        await a.request_assignment(1, OPTIONS, 0.1)
+                        stats = await b.fetch_stats()
+                        assert stats.n_clients == 2
+                        assert stats.n_requests == 1
+
+        run(scenario())
+
+
+class TestFaultInjection:
+    def test_abrupt_disconnect_leaves_controller_serving(self):
+        async def scenario():
+            async with ViaController() as controller:
+                # Client 1 vanishes without bye, mid-session.
+                reader, writer = await asyncio.open_connection("127.0.0.1", controller.port)
+                writer.write(encode_message(HelloMessage(client_id=9, site="X")))
+                await writer.drain()
+                writer.close()
+                # Another client still gets served.
+                async with AgentClient(1, "US", "127.0.0.1", controller.port) as client:
+                    choice = await client.request_assignment(2, OPTIONS, 0.1)
+                    assert choice in OPTIONS
+
+        run(scenario())
+
+    def test_partial_line_then_disconnect(self):
+        async def scenario():
+            async with ViaController() as controller:
+                reader, writer = await asyncio.open_connection("127.0.0.1", controller.port)
+                writer.write(b'{"type": "request", "src_id"')  # unterminated
+                await writer.drain()
+                writer.close()
+                await writer.wait_closed()
+                async with AgentClient(1, "US", "127.0.0.1", controller.port) as client:
+                    assert await client.request_assignment(2, OPTIONS, 0.1) in OPTIONS
+
+        run(scenario())
+
+    def test_measurement_flood_from_many_clients(self):
+        async def scenario():
+            async with ViaController() as controller:
+                clients = [
+                    AgentClient(i, "US", "127.0.0.1", controller.port) for i in range(8)
+                ]
+                await asyncio.gather(*(c.connect() for c in clients))
+
+                async def flood(client: AgentClient):
+                    for i in range(25):
+                        await client.report_measurement(
+                            99, OPTIONS[i % 2], METRICS, 0.1 + 0.001 * i
+                        )
+
+                await asyncio.gather(*(flood(c) for c in clients))
+                stats = await clients[0].fetch_stats()
+                assert stats.n_measurements == 8 * 25
+                await asyncio.gather(*(c.close() for c in clients))
+
+        run(scenario())
+
+    def test_controller_restart_rebinds(self):
+        async def scenario():
+            controller = ViaController()
+            await controller.start()
+            port1 = controller.port
+            await controller.stop()
+            # A stopped controller refuses connections...
+            with pytest.raises((ConnectionError, OSError)):
+                await asyncio.open_connection("127.0.0.1", port1)
+            # ...and can be started again.
+            await controller.start()
+            try:
+                async with AgentClient(0, "US", "127.0.0.1", controller.port) as client:
+                    assert await client.request_assignment(1, OPTIONS, 0.1) in OPTIONS
+            finally:
+                await controller.stop()
+
+        run(scenario())
+
+    def test_double_start_rejected(self):
+        async def scenario():
+            async with ViaController() as controller:
+                with pytest.raises(RuntimeError):
+                    await controller.start()
+
+        run(scenario())

@@ -1,0 +1,144 @@
+"""Unit tests for repro.netmodel.dynamics (regime switching, diurnal)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.netmodel.dynamics import (
+    ACCESS_REGIME,
+    PUBLIC_WAN_REGIME,
+    STABLE_REGIME,
+    RegimeConfig,
+    RegimeProcess,
+    diurnal_factor,
+)
+
+
+class TestRegimeConfig:
+    @pytest.mark.parametrize("config", [STABLE_REGIME, PUBLIC_WAN_REGIME, ACCESS_REGIME])
+    def test_builtin_configs_valid(self, config):
+        for row in config.transition:
+            assert sum(row) == pytest.approx(1.0)
+
+    def test_rejects_bad_row_sum(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            RegimeConfig(
+                transition=((0.5, 0.4, 0.2), (1, 0, 0), (1, 0, 0)),
+                rtt_multipliers=(1, 1, 1),
+                loss_multipliers=(1, 1, 1),
+                jitter_multipliers=(1, 1, 1),
+            )
+
+    def test_rejects_negative_probability(self):
+        with pytest.raises(ValueError):
+            RegimeConfig(
+                transition=((1.2, -0.2, 0.0), (1, 0, 0), (1, 0, 0)),
+                rtt_multipliers=(1, 1, 1),
+                loss_multipliers=(1, 1, 1),
+                jitter_multipliers=(1, 1, 1),
+            )
+
+    def test_rejects_non_positive_multiplier(self):
+        with pytest.raises(ValueError):
+            RegimeConfig(
+                transition=((1, 0, 0), (1, 0, 0), (1, 0, 0)),
+                rtt_multipliers=(1, 0, 1),
+                loss_multipliers=(1, 1, 1),
+                jitter_multipliers=(1, 1, 1),
+            )
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            RegimeConfig(
+                transition=((1, 0), (1, 0), (0, 1)),  # type: ignore[arg-type]
+                rtt_multipliers=(1, 1, 1),
+                loss_multipliers=(1, 1, 1),
+                jitter_multipliers=(1, 1, 1),
+            )
+
+    @pytest.mark.parametrize("config", [STABLE_REGIME, PUBLIC_WAN_REGIME, ACCESS_REGIME])
+    def test_stationary_distribution_sums_to_one(self, config):
+        pi = config.stationary_distribution()
+        assert pi.sum() == pytest.approx(1.0)
+        assert (pi >= 0).all()
+
+    def test_stationary_is_fixed_point(self):
+        pi = PUBLIC_WAN_REGIME.stationary_distribution()
+        matrix = np.asarray(PUBLIC_WAN_REGIME.transition)
+        assert np.allclose(pi @ matrix, pi, atol=1e-9)
+
+    def test_good_state_dominates_stable_regime(self):
+        pi = STABLE_REGIME.stationary_distribution()
+        assert pi[0] > 0.9
+
+
+class TestRegimeProcess:
+    def test_sample_length(self, rng):
+        proc = RegimeProcess.sample(PUBLIC_WAN_REGIME, 30, rng)
+        assert proc.n_days == 30
+
+    def test_rejects_zero_days(self, rng):
+        with pytest.raises(ValueError):
+            RegimeProcess.sample(PUBLIC_WAN_REGIME, 0, rng)
+
+    def test_states_in_range(self, rng):
+        proc = RegimeProcess.sample(ACCESS_REGIME, 100, rng)
+        assert set(np.unique(proc.states)) <= {0, 1, 2}
+
+    def test_deterministic_given_generator(self):
+        p1 = RegimeProcess.sample(PUBLIC_WAN_REGIME, 50, np.random.default_rng(5))
+        p2 = RegimeProcess.sample(PUBLIC_WAN_REGIME, 50, np.random.default_rng(5))
+        assert (p1.states == p2.states).all()
+
+    def test_state_on_clamps_beyond_horizon(self, rng):
+        proc = RegimeProcess.sample(STABLE_REGIME, 5, rng)
+        assert proc.state_on(100) == proc.state_on(4)
+
+    def test_state_on_rejects_negative_day(self, rng):
+        proc = RegimeProcess.sample(STABLE_REGIME, 5, rng)
+        with pytest.raises(ValueError):
+            proc.state_on(-1)
+
+    def test_multipliers_match_state(self, rng):
+        proc = RegimeProcess.sample(PUBLIC_WAN_REGIME, 20, rng)
+        for day in range(20):
+            state = proc.state_on(day)
+            mults = proc.multipliers_on(day)
+            assert mults == (
+                PUBLIC_WAN_REGIME.rtt_multipliers[state],
+                PUBLIC_WAN_REGIME.loss_multipliers[state],
+                PUBLIC_WAN_REGIME.jitter_multipliers[state],
+            )
+
+    def test_long_run_occupancy_near_stationary(self):
+        proc = RegimeProcess.sample(
+            PUBLIC_WAN_REGIME, 5000, np.random.default_rng(7)
+        )
+        pi = PUBLIC_WAN_REGIME.stationary_distribution()
+        occupancy = np.bincount(proc.states, minlength=3) / proc.n_days
+        assert np.allclose(occupancy, pi, atol=0.05)
+
+
+class TestDiurnal:
+    def test_averages_to_one_over_a_day(self):
+        values = [diurnal_factor(t / 10.0) for t in range(240)]
+        assert np.mean(values) == pytest.approx(1.0, abs=1e-3)
+
+    def test_peaks_at_peak_hour(self):
+        peak = diurnal_factor(20.0, amplitude=0.1, peak_hour=20.0)
+        trough = diurnal_factor(8.0, amplitude=0.1, peak_hour=20.0)
+        assert peak == pytest.approx(1.1)
+        assert trough == pytest.approx(0.9)
+
+    def test_period_is_24_hours(self):
+        assert diurnal_factor(5.0) == pytest.approx(diurnal_factor(29.0))
+        assert diurnal_factor(5.0) == pytest.approx(diurnal_factor(24 * 100 + 5.0))
+
+    def test_zero_amplitude_is_flat(self):
+        assert diurnal_factor(13.7, amplitude=0.0) == 1.0
+
+    @pytest.mark.parametrize("amplitude", [-0.1, 1.0, 2.0])
+    def test_rejects_bad_amplitude(self, amplitude):
+        with pytest.raises(ValueError):
+            diurnal_factor(0.0, amplitude=amplitude)

@@ -1,0 +1,99 @@
+"""Unit tests for repro.netmodel.geo."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netmodel.geo import (
+    EARTH_RADIUS_KM,
+    FIBER_KM_PER_MS,
+    GeoPoint,
+    haversine_km,
+    propagation_rtt_ms,
+)
+
+lat = st.floats(min_value=-90.0, max_value=90.0, allow_nan=False)
+lon = st.floats(min_value=-180.0, max_value=180.0, allow_nan=False)
+points = st.builds(GeoPoint, lat=lat, lon=lon)
+
+
+class TestGeoPoint:
+    def test_valid_construction(self):
+        p = GeoPoint(45.0, -120.0)
+        assert p.lat == 45.0
+        assert p.lon == -120.0
+
+    @pytest.mark.parametrize("bad_lat", [-91.0, 90.5, 180.0])
+    def test_rejects_bad_latitude(self, bad_lat):
+        with pytest.raises(ValueError, match="latitude"):
+            GeoPoint(bad_lat, 0.0)
+
+    @pytest.mark.parametrize("bad_lon", [-181.0, 200.0, 999.0])
+    def test_rejects_bad_longitude(self, bad_lon):
+        with pytest.raises(ValueError, match="longitude"):
+            GeoPoint(0.0, bad_lon)
+
+    def test_is_hashable_value_object(self):
+        assert GeoPoint(1.0, 2.0) == GeoPoint(1.0, 2.0)
+        assert hash(GeoPoint(1.0, 2.0)) == hash(GeoPoint(1.0, 2.0))
+
+    def test_distance_km_method_matches_function(self):
+        a, b = GeoPoint(0.0, 0.0), GeoPoint(10.0, 10.0)
+        assert a.distance_km(b) == haversine_km(a, b)
+
+
+class TestHaversine:
+    def test_zero_distance_to_self(self):
+        p = GeoPoint(37.4, -122.1)
+        assert haversine_km(p, p) == pytest.approx(0.0, abs=1e-9)
+
+    def test_known_distance_london_newyork(self):
+        london = GeoPoint(51.5074, -0.1278)
+        new_york = GeoPoint(40.7128, -74.0060)
+        assert haversine_km(london, new_york) == pytest.approx(5570.0, rel=0.01)
+
+    def test_quarter_circumference_pole_to_equator(self):
+        pole = GeoPoint(90.0, 0.0)
+        equator = GeoPoint(0.0, 0.0)
+        expected = math.pi * EARTH_RADIUS_KM / 2.0
+        assert haversine_km(pole, equator) == pytest.approx(expected, rel=1e-6)
+
+    @given(points, points)
+    def test_symmetry(self, a, b):
+        assert haversine_km(a, b) == pytest.approx(haversine_km(b, a), rel=1e-9)
+
+    @given(points, points)
+    def test_bounded_by_half_circumference(self, a, b):
+        assert 0.0 <= haversine_km(a, b) <= math.pi * EARTH_RADIUS_KM * 1.000001
+
+    def test_antipodal_points(self):
+        a = GeoPoint(0.0, 0.0)
+        b = GeoPoint(0.0, 180.0)
+        assert haversine_km(a, b) == pytest.approx(math.pi * EARTH_RADIUS_KM, rel=1e-6)
+
+    def test_longitude_wraparound_equivalence(self):
+        a = GeoPoint(10.0, 179.0)
+        b = GeoPoint(10.0, -179.0)
+        # 2 degrees apart across the dateline, not 358.
+        assert haversine_km(a, b) < 250.0
+
+
+class TestPropagation:
+    def test_round_trip_is_twice_one_way(self):
+        a, b = GeoPoint(0.0, 0.0), GeoPoint(0.0, 90.0)
+        d = haversine_km(a, b)
+        assert propagation_rtt_ms(a, b) == pytest.approx(2.0 * d / FIBER_KM_PER_MS)
+
+    def test_transatlantic_rtt_plausible(self):
+        london = GeoPoint(51.5, -0.13)
+        new_york = GeoPoint(40.7, -74.0)
+        rtt = propagation_rtt_ms(london, new_york)
+        # Physical floor should be ~55 ms RTT for ~5570 km.
+        assert 50.0 < rtt < 62.0
+
+    @given(points, points)
+    def test_non_negative(self, a, b):
+        assert propagation_rtt_ms(a, b) >= 0.0

@@ -1,0 +1,86 @@
+"""Unit tests for repro.netmodel.graph (multi-hop overlay analysis)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netmodel.graph import backbone_graph, best_multihop_route, overlay_graph
+from repro.netmodel.options import RelayOption
+
+
+@pytest.fixture(scope="module")
+def as_pair(small_world):
+    asns = small_world.topology.asns
+    a = asns[0]
+    b = next(x for x in asns if small_world.topology.is_international(a, x))
+    return a, b
+
+
+class TestBackboneGraph:
+    def test_complete_over_relays(self, small_world):
+        graph = backbone_graph(small_world)
+        n = len(small_world.topology.relay_ids)
+        assert graph.number_of_nodes() == n
+        assert graph.number_of_edges() == n * (n - 1) // 2
+
+    def test_edge_weights_match_segments(self, small_world):
+        graph = backbone_graph(small_world, day=1)
+        rtt = graph.edges[0, 1]["rtt_ms"]
+        assert rtt == pytest.approx(small_world.inter_segment(0, 1).mean_on_day(1).rtt_ms)
+
+
+class TestOverlayGraph:
+    def test_endpoints_attached_to_every_relay(self, small_world, as_pair):
+        a, b = as_pair
+        graph = overlay_graph(small_world, a, b)
+        n = len(small_world.topology.relay_ids)
+        assert graph.degree[("as", a)] == n
+        assert graph.degree[("as", b)] == n
+
+
+class TestBestMultihopRoute:
+    def test_rejects_same_as(self, small_world):
+        asn = small_world.topology.asns[0]
+        with pytest.raises(ValueError):
+            best_multihop_route(small_world, asn, asn)
+
+    def test_single_relay_matches_best_bounce(self, small_world, as_pair):
+        a, b = as_pair
+        relays, cost = best_multihop_route(small_world, a, b, day=2, max_relays=1)
+        assert len(relays) == 1
+        best_bounce = min(
+            small_world.wan_segment(a, rid).mean_on_day(2).rtt_ms
+            + small_world.wan_segment(b, rid).mean_on_day(2).rtt_ms
+            for rid in small_world.topology.relay_ids
+        )
+        assert cost == pytest.approx(best_bounce)
+
+    def test_two_relay_cost_matches_transit_composition(self, small_world, as_pair):
+        a, b = as_pair
+        relays, cost = best_multihop_route(small_world, a, b, day=2, max_relays=2)
+        assert 1 <= len(relays) <= 2
+        if len(relays) == 2:
+            r1, r2 = relays
+            expected = (
+                small_world.wan_segment(a, r1).mean_on_day(2).rtt_ms
+                + small_world.inter_segment(r1, r2).mean_on_day(2).rtt_ms
+                + small_world.wan_segment(b, r2).mean_on_day(2).rtt_ms
+            )
+            assert cost == pytest.approx(expected)
+
+    def test_more_hops_never_hurt(self, small_world, as_pair):
+        a, b = as_pair
+        _r1, cost1 = best_multihop_route(small_world, a, b, day=2, max_relays=1)
+        _r2, cost2 = best_multihop_route(small_world, a, b, day=2, max_relays=2)
+        relays_free, cost_free = best_multihop_route(small_world, a, b, day=2)
+        assert cost2 <= cost1 + 1e-9
+        assert cost_free <= cost2 + 1e-9
+        assert relays_free  # at least one relay on the route
+
+    def test_unbounded_beyond_transit_gains_little(self, small_world, as_pair):
+        """The engineering claim behind VIA's bounce/transit action space:
+        on a well-provisioned backbone, >2 relay hops add almost nothing."""
+        a, b = as_pair
+        _r2, cost2 = best_multihop_route(small_world, a, b, day=2, max_relays=2)
+        _rf, cost_free = best_multihop_route(small_world, a, b, day=2)
+        assert cost_free >= 0.9 * cost2

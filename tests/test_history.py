@@ -1,0 +1,154 @@
+"""Unit tests for repro.core.history (Welford aggregates, windowed store)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.history import CallHistory, RunningStat, confidence_bounds, sem_floor
+from repro.netmodel.metrics import PathMetrics
+from repro.netmodel.options import DIRECT, RelayOption
+
+
+def metrics(rtt: float, loss: float = 0.01, jitter: float = 5.0) -> PathMetrics:
+    return PathMetrics(rtt_ms=rtt, loss_rate=loss, jitter_ms=jitter)
+
+
+class TestRunningStat:
+    def test_empty(self):
+        stat = RunningStat()
+        assert stat.count == 0
+        assert (stat.mean == 0).all()
+        assert (stat.sem() == 0).all()
+
+    def test_single_sample_mean(self):
+        stat = RunningStat()
+        stat.push(metrics(100.0, 0.02, 7.0))
+        assert stat.mean == pytest.approx([100.0, 0.02, 7.0])
+        assert (stat.variance() == 0).all()
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=1000.0), min_size=2, max_size=50))
+    @settings(max_examples=50)
+    def test_matches_numpy(self, rtts):
+        stat = RunningStat()
+        for rtt in rtts:
+            stat.push(metrics(rtt))
+        assert stat.mean[0] == pytest.approx(np.mean(rtts), rel=1e-9)
+        assert stat.variance()[0] == pytest.approx(np.var(rtts, ddof=1), rel=1e-6, abs=1e-9)
+        assert stat.sem()[0] == pytest.approx(
+            np.std(rtts, ddof=1) / np.sqrt(len(rtts)), rel=1e-6, abs=1e-9
+        )
+
+    def test_mean_metrics_roundtrip(self):
+        stat = RunningStat()
+        stat.push(metrics(10.0, 0.5, 2.0))
+        stat.push(metrics(20.0, 0.3, 4.0))
+        m = stat.mean_metrics()
+        assert m.rtt_ms == pytest.approx(15.0)
+        assert m.loss_rate == pytest.approx(0.4)
+        assert m.jitter_ms == pytest.approx(3.0)
+
+    def test_mean_is_copy(self):
+        stat = RunningStat()
+        stat.push(metrics(10.0))
+        stat.mean[0] = 999.0
+        assert stat.mean[0] == pytest.approx(10.0)
+
+
+class TestCallHistory:
+    def test_window_of(self):
+        history = CallHistory(window_hours=24.0)
+        assert history.window_of(0.0) == 0
+        assert history.window_of(23.99) == 0
+        assert history.window_of(24.0) == 1
+        assert history.window_of(100.0) == 4
+
+    def test_window_of_custom_width(self):
+        history = CallHistory(window_hours=6.0)
+        assert history.window_of(13.0) == 2
+
+    def test_window_of_rejects_negative(self):
+        with pytest.raises(ValueError):
+            CallHistory().window_of(-0.1)
+
+    def test_rejects_bad_window_width(self):
+        with pytest.raises(ValueError):
+            CallHistory(window_hours=0.0)
+
+    def test_add_and_stats(self):
+        history = CallHistory()
+        history.add(("a", "b"), DIRECT, 5.0, metrics(100.0))
+        history.add(("a", "b"), DIRECT, 6.0, metrics(200.0))
+        stat = history.stats(("a", "b"), DIRECT, 0)
+        assert stat is not None
+        assert stat.count == 2
+        assert stat.mean[0] == pytest.approx(150.0)
+
+    def test_stats_separate_windows(self):
+        history = CallHistory()
+        history.add(("a", "b"), DIRECT, 5.0, metrics(100.0))
+        history.add(("a", "b"), DIRECT, 30.0, metrics(300.0))
+        assert history.stats(("a", "b"), DIRECT, 0).mean[0] == pytest.approx(100.0)
+        assert history.stats(("a", "b"), DIRECT, 1).mean[0] == pytest.approx(300.0)
+
+    def test_stats_missing_returns_none(self):
+        history = CallHistory()
+        assert history.stats(("a", "b"), DIRECT, 0) is None
+        history.add(("a", "b"), DIRECT, 5.0, metrics(100.0))
+        assert history.stats(("a", "b"), RelayOption.bounce(1), 0) is None
+        assert history.stats(("x", "y"), DIRECT, 0) is None
+
+    def test_window_items(self):
+        history = CallHistory()
+        history.add(("a", "b"), DIRECT, 1.0, metrics(100.0))
+        history.add(("a", "b"), RelayOption.bounce(0), 2.0, metrics(80.0))
+        items = dict(history.window_items(0))
+        assert len(items) == 2
+        assert list(history.window_items(5)) == []
+
+    def test_pair_options(self):
+        history = CallHistory()
+        history.add(("a", "b"), DIRECT, 1.0, metrics(100.0))
+        history.add(("a", "b"), RelayOption.bounce(2), 1.5, metrics(90.0))
+        history.add(("x", "y"), RelayOption.bounce(4), 1.5, metrics(90.0))
+        options = history.pair_options(("a", "b"), 0)
+        assert set(options) == {DIRECT, RelayOption.bounce(2)}
+
+    def test_prune_before(self):
+        history = CallHistory()
+        for day in range(5):
+            history.add(("a", "b"), DIRECT, day * 24.0 + 1.0, metrics(100.0))
+        assert history.windows() == [0, 1, 2, 3, 4]
+        dropped = history.prune_before(3)
+        assert dropped == 3
+        assert history.windows() == [3, 4]
+        assert 2 not in history
+        assert 3 in history
+
+    def test_contains_rejects_non_int(self):
+        with pytest.raises(TypeError):
+            ("a", "b") in CallHistory()  # noqa: B015
+
+    def test_total_calls(self):
+        history = CallHistory()
+        for i in range(7):
+            history.add(("a", "b"), DIRECT, float(i * 10), metrics(100.0))
+        assert history.total_calls() == 7
+
+
+class TestHelpers:
+    def test_sem_floor_relative(self):
+        assert sem_floor(100.0) == pytest.approx(5.0)
+
+    def test_sem_floor_absolute_for_tiny_means(self):
+        assert sem_floor(0.0) == pytest.approx(1e-6)
+
+    def test_confidence_bounds(self):
+        lower, upper = confidence_bounds(10.0, 1.0)
+        assert lower == pytest.approx(10.0 - 1.96)
+        assert upper == pytest.approx(10.0 + 1.96)
+
+    def test_confidence_bounds_rejects_negative_sem(self):
+        with pytest.raises(ValueError):
+            confidence_bounds(10.0, -1.0)

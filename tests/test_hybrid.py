@@ -1,0 +1,132 @@
+"""Unit tests for repro.core.hybrid (§7 hybrid reactive selection)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hybrid import HybridReactivePolicy, ProbePlan, blend_call_metrics
+from repro.core.policy import ViaConfig
+from repro.netmodel.metrics import PathMetrics
+from repro.netmodel.options import DIRECT, RelayOption
+from repro.simulation import make_inter_relay_lookup
+from repro.simulation.replay import replay
+from repro.telephony.call import Call
+from repro.workload.trace import TraceDataset
+
+OPTIONS = [DIRECT, RelayOption.bounce(0), RelayOption.bounce(1), RelayOption.transit(0, 1)]
+
+
+def make_call(call_id=0, t_hours=30.0, duration_s=300.0) -> Call:
+    return Call(
+        call_id=call_id, t_hours=t_hours, src_asn=1001, dst_asn=1002,
+        src_country="US", dst_country="IN", src_user=0, dst_user=1,
+        duration_s=duration_s,
+    )
+
+
+def metrics(rtt: float) -> PathMetrics:
+    return PathMetrics(rtt_ms=rtt, loss_rate=0.01, jitter_ms=5.0)
+
+
+class TestProbePlan:
+    def test_valid(self):
+        plan = ProbePlan(candidates=(OPTIONS[0], OPTIONS[1]), primary=OPTIONS[0])
+        assert plan.primary in plan.candidates
+
+    def test_rejects_single_candidate(self):
+        with pytest.raises(ValueError):
+            ProbePlan(candidates=(OPTIONS[0],), primary=OPTIONS[0])
+
+    def test_rejects_foreign_primary(self):
+        with pytest.raises(ValueError):
+            ProbePlan(candidates=(OPTIONS[0], OPTIONS[1]), primary=OPTIONS[2])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            ProbePlan(candidates=(OPTIONS[0], OPTIONS[0]), primary=OPTIONS[0])
+
+
+class TestBlend:
+    def test_pure_phases(self):
+        a, b = metrics(100.0), metrics(200.0)
+        assert blend_call_metrics(a, b, 1.0) == a
+        assert blend_call_metrics(a, b, 0.0).rtt_ms == pytest.approx(200.0)
+
+    def test_midpoint(self):
+        blended = blend_call_metrics(metrics(100.0), metrics(200.0), 0.5)
+        assert blended.rtt_ms == pytest.approx(150.0)
+
+    def test_loss_blends_in_linear_domain(self):
+        a = PathMetrics(rtt_ms=1.0, loss_rate=0.1, jitter_ms=1.0)
+        b = PathMetrics(rtt_ms=1.0, loss_rate=0.0, jitter_ms=1.0)
+        blended = blend_call_metrics(a, b, 0.5)
+        assert 0.0 < blended.loss_rate < 0.1
+
+    def test_rejects_bad_weight(self):
+        with pytest.raises(ValueError):
+            blend_call_metrics(metrics(1.0), metrics(2.0), 1.5)
+
+
+class TestHybridPolicy:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            HybridReactivePolicy(probe_top_n=1)
+        with pytest.raises(ValueError):
+            HybridReactivePolicy(probe_window_s=0.0)
+
+    def test_short_calls_not_probed(self):
+        policy = HybridReactivePolicy(ViaConfig(seed=1), min_duration_s=60.0)
+        plan = policy.plan_probe(make_call(duration_s=20.0), OPTIONS)
+        assert plan is None
+
+    def test_long_calls_get_candidate_plans(self):
+        policy = HybridReactivePolicy(ViaConfig(seed=1), probe_top_n=3)
+        plan = policy.plan_probe(make_call(duration_s=300.0), OPTIONS)
+        assert plan is not None
+        assert 2 <= len(plan.candidates) <= 3
+        assert all(c in OPTIONS for c in plan.candidates)
+
+    def test_probe_weight(self):
+        policy = HybridReactivePolicy(ViaConfig(seed=1), probe_window_s=10.0)
+        assert policy.probe_weight(make_call(duration_s=100.0)) == pytest.approx(0.1)
+        assert policy.probe_weight(make_call(duration_s=5.0)) == 1.0
+
+    def test_commit_picks_observed_winner(self):
+        policy = HybridReactivePolicy(ViaConfig(seed=1, metric="rtt_ms"))
+        call = make_call()
+        plan = ProbePlan(candidates=(OPTIONS[1], OPTIONS[2]), primary=OPTIONS[1])
+        samples = {OPTIONS[1]: metrics(200.0), OPTIONS[2]: metrics(80.0)}
+        assert policy.commit_probe(call, plan, samples) == OPTIONS[2]
+
+    def test_commit_requires_all_samples(self):
+        policy = HybridReactivePolicy(ViaConfig(seed=1))
+        plan = ProbePlan(candidates=(OPTIONS[1], OPTIONS[2]), primary=OPTIONS[1])
+        with pytest.raises(ValueError, match="missing"):
+            policy.commit_probe(make_call(), plan, {OPTIONS[1]: metrics(100.0)})
+
+    def test_commit_feeds_history(self):
+        policy = HybridReactivePolicy(ViaConfig(seed=1))
+        call = make_call(t_hours=1.0)
+        plan = ProbePlan(candidates=(OPTIONS[1], OPTIONS[2]), primary=OPTIONS[1])
+        policy.commit_probe(
+            call, plan, {OPTIONS[1]: metrics(100.0), OPTIONS[2]: metrics(90.0)}
+        )
+        assert policy.history.stats((1001, 1002), OPTIONS[1], 0) is not None
+        assert policy.history.stats((1001, 1002), OPTIONS[2], 0) is not None
+
+
+class TestHybridReplay:
+    def test_end_to_end_beats_default_tail(self, small_world, small_trace):
+        trace = TraceDataset(calls=small_trace.calls[:2500], n_days=small_trace.n_days)
+        policy = HybridReactivePolicy(
+            ViaConfig(seed=2), inter_relay=make_inter_relay_lookup(small_world)
+        )
+        result = replay(small_world, trace, policy, seed=3)
+        assert len(result) == len(trace)
+        assert policy.n_probed_calls > 100
+        # Outcome options must always come from the pair's candidate set.
+        for outcome in result.outcomes[:200]:
+            options = small_world.options_for_pair(
+                outcome.call.src_asn, outcome.call.dst_asn
+            )
+            assert outcome.option in options

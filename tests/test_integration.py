@@ -1,0 +1,131 @@
+"""End-to-end integration tests: the paper's headline shapes on a small world.
+
+These replay real traces through real policies and assert the *directional*
+results of the evaluation section: oracle beats VIA beats default, budget
+caps hold, tomography expands coverage, and the quality models tie network
+metrics to ratings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import pnr_breakdown, relative_improvement
+from repro.core.baselines import DefaultPolicy, OraclePolicy, make_via
+from repro.simulation import ExperimentPlan, make_inter_relay_lookup, standard_policies
+from repro.telephony.quality import QualityModel
+
+
+@pytest.fixture(scope="module")
+def plan(small_world, small_trace):
+    return ExperimentPlan(
+        world=small_world, trace=small_trace, warmup_days=2, min_pair_calls=40
+    )
+
+
+@pytest.fixture(scope="module")
+def results(plan, small_world):
+    return plan.run(standard_policies(small_world, "rtt_ms"), seed=21)
+
+
+class TestHeadlineOrdering:
+    def test_oracle_beats_default(self, plan, results):
+        base = pnr_breakdown(plan.evaluate(results["default"]))
+        oracle = pnr_breakdown(plan.evaluate(results["oracle"]))
+        assert oracle["rtt_ms"] < base["rtt_ms"]
+        assert oracle["any"] < base["any"]
+
+    def test_via_beats_default_substantially(self, plan, results):
+        base = pnr_breakdown(plan.evaluate(results["default"]))
+        via = pnr_breakdown(plan.evaluate(results["via"]))
+        assert relative_improvement(base["rtt_ms"], via["rtt_ms"]) > 25.0
+
+    def test_oracle_bounds_via(self, plan, results):
+        oracle = pnr_breakdown(plan.evaluate(results["oracle"]))
+        via = pnr_breakdown(plan.evaluate(results["via"]))
+        # The oracle has strict foresight; VIA cannot beat it materially
+        # (sampling noise allows small inversions on tiny populations).
+        assert via["rtt_ms"] >= oracle["rtt_ms"] - 0.02
+
+    def test_via_beats_pure_exploration(self, plan, results):
+        via = pnr_breakdown(plan.evaluate(results["via"]))
+        s2 = pnr_breakdown(plan.evaluate(results["strawman-exploration"]))
+        assert via["rtt_ms"] <= s2["rtt_ms"] + 0.01
+
+    def test_relay_mix_mostly_relayed(self, results):
+        mix = results["via"].option_mix()
+        relayed = mix.get("bounce", 0.0) + mix.get("transit", 0.0)
+        assert relayed > 0.5
+
+
+class TestBudgetIntegration:
+    def test_budget_cap_respected_end_to_end(self, plan, small_world):
+        policy = make_via(
+            "rtt_ms",
+            inter_relay=make_inter_relay_lookup(small_world),
+            budget=0.3,
+            budget_aware=True,
+        )
+        result = plan.run({"budgeted": policy}, seed=22)["budgeted"]
+        assert result.relayed_fraction <= 0.35
+
+    def test_budgeted_still_improves(self, plan, small_world):
+        policies = {
+            "default": DefaultPolicy(),
+            "budgeted": make_via(
+                "rtt_ms",
+                inter_relay=make_inter_relay_lookup(small_world),
+                budget=0.3,
+            ),
+        }
+        results = plan.run(policies, seed=23)
+        base = pnr_breakdown(plan.evaluate(results["default"]))
+        budgeted = pnr_breakdown(plan.evaluate(results["budgeted"]))
+        assert budgeted["rtt_ms"] < base["rtt_ms"]
+
+
+class TestMetricSpecificOptimisation:
+    def test_oracle_improves_its_own_metric_most(self, plan, small_world, small_trace):
+        results = plan.run(
+            {
+                "default": DefaultPolicy(),
+                "oracle-loss": OraclePolicy(small_world, "loss_rate"),
+            },
+            seed=24,
+        )
+        base = pnr_breakdown(plan.evaluate(results["default"]))
+        oracle = pnr_breakdown(plan.evaluate(results["oracle-loss"]))
+        assert oracle["loss_rate"] < base["loss_rate"]
+
+
+class TestRatingsIntegration:
+    def test_poor_network_calls_get_worse_ratings(self, plan, small_world, small_trace):
+        results = plan.run(
+            {"default": DefaultPolicy()},
+            seed=25,
+            quality=QualityModel(rating_fraction=1.0),
+        )
+        outcomes = results["default"].outcomes
+        poor_network = [o for o in outcomes if o.metrics.rtt_ms >= 320.0]
+        good_network = [o for o in outcomes if o.metrics.rtt_ms < 150.0]
+        assert len(poor_network) > 50 and len(good_network) > 50
+        pcr_poor = np.mean([o.poor_rating for o in poor_network])
+        pcr_good = np.mean([o.poor_rating for o in good_network])
+        assert pcr_poor > 2.0 * pcr_good
+
+
+class TestGranularitySweep:
+    def test_all_granularities_run(self, plan, small_world):
+        inter = make_inter_relay_lookup(small_world)
+        policies = {
+            g: make_via("rtt_ms", inter_relay=inter, granularity=g)
+            for g in ("country", "as", "prefix")
+        }
+        results = plan.run(policies, seed=26)
+        base = None
+        for granularity, result in results.items():
+            breakdown = pnr_breakdown(plan.evaluate(result))
+            assert 0.0 <= breakdown["rtt_ms"] <= 1.0, granularity
+            base = breakdown
+        assert base is not None

@@ -1,0 +1,77 @@
+"""Unit tests for repro.core.keys (pair keying and orientation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.keys import PairKeyer
+from repro.netmodel.options import DIRECT, RelayOption
+from repro.telephony.call import Call
+
+
+def make_call(src_asn=1001, dst_asn=1002, src_prefix=0, dst_prefix=0,
+              src_country="US", dst_country="IN") -> Call:
+    return Call(
+        call_id=0, t_hours=1.0, src_asn=src_asn, dst_asn=dst_asn,
+        src_country=src_country, dst_country=dst_country,
+        src_user=0, dst_user=1, src_prefix=src_prefix, dst_prefix=dst_prefix,
+    )
+
+
+class TestPairKeyer:
+    def test_rejects_unknown_granularity(self):
+        with pytest.raises(ValueError):
+            PairKeyer("continent")  # type: ignore[arg-type]
+
+    def test_as_granularity_keys(self):
+        view = PairKeyer("as").view(make_call(src_asn=7, dst_asn=3))
+        assert view.pair_key == (3, 7)
+        assert view.flipped
+
+    def test_unflipped_when_already_sorted(self):
+        view = PairKeyer("as").view(make_call(src_asn=3, dst_asn=7))
+        assert view.pair_key == (3, 7)
+        assert not view.flipped
+
+    def test_country_granularity_pools_ases(self):
+        keyer = PairKeyer("country")
+        v1 = keyer.view(make_call(src_asn=1, dst_asn=2))
+        v2 = keyer.view(make_call(src_asn=99, dst_asn=98))
+        assert v1.pair_key == v2.pair_key == ("IN", "US")
+
+    def test_prefix_granularity_distinguishes_prefixes(self):
+        keyer = PairKeyer("prefix")
+        v1 = keyer.view(make_call(src_prefix=0))
+        v2 = keyer.view(make_call(src_prefix=1))
+        assert v1.pair_key != v2.pair_key
+
+    def test_both_directions_share_pair_key(self):
+        keyer = PairKeyer("as")
+        fwd = keyer.view(make_call(src_asn=10, dst_asn=20))
+        rev = keyer.view(make_call(src_asn=20, dst_asn=10))
+        assert fwd.pair_key == rev.pair_key
+        assert fwd.flipped != rev.flipped
+
+
+class TestPairView:
+    def test_normalize_reverses_transit_when_flipped(self):
+        view = PairKeyer("as").view(make_call(src_asn=9, dst_asn=1))
+        assert view.flipped
+        transit = RelayOption.transit(4, 5)
+        assert view.normalize(transit) == RelayOption.transit(5, 4)
+
+    def test_normalize_is_identity_when_not_flipped(self):
+        view = PairKeyer("as").view(make_call(src_asn=1, dst_asn=9))
+        transit = RelayOption.transit(4, 5)
+        assert view.normalize(transit) == transit
+
+    def test_denormalize_inverts_normalize(self):
+        for src, dst in ((1, 9), (9, 1)):
+            view = PairKeyer("as").view(make_call(src_asn=src, dst_asn=dst))
+            for option in (DIRECT, RelayOption.bounce(2), RelayOption.transit(0, 3)):
+                assert view.denormalize(view.normalize(option)) == option
+
+    def test_bounce_and_direct_unaffected_by_flip(self):
+        view = PairKeyer("as").view(make_call(src_asn=9, dst_asn=1))
+        assert view.normalize(DIRECT) is DIRECT
+        assert view.normalize(RelayOption.bounce(3)) == RelayOption.bounce(3)

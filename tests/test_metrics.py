@@ -1,0 +1,143 @@
+"""Unit tests for repro.netmodel.metrics (the metric algebra)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netmodel.metrics import (
+    METRICS,
+    PathMetrics,
+    compose_loss,
+    linear_to_loss,
+    loss_to_linear,
+)
+
+loss_rates = st.floats(min_value=0.0, max_value=0.99, allow_nan=False)
+metrics_values = st.builds(
+    PathMetrics,
+    rtt_ms=st.floats(min_value=0.0, max_value=5000.0, allow_nan=False),
+    loss_rate=loss_rates,
+    jitter_ms=st.floats(min_value=0.0, max_value=500.0, allow_nan=False),
+)
+
+
+class TestLossLinearisation:
+    @given(loss_rates)
+    def test_roundtrip(self, loss):
+        assert linear_to_loss(loss_to_linear(loss)) == pytest.approx(loss, abs=1e-12)
+
+    @given(loss_rates, loss_rates)
+    def test_additivity_matches_survival_composition(self, l1, l2):
+        linear_sum = loss_to_linear(l1) + loss_to_linear(l2)
+        assert linear_to_loss(linear_sum) == pytest.approx(compose_loss([l1, l2]), abs=1e-12)
+
+    def test_zero_maps_to_zero(self):
+        assert loss_to_linear(0.0) == 0.0
+        assert linear_to_loss(0.0) == 0.0
+
+    def test_monotone(self):
+        assert loss_to_linear(0.1) < loss_to_linear(0.2)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            loss_to_linear(-0.01)
+        with pytest.raises(ValueError):
+            linear_to_loss(-0.5)
+
+    def test_full_loss_saturates(self):
+        # loss = 1.0 is clamped just below 1 to stay finite.
+        assert loss_to_linear(1.0) > 10.0
+
+
+class TestComposeLoss:
+    def test_empty_composition_is_lossless(self):
+        assert compose_loss([]) == 0.0
+
+    def test_single(self):
+        assert compose_loss([0.25]) == pytest.approx(0.25)
+
+    def test_two_independent_segments(self):
+        assert compose_loss([0.1, 0.1]) == pytest.approx(0.19)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            compose_loss([0.5, 1.5])
+
+
+class TestPathMetrics:
+    def test_valid_construction(self):
+        m = PathMetrics(rtt_ms=100.0, loss_rate=0.01, jitter_ms=5.0)
+        assert m.rtt_ms == 100.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"rtt_ms": -1.0, "loss_rate": 0.0, "jitter_ms": 0.0},
+            {"rtt_ms": 0.0, "loss_rate": -0.1, "jitter_ms": 0.0},
+            {"rtt_ms": 0.0, "loss_rate": 1.1, "jitter_ms": 0.0},
+            {"rtt_ms": 0.0, "loss_rate": 0.0, "jitter_ms": -2.0},
+        ],
+    )
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            PathMetrics(**kwargs)
+
+    def test_get_by_name(self):
+        m = PathMetrics(rtt_ms=100.0, loss_rate=0.01, jitter_ms=5.0)
+        assert m.get("rtt_ms") == 100.0
+        assert m.get("loss_rate") == 0.01
+        assert m.get("jitter_ms") == 5.0
+
+    def test_get_unknown_metric_raises(self):
+        m = PathMetrics(rtt_ms=1.0, loss_rate=0.0, jitter_ms=0.0)
+        with pytest.raises(KeyError):
+            m.get("bandwidth")
+
+    def test_metric_names_constant(self):
+        assert METRICS == ("rtt_ms", "loss_rate", "jitter_ms")
+
+    def test_as_dict(self):
+        m = PathMetrics(rtt_ms=1.0, loss_rate=0.5, jitter_ms=2.0)
+        assert m.as_dict() == {"rtt_ms": 1.0, "loss_rate": 0.5, "jitter_ms": 2.0}
+
+    @given(metrics_values, metrics_values)
+    def test_compose_additive_rtt_jitter(self, a, b):
+        c = PathMetrics.compose([a, b])
+        assert c.rtt_ms == pytest.approx(a.rtt_ms + b.rtt_ms)
+        assert c.jitter_ms == pytest.approx(a.jitter_ms + b.jitter_ms)
+
+    @given(metrics_values, metrics_values)
+    def test_compose_loss_survival(self, a, b):
+        c = PathMetrics.compose([a, b])
+        expected = 1.0 - (1.0 - a.loss_rate) * (1.0 - b.loss_rate)
+        assert c.loss_rate == pytest.approx(expected, abs=1e-12)
+
+    def test_compose_empty_raises(self):
+        with pytest.raises(ValueError):
+            PathMetrics.compose([])
+
+    def test_compose_is_order_invariant(self):
+        a = PathMetrics(10.0, 0.02, 1.0)
+        b = PathMetrics(20.0, 0.05, 2.0)
+        c1 = PathMetrics.compose([a, b])
+        c2 = PathMetrics.compose([b, a])
+        assert c1 == c2
+
+    def test_scaled_identity(self):
+        m = PathMetrics(rtt_ms=50.0, loss_rate=0.1, jitter_ms=3.0)
+        assert m.scaled() == m
+
+    def test_scaled_loss_stays_valid_for_large_factor(self):
+        m = PathMetrics(rtt_ms=50.0, loss_rate=0.4, jitter_ms=3.0)
+        scaled = m.scaled(loss=100.0)
+        assert 0.0 <= scaled.loss_rate <= 1.0
+
+    @given(metrics_values)
+    def test_scaled_doubles_rtt(self, m):
+        assert m.scaled(rtt=2.0).rtt_ms == pytest.approx(2.0 * m.rtt_ms)
+
+    def test_frozen(self):
+        m = PathMetrics(1.0, 0.0, 0.0)
+        with pytest.raises(AttributeError):
+            m.rtt_ms = 2.0  # type: ignore[misc]

@@ -1,0 +1,70 @@
+"""Unit tests for repro.netmodel.options."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netmodel.options import DIRECT, OptionKind, RelayOption
+
+
+class TestConstruction:
+    def test_direct_singleton(self):
+        assert RelayOption.direct() is DIRECT
+        assert DIRECT.kind is OptionKind.DIRECT
+
+    def test_bounce(self):
+        o = RelayOption.bounce(7)
+        assert o.kind is OptionKind.BOUNCE
+        assert o.ingress == o.egress == 7
+
+    def test_transit(self):
+        o = RelayOption.transit(1, 2)
+        assert o.kind is OptionKind.TRANSIT
+        assert (o.ingress, o.egress) == (1, 2)
+
+    def test_direct_rejects_relay_ids(self):
+        with pytest.raises(ValueError):
+            RelayOption(OptionKind.DIRECT, ingress=1)
+
+    def test_bounce_requires_equal_ids(self):
+        with pytest.raises(ValueError):
+            RelayOption(OptionKind.BOUNCE, ingress=1, egress=2)
+        with pytest.raises(ValueError):
+            RelayOption(OptionKind.BOUNCE)
+
+    def test_transit_requires_distinct_ids(self):
+        with pytest.raises(ValueError):
+            RelayOption(OptionKind.TRANSIT, ingress=3, egress=3)
+        with pytest.raises(ValueError):
+            RelayOption(OptionKind.TRANSIT, ingress=3)
+
+
+class TestBehaviour:
+    def test_is_relayed(self):
+        assert not DIRECT.is_relayed
+        assert RelayOption.bounce(0).is_relayed
+        assert RelayOption.transit(0, 1).is_relayed
+
+    def test_relay_ids(self):
+        assert DIRECT.relay_ids() == ()
+        assert RelayOption.bounce(4).relay_ids() == (4,)
+        assert RelayOption.transit(4, 9).relay_ids() == (4, 9)
+
+    def test_reversed_transit_swaps(self):
+        o = RelayOption.transit(1, 2)
+        assert o.reversed() == RelayOption.transit(2, 1)
+        assert o.reversed().reversed() == o
+
+    def test_reversed_identity_for_direct_and_bounce(self):
+        assert DIRECT.reversed() is DIRECT
+        b = RelayOption.bounce(3)
+        assert b.reversed() == b
+
+    def test_hashable_and_equal(self):
+        assert RelayOption.bounce(5) == RelayOption.bounce(5)
+        assert len({RelayOption.bounce(5), RelayOption.bounce(5), DIRECT}) == 2
+
+    def test_str_forms(self):
+        assert str(DIRECT) == "direct"
+        assert str(RelayOption.bounce(3)) == "bounce(3)"
+        assert str(RelayOption.transit(3, 4)) == "transit(3->4)"

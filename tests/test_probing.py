@@ -1,0 +1,122 @@
+"""Unit tests for repro.core.probing (§7 active-measurement extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.policy import ViaConfig, ViaPolicy
+from repro.core.probing import ActiveProber
+from repro.netmodel.metrics import PathMetrics
+from repro.netmodel.options import DIRECT, RelayOption
+from repro.simulation import make_inter_relay_lookup
+from repro.simulation.replay import replay
+from repro.telephony.call import Call
+
+OPTIONS = [DIRECT, RelayOption.bounce(0), RelayOption.bounce(1), RelayOption.transit(0, 1)]
+
+
+def make_call(call_id=0, t_hours=1.0, src_asn=1001, dst_asn=1002) -> Call:
+    return Call(
+        call_id=call_id, t_hours=t_hours, src_asn=src_asn, dst_asn=dst_asn,
+        src_country="US", dst_country="IN", src_user=0, dst_user=1,
+    )
+
+
+def metrics(rtt: float) -> PathMetrics:
+    return PathMetrics(rtt_ms=rtt, loss_rate=0.01, jitter_ms=5.0)
+
+
+class TestConstruction:
+    def test_requires_as_granularity(self):
+        policy = ViaPolicy(ViaConfig(granularity="country"))
+        with pytest.raises(ValueError, match="AS granularity"):
+            ActiveProber(policy)
+
+    def test_rejects_bad_fraction(self):
+        policy = ViaPolicy(ViaConfig())
+        with pytest.raises(ValueError):
+            ActiveProber(policy, probe_fraction=1.5)
+
+    def test_rejects_bad_queue_limits(self):
+        policy = ViaPolicy(ViaConfig())
+        with pytest.raises(ValueError):
+            ActiveProber(policy, probes_per_hole=0)
+
+
+class TestProbeScheduling:
+    def test_zero_fraction_never_probes(self):
+        policy = ViaPolicy(ViaConfig(seed=1))
+        prober = ActiveProber(policy, probe_fraction=0.0)
+        for i in range(30):
+            call = make_call(call_id=i, t_hours=0.5 + 0.01 * i)
+            policy.assign(call, OPTIONS)
+            assert prober.probes_after(call) == []
+
+    def test_probes_target_coverage_holes(self):
+        policy = ViaPolicy(ViaConfig(seed=2, epsilon=0.0))
+        prober = ActiveProber(policy, probe_fraction=1.0, probes_per_hole=1)
+        # Day 0: only direct observed, so day 1 has relay holes.
+        for i in range(10):
+            call = make_call(call_id=i, t_hours=0.5 + 0.01 * i)
+            policy.assign(call, OPTIONS)
+            policy.observe(call, DIRECT, metrics(100.0))
+        call = make_call(call_id=99, t_hours=24.5)
+        policy.assign(call, OPTIONS)
+        requests = prober.probes_after(call)
+        assert requests, "expected probes into unpredicted options"
+        for src, dst, option in requests:
+            assert (src, dst) == (1001, 1002)
+            assert option.is_relayed  # direct had history; relays were holes
+
+    def test_budget_paces_probes(self):
+        policy = ViaPolicy(ViaConfig(seed=3, epsilon=0.0))
+        prober = ActiveProber(policy, probe_fraction=0.25, probes_per_hole=4)
+        for i in range(10):
+            call = make_call(call_id=i, t_hours=0.5 + 0.01 * i)
+            policy.assign(call, OPTIONS)
+            policy.observe(call, DIRECT, metrics(100.0))
+        issued = 0
+        for i in range(40):
+            call = make_call(call_id=100 + i, t_hours=24.5 + 0.01 * i)
+            policy.assign(call, OPTIONS)
+            issued += len(prober.probes_after(call))
+        # 40 calls at 0.25 probes/call -> about 10 probes, never more.
+        assert 1 <= issued <= 10
+
+    def test_make_probe_call_carries_endpoints(self):
+        policy = ViaPolicy(ViaConfig())
+        prober = ActiveProber(policy)
+        mock = prober.make_probe_call((7, 9, OPTIONS[1]), t_hours=3.0, call_id=-5)
+        assert (mock.src_asn, mock.dst_asn) == (7, 9)
+        assert mock.call_id == -5
+
+
+class TestReplayIntegration:
+    def test_probing_feeds_history_and_counts(self, small_world, small_trace):
+        from repro.workload.trace import TraceDataset
+
+        trace = TraceDataset(calls=small_trace.calls[:1500], n_days=small_trace.n_days)
+        policy = ViaPolicy(
+            ViaConfig(seed=4), inter_relay=make_inter_relay_lookup(small_world)
+        )
+        prober = ActiveProber(policy, probe_fraction=0.2)
+        observed = []
+        original_observe = policy.observe
+        policy.observe = lambda call, option, metrics: (  # type: ignore[method-assign]
+            observed.append(call.call_id),
+            original_observe(call, option, metrics),
+        )
+        result = replay(small_world, trace, policy, seed=5, prober=prober)
+        assert result.n_probes > 0
+        assert result.n_probes == prober.n_probes_issued
+        # Probes add measurements beyond the real calls (probe ids < 0).
+        assert len(observed) == len(trace) + result.n_probes
+        assert sum(1 for cid in observed if cid < 0) == result.n_probes
+
+    def test_no_prober_counts_zero(self, small_world, small_trace):
+        from repro.workload.trace import TraceDataset
+
+        trace = TraceDataset(calls=small_trace.calls[:200], n_days=small_trace.n_days)
+        policy = ViaPolicy(ViaConfig(seed=6))
+        result = replay(small_world, trace, policy, seed=7)
+        assert result.n_probes == 0

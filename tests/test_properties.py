@@ -1,0 +1,152 @@
+"""Cross-cutting property-based tests on core invariants (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.analysis.stats import binned_quantile_bands
+from repro.core.bandit import UCB1Explorer
+from repro.core.budget import BudgetGate
+from repro.core.history import RunningStat
+from repro.netmodel.metrics import PathMetrics
+from repro.netmodel.options import RelayOption
+from repro.telephony.quality import mos_from_network, poor_call_probability
+
+finite_metrics = st.builds(
+    PathMetrics,
+    rtt_ms=st.floats(min_value=0.0, max_value=3000.0, allow_nan=False),
+    loss_rate=st.floats(min_value=0.0, max_value=0.8, allow_nan=False),
+    jitter_ms=st.floats(min_value=0.0, max_value=200.0, allow_nan=False),
+)
+
+
+class TestQualityInvariants:
+    @given(finite_metrics, finite_metrics)
+    @settings(max_examples=200)
+    def test_strictly_worse_network_never_scores_better(self, a, b):
+        """If every metric of `worse` dominates `better`, MOS must not rise."""
+        better = PathMetrics(
+            rtt_ms=min(a.rtt_ms, b.rtt_ms),
+            loss_rate=min(a.loss_rate, b.loss_rate),
+            jitter_ms=min(a.jitter_ms, b.jitter_ms),
+        )
+        worse = PathMetrics(
+            rtt_ms=max(a.rtt_ms, b.rtt_ms),
+            loss_rate=max(a.loss_rate, b.loss_rate),
+            jitter_ms=max(a.jitter_ms, b.jitter_ms),
+        )
+        assert mos_from_network(worse) <= mos_from_network(better) + 1e-9
+        assert poor_call_probability(worse) >= poor_call_probability(better) - 1e-9
+
+
+class TestRunningStatInvariants:
+    @given(st.lists(finite_metrics, min_size=1, max_size=40))
+    @settings(max_examples=100)
+    def test_mean_within_sample_range(self, samples):
+        stat = RunningStat()
+        for m in samples:
+            stat.push(m)
+        rtts = [m.rtt_ms for m in samples]
+        assert min(rtts) - 1e-9 <= stat.mean[0] <= max(rtts) + 1e-9
+        assert stat.count == len(samples)
+        assert (stat.variance() >= -1e-12).all()
+
+    @given(st.lists(finite_metrics, min_size=2, max_size=40))
+    @settings(max_examples=100)
+    def test_sem_shrinks_with_duplicated_data(self, samples):
+        """Doubling the sample (same values) must not raise the SEM."""
+        stat1 = RunningStat()
+        stat2 = RunningStat()
+        for m in samples:
+            stat1.push(m)
+            stat2.push(m)
+        for m in samples:
+            stat2.push(m)
+        assert (stat2.sem() <= stat1.sem() + 1e-9).all()
+
+
+class TestBanditInvariants:
+    @given(
+        st.lists(
+            st.floats(min_value=1.0, max_value=1000.0, allow_nan=False),
+            min_size=2,
+            max_size=6,
+        ),
+        st.integers(min_value=30, max_value=80),
+    )
+    @settings(max_examples=50)
+    def test_deterministic_costs_converge_to_best_arm(self, costs, plays):
+        # UCB can only separate arms whose normalised cost gap exceeds the
+        # exploration bonus within the play budget; require that here.
+        normalizer = float(np.mean(costs))
+        ranked = sorted(costs)
+        assume((ranked[1] - ranked[0]) / normalizer >= 0.2)
+        arms = [RelayOption.bounce(i) for i in range(len(costs))]
+        bandit = UCB1Explorer(arms, normalizer=normalizer, exploration_coef=0.01)
+        for _ in range(plays):
+            choice = bandit.choose()
+            bandit.update(choice, costs[arms.index(choice)])
+        best = arms[int(np.argmin(costs))]
+        # The most-played arm must be the cheapest one.
+        most_played = max(arms, key=bandit.count)
+        assert most_played == best
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=50))
+    @settings(max_examples=50)
+    def test_total_plays_accounting(self, costs):
+        arm = RelayOption.bounce(0)
+        bandit = UCB1Explorer([arm], normalizer=1.0)
+        for c in costs:
+            bandit.update(arm, c)
+        assert bandit.total_plays == len(costs)
+        assert bandit.mean_cost(arm) == pytest.approx(float(np.mean(costs)))
+
+
+class TestBudgetInvariants:
+    @given(
+        st.floats(min_value=0.05, max_value=0.9),
+        st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=200, max_size=600),
+    )
+    @settings(max_examples=30)
+    def test_hard_cap_never_materially_exceeded(self, budget, benefits):
+        gate = BudgetGate(budget, aware=True, min_history=20)
+        for benefit in benefits:
+            relayed = gate.allows(benefit)
+            gate.record(benefit, relayed=relayed)
+        # Small startup slack allowed before the cap engages.
+        assert gate.relayed_fraction <= budget + 0.15
+
+
+class TestQuantileBands:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+                st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            ),
+            min_size=10,
+            max_size=200,
+        )
+    )
+    @settings(max_examples=50)
+    def test_band_quantiles_ordered(self, points):
+        x = [p[0] for p in points]
+        y = [p[1] for p in points]
+        bands = binned_quantile_bands(x, y, n_bins=5, min_samples=2)
+        for band in bands:
+            assert band.quantiles[10.0] <= band.quantiles[50.0] <= band.quantiles[90.0]
+            assert band.n_samples >= 2
+
+    def test_mismatched_input_rejected(self):
+        with pytest.raises(ValueError):
+            binned_quantile_bands([1.0], [1.0, 2.0])
+
+    def test_empty_input(self):
+        assert binned_quantile_bands([], []) == []
+
+    def test_constant_x_single_band(self):
+        bands = binned_quantile_bands([3.0] * 50, list(range(50)), min_samples=10)
+        assert len(bands) == 1
+        assert bands[0].n_samples == 50

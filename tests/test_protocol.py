@@ -1,0 +1,116 @@
+"""Unit tests for repro.deployment.protocol (wire format)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.deployment.protocol import (
+    AssignMessage,
+    ByeMessage,
+    HelloMessage,
+    MeasurementMessage,
+    ProtocolError,
+    RequestMessage,
+    decode_message,
+    decode_option,
+    encode_message,
+    encode_option,
+)
+from repro.netmodel.options import DIRECT, RelayOption
+
+
+class TestOptionCodec:
+    @pytest.mark.parametrize(
+        "option", [DIRECT, RelayOption.bounce(3), RelayOption.transit(1, 7)]
+    )
+    def test_roundtrip(self, option):
+        assert decode_option(encode_option(option)) == option
+
+    def test_decode_rejects_unknown_kind(self):
+        with pytest.raises(ProtocolError):
+            decode_option({"kind": "teleport", "ingress": None, "egress": None})
+
+    def test_decode_rejects_inconsistent_ids(self):
+        with pytest.raises(ProtocolError):
+            decode_option({"kind": "bounce", "ingress": 1, "egress": 2})
+
+    def test_decode_rejects_missing_kind(self):
+        with pytest.raises(ProtocolError):
+            decode_option({"ingress": 1})
+
+
+class TestMessageCodec:
+    def test_hello_roundtrip(self):
+        msg = HelloMessage(client_id=3, site="SG")
+        assert decode_message(encode_message(msg)) == msg
+
+    def test_bye_roundtrip(self):
+        msg = ByeMessage(client_id=5)
+        assert decode_message(encode_message(msg)) == msg
+
+    def test_assign_roundtrip(self):
+        msg = AssignMessage(option=encode_option(RelayOption.bounce(2)))
+        assert decode_message(encode_message(msg)) == msg
+
+    @given(
+        st.integers(min_value=0, max_value=1000),
+        st.integers(min_value=0, max_value=1000),
+        st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+        st.floats(min_value=0.0, max_value=5000.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=500.0, allow_nan=False),
+    )
+    @settings(max_examples=50)
+    def test_measurement_roundtrip(self, src, dst, t, rtt, loss, jitter):
+        msg = MeasurementMessage(
+            src_id=src, dst_id=dst, t_hours=t,
+            option=encode_option(RelayOption.transit(0, 1)),
+            rtt_ms=rtt, loss_rate=loss, jitter_ms=jitter,
+        )
+        decoded = decode_message(encode_message(msg))
+        assert decoded == msg
+        assert decoded.metrics().rtt_ms == pytest.approx(rtt)
+
+    def test_request_roundtrip(self):
+        msg = RequestMessage(
+            src_id=1, dst_id=2, t_hours=3.5,
+            options=[encode_option(o) for o in (DIRECT, RelayOption.bounce(0))],
+        )
+        assert decode_message(encode_message(msg)) == msg
+
+    def test_line_terminated(self):
+        assert encode_message(ByeMessage(client_id=1)).endswith(b"\n")
+
+    def test_decode_accepts_str(self):
+        line = encode_message(HelloMessage(client_id=1, site="US")).decode()
+        assert isinstance(decode_message(line), HelloMessage)
+
+
+class TestMalformedInput:
+    def test_rejects_invalid_json(self):
+        with pytest.raises(ProtocolError, match="JSON"):
+            decode_message(b"not json\n")
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ProtocolError):
+            decode_message(b"[1, 2, 3]\n")
+
+    def test_rejects_unknown_type(self):
+        with pytest.raises(ProtocolError, match="unknown message type"):
+            decode_message(json.dumps({"type": "ping"}).encode())
+
+    def test_rejects_missing_fields(self):
+        with pytest.raises(ProtocolError, match="bad fields"):
+            decode_message(json.dumps({"type": "hello"}).encode())
+
+    def test_rejects_extra_fields(self):
+        payload = {"type": "bye", "client_id": 1, "extra": True}
+        with pytest.raises(ProtocolError):
+            decode_message(json.dumps(payload).encode())
+
+    def test_rejects_oversized_line(self):
+        with pytest.raises(ProtocolError, match="exceeds"):
+            decode_message(b"x" * (64 * 1024 + 1))

@@ -1,0 +1,156 @@
+"""Unit tests for repro.telephony.quality (E-model MOS, PCR, ratings)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.netmodel.metrics import PathMetrics
+from repro.telephony.codec import G711, G729, SILK_WB
+from repro.telephony.quality import (
+    QualityModel,
+    mos_from_network,
+    mos_from_r_factor,
+    poor_call_probability,
+    r_factor,
+    sample_rating,
+)
+
+GOOD = PathMetrics(rtt_ms=50.0, loss_rate=0.001, jitter_ms=2.0)
+BAD = PathMetrics(rtt_ms=800.0, loss_rate=0.15, jitter_ms=60.0)
+
+
+class TestRFactor:
+    def test_perfect_network_near_max(self):
+        r = r_factor(0.0, 0.0, 0.0)
+        assert 90.0 < r <= 94.2
+
+    def test_monotone_decreasing_in_rtt(self):
+        values = [r_factor(rtt, 0.01, 5.0) for rtt in (50, 150, 320, 600)]
+        assert values == sorted(values, reverse=True)
+
+    def test_monotone_decreasing_in_loss(self):
+        values = [r_factor(100.0, loss, 5.0) for loss in (0.0, 0.005, 0.02, 0.1)]
+        assert values == sorted(values, reverse=True)
+
+    def test_monotone_decreasing_in_jitter(self):
+        values = [r_factor(100.0, 0.01, j) for j in (1.0, 8.0, 20.0, 50.0)]
+        assert values == sorted(values, reverse=True)
+
+    def test_delay_knee_penalises_long_paths_harder(self):
+        # Beyond the 177.3 ms one-way knee the Id slope steepens.
+        short = r_factor(100.0, 0.0, 0.0) - r_factor(140.0, 0.0, 0.0)
+        long = r_factor(500.0, 0.0, 0.0) - r_factor(540.0, 0.0, 0.0)
+        assert long > short
+
+    def test_codec_loss_robustness_ordering(self):
+        # At 5% loss, G.729 (fragile) should be worse than SILK.
+        assert r_factor(100.0, 0.05, 5.0, G729) < r_factor(100.0, 0.05, 5.0, SILK_WB)
+
+    def test_rejects_invalid_metrics(self):
+        with pytest.raises(ValueError):
+            r_factor(-1.0, 0.0, 0.0)
+        with pytest.raises(ValueError):
+            r_factor(0.0, 1.5, 0.0)
+        with pytest.raises(ValueError):
+            r_factor(0.0, 0.0, -1.0)
+
+
+class TestMos:
+    def test_bounds(self):
+        assert mos_from_r_factor(-50.0) == 1.0
+        assert mos_from_r_factor(150.0) == 4.5
+        for r in np.linspace(0, 100, 21):
+            assert 1.0 <= mos_from_r_factor(float(r)) <= 4.5
+
+    def test_known_point_r70(self):
+        # R=70 is the classic "toll quality" boundary, MOS ~3.6.
+        assert mos_from_r_factor(70.0) == pytest.approx(3.6, abs=0.1)
+
+    def test_monotone_in_r(self):
+        rs = np.linspace(0, 100, 50)
+        mos = [mos_from_r_factor(float(r)) for r in rs]
+        assert all(b >= a - 1e-12 for a, b in zip(mos, mos[1:]))
+
+    def test_good_network_high_mos(self):
+        assert mos_from_network(GOOD) > 3.8
+
+    def test_bad_network_low_mos(self):
+        assert mos_from_network(BAD) < 2.0
+
+    @given(
+        st.floats(min_value=0, max_value=2000),
+        st.floats(min_value=0, max_value=0.5),
+        st.floats(min_value=0, max_value=100),
+    )
+    @settings(max_examples=100)
+    def test_mos_always_in_range(self, rtt, loss, jitter):
+        mos = mos_from_network(PathMetrics(rtt_ms=rtt, loss_rate=loss, jitter_ms=jitter))
+        assert 1.0 <= mos <= 4.5
+
+
+class TestPoorCallProbability:
+    def test_in_unit_interval(self):
+        for m in (GOOD, BAD):
+            assert 0.0 <= poor_call_probability(m) <= 1.0
+
+    def test_baseline_floor_on_perfect_network(self):
+        p = poor_call_probability(PathMetrics(rtt_ms=10.0, loss_rate=0.0, jitter_ms=0.5))
+        assert 0.01 <= p <= 0.10
+
+    def test_bad_network_is_usually_poor(self):
+        assert poor_call_probability(BAD) > 0.8
+
+    def test_monotone_in_each_metric(self):
+        base = dict(rtt_ms=100.0, loss_rate=0.005, jitter_ms=5.0)
+        for field, values in (
+            ("rtt_ms", (50.0, 200.0, 400.0, 800.0)),
+            ("loss_rate", (0.001, 0.01, 0.05, 0.2)),
+            ("jitter_ms", (2.0, 10.0, 25.0, 60.0)),
+        ):
+            probs = [
+                poor_call_probability(PathMetrics(**{**base, field: v})) for v in values
+            ]
+            assert probs == sorted(probs), field
+
+
+class TestSampleRating:
+    def test_in_range(self, rng):
+        for _ in range(100):
+            assert 1 <= sample_rating(GOOD, rng) <= 5
+
+    def test_good_network_rarely_poor(self):
+        rng = np.random.default_rng(0)
+        ratings = [sample_rating(GOOD, rng) for _ in range(2000)]
+        assert np.mean(np.asarray(ratings) <= 2) < 0.15
+
+    def test_bad_network_mostly_poor(self):
+        rng = np.random.default_rng(0)
+        ratings = [sample_rating(BAD, rng) for _ in range(2000)]
+        assert np.mean(np.asarray(ratings) <= 2) > 0.7
+
+
+class TestQualityModel:
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            QualityModel(rating_fraction=1.5)
+
+    def test_maybe_rate_fraction(self):
+        model = QualityModel(rating_fraction=0.25)
+        rng = np.random.default_rng(1)
+        rated = sum(model.maybe_rate(GOOD, rng) is not None for _ in range(4000))
+        assert rated == pytest.approx(1000, rel=0.15)
+
+    def test_zero_fraction_never_rates(self, rng):
+        model = QualityModel(rating_fraction=0.0)
+        assert all(model.maybe_rate(GOOD, rng) is None for _ in range(50))
+
+    def test_mos_shortcut_matches_function(self):
+        model = QualityModel()
+        assert model.mos(GOOD) == mos_from_network(GOOD, model.codec)
+
+    def test_g711_reference_values(self):
+        # Cole-Rosenbluth G.711: Ie = 30 ln(1 + 15 e).
+        assert G711.ie_at_loss(0.0) == 0.0
+        assert G711.ie_at_loss(0.02) == pytest.approx(30 * np.log1p(0.3), rel=1e-9)

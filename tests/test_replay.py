@@ -1,0 +1,121 @@
+"""Unit tests for repro.simulation.replay and experiment plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.baselines import DefaultPolicy, OraclePolicy, make_via
+from repro.netmodel.options import DIRECT
+from repro.simulation import (
+    ExperimentPlan,
+    dense_pairs,
+    evaluation_slice,
+    make_inter_relay_lookup,
+    replay,
+    run_policies,
+    standard_policies,
+)
+from repro.telephony.quality import QualityModel
+
+
+@pytest.fixture(scope="module")
+def tiny_trace(small_trace):
+    """First 800 calls of the shared trace (fast replay)."""
+    from repro.workload.trace import TraceDataset
+
+    return TraceDataset(calls=small_trace.calls[:800], n_days=small_trace.n_days)
+
+
+class TestReplay:
+    def test_outcome_per_call_in_order(self, small_world, tiny_trace):
+        result = replay(small_world, tiny_trace, DefaultPolicy(), seed=1)
+        assert len(result) == len(tiny_trace)
+        assert [o.call for o in result.outcomes] == list(tiny_trace.calls)
+
+    def test_default_policy_yields_direct_outcomes(self, small_world, tiny_trace):
+        result = replay(small_world, tiny_trace, DefaultPolicy(), seed=1)
+        assert all(o.option is DIRECT for o in result.outcomes)
+        assert result.relayed_fraction == 0.0
+
+    def test_deterministic_given_seed(self, small_world, tiny_trace):
+        r1 = replay(small_world, tiny_trace, DefaultPolicy(), seed=7)
+        r2 = replay(small_world, tiny_trace, DefaultPolicy(), seed=7)
+        assert [o.metrics for o in r1.outcomes] == [o.metrics for o in r2.outcomes]
+
+    def test_seed_changes_outcomes(self, small_world, tiny_trace):
+        r1 = replay(small_world, tiny_trace, DefaultPolicy(), seed=1)
+        r2 = replay(small_world, tiny_trace, DefaultPolicy(), seed=2)
+        assert [o.metrics for o in r1.outcomes] != [o.metrics for o in r2.outcomes]
+
+    def test_option_mix_sums_to_one(self, small_world, tiny_trace):
+        policy = OraclePolicy(small_world, "rtt_ms")
+        result = replay(small_world, tiny_trace, policy, seed=1)
+        assert sum(result.option_mix().values()) == pytest.approx(1.0)
+
+    def test_ratings_sampled_at_requested_fraction(self, small_world, tiny_trace):
+        result = replay(
+            small_world, tiny_trace, DefaultPolicy(), seed=1,
+            quality=QualityModel(rating_fraction=0.5),
+        )
+        rated = sum(o.rating is not None for o in result.outcomes)
+        assert rated == pytest.approx(0.5 * len(tiny_trace), rel=0.2)
+
+    def test_policy_observes_every_call(self, small_world, tiny_trace):
+        policy = make_via("rtt_ms", inter_relay=make_inter_relay_lookup(small_world))
+        replay(small_world, tiny_trace, policy, seed=1)
+        assert policy.history.total_calls() == len(tiny_trace)
+
+
+class TestDensePairs:
+    def test_threshold(self, small_trace):
+        pairs = dense_pairs(small_trace, min_calls=50)
+        counts = small_trace.pair_counts()
+        assert all(counts[p] >= 50 for p in pairs)
+        assert all(counts[p] < 50 for p in counts if p not in pairs)
+
+    def test_rejects_bad_min(self, small_trace):
+        with pytest.raises(ValueError):
+            dense_pairs(small_trace, min_calls=0)
+
+
+class TestEvaluationSlice:
+    def test_warmup_trims_early_calls(self, small_world, tiny_trace):
+        result = replay(small_world, tiny_trace, DefaultPolicy(), seed=1)
+        kept = evaluation_slice(result.outcomes, warmup_days=2)
+        assert all(o.call.t_hours >= 48.0 for o in kept)
+
+    def test_pair_filter(self, small_world, tiny_trace):
+        result = replay(small_world, tiny_trace, DefaultPolicy(), seed=1)
+        pair = tiny_trace.calls[0].as_pair
+        kept = evaluation_slice(result.outcomes, pairs={pair})
+        assert kept and all(o.call.as_pair == pair for o in kept)
+
+
+class TestExperimentPlan:
+    def test_run_and_evaluate(self, small_world, tiny_trace):
+        plan = ExperimentPlan(world=small_world, trace=tiny_trace,
+                              warmup_days=1, min_pair_calls=10)
+        results = plan.run({"default": DefaultPolicy()}, seed=3)
+        outcomes = plan.evaluate(results["default"])
+        assert outcomes
+        assert all(o.call.t_hours >= 24.0 for o in outcomes)
+        assert all(o.call.as_pair in plan.dense for o in outcomes)
+
+    def test_dense_cached(self, small_world, tiny_trace):
+        plan = ExperimentPlan(world=small_world, trace=tiny_trace, min_pair_calls=10)
+        assert plan.dense is plan.dense
+
+    def test_standard_policies_names(self, small_world):
+        policies = standard_policies(small_world, "rtt_ms")
+        assert set(policies) == {
+            "default", "oracle", "via", "strawman-prediction", "strawman-exploration",
+        }
+        slim = standard_policies(small_world, "rtt_ms", include_strawmen=False)
+        assert set(slim) == {"default", "oracle", "via"}
+
+    def test_run_policies_keys_match(self, small_world, tiny_trace):
+        results = run_policies(
+            small_world, tiny_trace, {"default": DefaultPolicy()}, seed=0
+        )
+        assert set(results) == {"default"}
+        assert results["default"].policy_name == "default"

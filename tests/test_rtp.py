@@ -1,0 +1,194 @@
+"""Unit tests for repro.telephony.rtp (packet traces, RFC 3550 jitter)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.netmodel.metrics import PathMetrics
+from repro.telephony.codec import G711
+from repro.telephony.quality import mos_from_network
+from repro.telephony.rtp import (
+    GilbertElliottLoss,
+    PacketTrace,
+    rfc3550_jitter,
+    simulate_rtp_stream,
+    trace_metrics,
+    trace_mos,
+)
+
+
+class TestGilbertElliott:
+    def test_from_average_hits_target(self):
+        for target in (0.005, 0.02, 0.08):
+            model = GilbertElliottLoss.from_average(target)
+            assert model.average_loss() == pytest.approx(target, rel=1e-6)
+
+    def test_from_average_empirical(self):
+        model = GilbertElliottLoss.from_average(0.05, burstiness=0.5)
+        rng = np.random.default_rng(0)
+        mask = model.sample_mask(200_000, rng)
+        assert mask.mean() == pytest.approx(0.05, rel=0.1)
+
+    def test_burstiness_creates_longer_runs(self):
+        rng1, rng2 = np.random.default_rng(1), np.random.default_rng(1)
+        random = GilbertElliottLoss.from_average(0.05, burstiness=0.0)
+        bursty = GilbertElliottLoss.from_average(0.05, burstiness=0.9)
+
+        def max_run(mask: np.ndarray) -> int:
+            best = run = 0
+            for lost in mask:
+                run = run + 1 if lost else 0
+                best = max(best, run)
+            return best
+
+        assert max_run(bursty.sample_mask(50_000, rng1)) > max_run(
+            random.sample_mask(50_000, rng2)
+        )
+
+    def test_zero_loss(self):
+        model = GilbertElliottLoss.from_average(0.0)
+        rng = np.random.default_rng(2)
+        assert not model.sample_mask(10_000, rng).any()
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            GilbertElliottLoss.from_average(1.0)
+        with pytest.raises(ValueError):
+            GilbertElliottLoss.from_average(0.05, burstiness=1.5)
+        with pytest.raises(ValueError):
+            GilbertElliottLoss.from_average(0.05, mean_burst_packets=0.5)
+        with pytest.raises(ValueError):
+            GilbertElliottLoss(p_gb=0.0, p_bg=0.0, loss_good=0.0, loss_bad=0.5)
+
+    def test_sample_mask_rejects_negative(self, rng):
+        model = GilbertElliottLoss.from_average(0.01)
+        with pytest.raises(ValueError):
+            model.sample_mask(-1, rng)
+
+
+class TestPacketTrace:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            PacketTrace(send_ms=np.zeros(3), recv_ms=np.zeros(4), rtt_ms=10.0)
+
+    def test_loss_rate_counts_nan(self):
+        trace = PacketTrace(
+            send_ms=np.array([0.0, 20.0, 40.0, 60.0]),
+            recv_ms=np.array([50.0, np.nan, 90.0, np.nan]),
+            rtt_ms=100.0,
+        )
+        assert trace.loss_rate == pytest.approx(0.5)
+        assert trace.n_packets == 4
+        assert trace.duration_ms == pytest.approx(60.0)
+
+
+class TestSimulateStream:
+    def test_packet_rate_matches_codec(self, rng):
+        trace = simulate_rtp_stream(
+            10.0, base_owd_ms=50.0, jitter_scale_ms=5.0, loss=0.01, rng=rng, codec=G711
+        )
+        assert trace.n_packets == 500  # 10s at 50 pps
+
+    def test_loss_rate_near_target(self):
+        rng = np.random.default_rng(3)
+        trace = simulate_rtp_stream(
+            600.0, base_owd_ms=40.0, jitter_scale_ms=3.0, loss=0.05, rng=rng
+        )
+        assert trace.loss_rate == pytest.approx(0.05, abs=0.015)
+
+    def test_received_packets_arrive_after_send(self, rng):
+        trace = simulate_rtp_stream(
+            5.0, base_owd_ms=30.0, jitter_scale_ms=2.0, loss=0.0, rng=rng
+        )
+        received = ~trace.lost_mask
+        assert (trace.recv_ms[received] > trace.send_ms[received]).all()
+
+    def test_rtt_carried_through(self, rng):
+        trace = simulate_rtp_stream(
+            5.0, base_owd_ms=75.0, jitter_scale_ms=2.0, loss=0.0, rng=rng
+        )
+        assert trace.rtt_ms == pytest.approx(150.0)
+
+    def test_rejects_bad_duration(self, rng):
+        with pytest.raises(ValueError):
+            simulate_rtp_stream(0.0, base_owd_ms=10.0, jitter_scale_ms=1.0, loss=0.0, rng=rng)
+
+
+class TestRfc3550Jitter:
+    def test_constant_delay_zero_jitter(self):
+        send = np.arange(100, dtype=float) * 20.0
+        trace = PacketTrace(send_ms=send, recv_ms=send + 40.0, rtt_ms=80.0)
+        assert rfc3550_jitter(trace) == pytest.approx(0.0)
+
+    def test_alternating_delay_converges_to_step(self):
+        # Transit alternates +-d, so |D| = 2 ms every packet; J -> 2.
+        send = np.arange(2000, dtype=float) * 20.0
+        delays = np.where(np.arange(2000) % 2 == 0, 40.0, 42.0)
+        trace = PacketTrace(send_ms=send, recv_ms=send + delays, rtt_ms=80.0)
+        assert rfc3550_jitter(trace) == pytest.approx(2.0, abs=0.05)
+
+    def test_scales_with_jitter_parameter(self):
+        rng1, rng2 = np.random.default_rng(4), np.random.default_rng(4)
+        low = simulate_rtp_stream(
+            60.0, base_owd_ms=40.0, jitter_scale_ms=2.0, loss=0.0, rng=rng1,
+            delay_spike_rate_per_min=0.0,
+        )
+        high = simulate_rtp_stream(
+            60.0, base_owd_ms=40.0, jitter_scale_ms=12.0, loss=0.0, rng=rng2,
+            delay_spike_rate_per_min=0.0,
+        )
+        assert rfc3550_jitter(high) > 2.0 * rfc3550_jitter(low)
+
+    def test_too_few_packets_zero(self):
+        trace = PacketTrace(send_ms=np.array([0.0]), recv_ms=np.array([40.0]), rtt_ms=80.0)
+        assert rfc3550_jitter(trace) == 0.0
+
+
+class TestTraceMetrics:
+    def test_consistency_with_inputs(self):
+        rng = np.random.default_rng(5)
+        trace = simulate_rtp_stream(
+            120.0, base_owd_ms=60.0, jitter_scale_ms=4.0, loss=0.03, rng=rng
+        )
+        metrics = trace_metrics(trace)
+        assert metrics.rtt_ms == pytest.approx(120.0)
+        assert metrics.loss_rate == pytest.approx(0.03, abs=0.015)
+        assert metrics.jitter_ms > 0.0
+
+
+class TestTraceMos:
+    def test_higher_for_clean_stream(self):
+        rng1, rng2 = np.random.default_rng(6), np.random.default_rng(6)
+        clean = simulate_rtp_stream(
+            60.0, base_owd_ms=40.0, jitter_scale_ms=2.0, loss=0.001, rng=rng1
+        )
+        dirty = simulate_rtp_stream(
+            60.0, base_owd_ms=200.0, jitter_scale_ms=15.0, loss=0.08, rng=rng2
+        )
+        assert trace_mos(clean) > trace_mos(dirty) + 0.5
+
+    def test_bursty_loss_scores_worse_than_average_suggests(self):
+        # A trace with one catastrophic window should have trace-MOS below
+        # the MOS computed from its own call-average metrics.
+        send = np.arange(3000, dtype=float) * 20.0
+        recv = send + 40.0
+        recv[1000:1200] = np.nan  # 4-second total blackout
+        trace = PacketTrace(send_ms=send, recv_ms=recv, rtt_ms=80.0)
+        avg_mos = mos_from_network(trace_metrics(trace))
+        assert trace_mos(trace) < avg_mos
+
+    def test_bounds(self):
+        rng = np.random.default_rng(7)
+        trace = simulate_rtp_stream(
+            30.0, base_owd_ms=50.0, jitter_scale_ms=5.0, loss=0.02, rng=rng
+        )
+        assert 1.0 <= trace_mos(trace) <= 4.5
+
+    def test_rejects_bad_window(self):
+        rng = np.random.default_rng(8)
+        trace = simulate_rtp_stream(
+            10.0, base_owd_ms=50.0, jitter_scale_ms=5.0, loss=0.02, rng=rng
+        )
+        with pytest.raises(ValueError):
+            trace_mos(trace, window_s=0.0)

@@ -1,0 +1,131 @@
+"""Unit tests for repro.netmodel.segments."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.netmodel.dynamics import PUBLIC_WAN_REGIME, RegimeProcess
+from repro.netmodel.metrics import PathMetrics, loss_to_linear
+from repro.netmodel.segments import (
+    NoiseConfig,
+    SegmentModel,
+    heavy_tailed_inflation,
+    lognormal_unit_mean,
+)
+
+
+@pytest.fixture()
+def segment(rng):
+    return SegmentModel(
+        name="test",
+        base=PathMetrics(rtt_ms=50.0, loss_rate=0.005, jitter_ms=2.0),
+        regime=RegimeProcess.sample(PUBLIC_WAN_REGIME, 10, rng),
+        noise=NoiseConfig(),
+    )
+
+
+class TestNoiseConfig:
+    def test_defaults(self):
+        NoiseConfig()
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ValueError):
+            NoiseConfig(rtt_sigma=-0.1)
+
+
+class TestLognormalUnitMean:
+    def test_sigma_zero_is_one(self, rng):
+        assert lognormal_unit_mean(rng, 0.0) == 1.0
+
+    def test_rejects_negative_sigma(self, rng):
+        with pytest.raises(ValueError):
+            lognormal_unit_mean(rng, -1.0)
+
+    def test_mean_is_one(self):
+        rng = np.random.default_rng(0)
+        draws = [lognormal_unit_mean(rng, 0.5) for _ in range(20000)]
+        assert np.mean(draws) == pytest.approx(1.0, abs=0.03)
+
+    def test_all_positive(self):
+        rng = np.random.default_rng(1)
+        assert all(lognormal_unit_mean(rng, 1.0) > 0 for _ in range(100))
+
+
+class TestHeavyTailedInflation:
+    @given(st.floats(min_value=1.0, max_value=5.0), st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=50)
+    def test_respects_floor(self, median, sigma):
+        rng = np.random.default_rng(2)
+        for _ in range(20):
+            assert heavy_tailed_inflation(rng, median, sigma) >= 1.02
+
+    def test_median_roughly_matches(self):
+        rng = np.random.default_rng(3)
+        draws = [heavy_tailed_inflation(rng, 2.0, 0.3) for _ in range(20000)]
+        assert np.median(draws) == pytest.approx(2.0, rel=0.05)
+
+    def test_rejects_median_below_one(self, rng):
+        with pytest.raises(ValueError):
+            heavy_tailed_inflation(rng, 0.9, 0.3)
+
+    def test_zero_sigma_is_deterministic(self, rng):
+        assert heavy_tailed_inflation(rng, 1.5, 0.0) == pytest.approx(1.5)
+
+
+class TestSegmentModel:
+    def test_mean_on_day_applies_regime_multipliers(self, segment):
+        for day in range(10):
+            mults = segment.regime.multipliers_on(day)
+            mean = segment.mean_on_day(day)
+            assert mean.rtt_ms == pytest.approx(segment.base.rtt_ms * mults[0])
+            assert loss_to_linear(mean.loss_rate) == pytest.approx(
+                loss_to_linear(segment.base.loss_rate) * mults[1]
+            )
+            assert mean.jitter_ms == pytest.approx(segment.base.jitter_ms * mults[2])
+
+    def test_sample_positive_and_valid(self, segment, rng):
+        for t in np.linspace(0.0, 239.0, 25):
+            sample = segment.sample(float(t), rng)
+            assert sample.rtt_ms > 0
+            assert 0.0 <= sample.loss_rate <= 1.0
+            assert sample.jitter_ms >= 0
+
+    def test_sample_rtt_floor(self, segment, rng):
+        samples = [segment.sample(0.0, rng).rtt_ms for _ in range(200)]
+        assert min(samples) >= 0.8 * segment.base.rtt_ms
+
+    def test_sample_mean_converges_to_day_mean(self, segment):
+        rng = np.random.default_rng(8)
+        day_mean = segment.mean_on_day(0)
+        # Sample at a fixed hour and correct for the diurnal factor there.
+        from repro.netmodel.dynamics import diurnal_factor
+
+        t = 3.0
+        load = diurnal_factor(t, amplitude=segment.diurnal_amplitude)
+        samples = [segment.sample(t, rng).rtt_ms for _ in range(20000)]
+        assert np.mean(samples) == pytest.approx(day_mean.rtt_ms * load, rel=0.03)
+
+    def test_zero_noise_sample_equals_mean_times_diurnal(self, rng):
+        seg = SegmentModel(
+            name="exact",
+            base=PathMetrics(rtt_ms=100.0, loss_rate=0.01, jitter_ms=5.0),
+            regime=RegimeProcess.sample(PUBLIC_WAN_REGIME, 5, rng),
+            noise=NoiseConfig(rtt_sigma=0.0, loss_sigma=0.0, jitter_sigma=0.0),
+            diurnal_amplitude=0.0,
+        )
+        sample = seg.sample(0.0, rng)
+        mean = seg.mean_on_day(0)
+        assert sample.rtt_ms == pytest.approx(mean.rtt_ms)
+        assert sample.jitter_ms == pytest.approx(mean.jitter_ms)
+        assert sample.loss_rate == pytest.approx(mean.loss_rate, rel=1e-9)
+
+    def test_mean_over_days_averages(self, segment):
+        window = segment.mean_over_days(0, 10)
+        rtts = [segment.mean_on_day(d).rtt_ms for d in range(10)]
+        assert window.rtt_ms == pytest.approx(np.mean(rtts))
+
+    def test_mean_over_days_rejects_empty_range(self, segment):
+        with pytest.raises(ValueError):
+            segment.mean_over_days(5, 5)

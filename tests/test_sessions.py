@@ -1,0 +1,72 @@
+"""Unit tests for repro.telephony.sessions (metrics -> packet traces)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.netmodel.metrics import PathMetrics
+from repro.telephony.rtp import rfc3550_jitter, trace_metrics
+from repro.telephony.sessions import call_trace_mos, trace_for_call
+
+TYPICAL = PathMetrics(rtt_ms=160.0, loss_rate=0.01, jitter_ms=8.0)
+CLEAN = PathMetrics(rtt_ms=60.0, loss_rate=0.001, jitter_ms=2.0)
+POOR = PathMetrics(rtt_ms=450.0, loss_rate=0.05, jitter_ms=25.0)
+
+
+class TestTraceForCall:
+    def test_rejects_bad_duration(self, rng):
+        with pytest.raises(ValueError):
+            trace_for_call(TYPICAL, 0.0, rng)
+
+    def test_rtt_round_trips_exactly(self, rng):
+        trace = trace_for_call(TYPICAL, 60.0, rng)
+        assert trace.rtt_ms == pytest.approx(TYPICAL.rtt_ms)
+
+    def test_loss_round_trips(self):
+        rng = np.random.default_rng(5)
+        losses = [
+            trace_for_call(TYPICAL, 120.0, rng).loss_rate for _ in range(10)
+        ]
+        assert float(np.mean(losses)) == pytest.approx(TYPICAL.loss_rate, rel=0.35)
+
+    def test_jitter_round_trips(self):
+        rng = np.random.default_rng(6)
+        jitters = [
+            rfc3550_jitter(trace_for_call(TYPICAL, 120.0, rng)) for _ in range(10)
+        ]
+        assert float(np.mean(jitters)) == pytest.approx(TYPICAL.jitter_ms, rel=0.35)
+
+    def test_full_metric_round_trip(self):
+        rng = np.random.default_rng(7)
+        measured = trace_metrics(trace_for_call(TYPICAL, 300.0, rng))
+        assert measured.rtt_ms == pytest.approx(TYPICAL.rtt_ms)
+        assert measured.loss_rate == pytest.approx(TYPICAL.loss_rate, rel=0.5)
+        assert measured.jitter_ms == pytest.approx(TYPICAL.jitter_ms, rel=0.5)
+
+
+class TestCallTraceMos:
+    def test_ranks_call_quality(self):
+        rng = np.random.default_rng(8)
+        clean = np.mean([call_trace_mos(CLEAN, 60.0, rng) for _ in range(5)])
+        poor = np.mean([call_trace_mos(POOR, 60.0, rng) for _ in range(5)])
+        assert clean > poor + 0.5
+
+    def test_bounds(self, rng):
+        for metrics in (CLEAN, TYPICAL, POOR):
+            assert 1.0 <= call_trace_mos(metrics, 30.0, rng) <= 4.5
+
+    def test_burstier_loss_scores_worse(self):
+        rng1, rng2 = np.random.default_rng(9), np.random.default_rng(9)
+        lossy = PathMetrics(rtt_ms=120.0, loss_rate=0.04, jitter_ms=5.0)
+        from repro.telephony.rtp import trace_mos
+        from repro.telephony.sessions import trace_for_call as build
+
+        smooth = np.mean([
+            trace_mos(build(lossy, 120.0, rng1, burstiness=0.05)) for _ in range(5)
+        ])
+        bursty = np.mean([
+            trace_mos(build(lossy, 120.0, rng2, burstiness=0.9)) for _ in range(5)
+        ])
+        # Same average loss; concentrated bursts read worse at trace level.
+        assert bursty <= smooth + 0.05

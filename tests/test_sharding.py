@@ -1,0 +1,98 @@
+"""Unit tests for repro.core.sharding (partitioned control plane)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.baselines import DefaultPolicy
+from repro.core.policy import ViaConfig, ViaPolicy
+from repro.core.sharding import ShardedPolicy, stable_shard_of
+from repro.netmodel.metrics import PathMetrics
+from repro.netmodel.options import DIRECT, RelayOption
+from repro.telephony.call import Call
+
+OPTIONS = [DIRECT, RelayOption.bounce(0), RelayOption.bounce(1)]
+
+
+def make_call(call_id=0, src_asn=1001, dst_asn=1002, t_hours=1.0) -> Call:
+    return Call(
+        call_id=call_id, t_hours=t_hours, src_asn=src_asn, dst_asn=dst_asn,
+        src_country="US", dst_country="IN", src_user=0, dst_user=1,
+    )
+
+
+class TestStableShardOf:
+    def test_deterministic(self):
+        assert stable_shard_of((1, 2), 8) == stable_shard_of((1, 2), 8)
+
+    def test_in_range(self):
+        for key in [(a, b) for a in range(20) for b in range(20)]:
+            assert 0 <= stable_shard_of(key, 7) < 7
+
+    def test_single_shard(self):
+        assert stable_shard_of((5, 9), 1) == 0
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError):
+            stable_shard_of((1, 2), 0)
+
+    def test_spreads_keys(self):
+        shards = {stable_shard_of((a, a + 1), 8) for a in range(200)}
+        assert len(shards) >= 6  # nearly all shards hit
+
+
+class TestShardedPolicy:
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError):
+            ShardedPolicy(lambda i: DefaultPolicy(), 0)
+
+    def test_both_directions_hit_same_shard(self):
+        policy = ShardedPolicy(lambda i: DefaultPolicy(), 8)
+        policy.assign(make_call(call_id=0, src_asn=7, dst_asn=9), OPTIONS)
+        policy.assign(make_call(call_id=1, src_asn=9, dst_asn=7), OPTIONS)
+        assert sum(1 for c in policy.shard_calls if c > 0) == 1
+
+    def test_observe_routes_to_owning_shard(self):
+        counters = []
+
+        class Counting(DefaultPolicy):
+            def __init__(self, idx):
+                super().__init__(name=f"shard-{idx}")
+                self.observed = 0
+                counters.append(self)
+
+            def observe(self, call, option, metrics):
+                self.observed += 1
+
+        policy = ShardedPolicy(lambda i: Counting(i), 4)
+        call = make_call()
+        policy.observe(call, DIRECT, PathMetrics(100.0, 0.01, 5.0))
+        assert sum(c.observed for c in counters) == 1
+
+    def test_shards_learn_independently(self):
+        policy = ShardedPolicy(
+            lambda i: ViaPolicy(ViaConfig(seed=i, epsilon=0.0)), 2, name="test"
+        )
+        # Feed history for one pair; the other shard must stay empty.
+        call = make_call()
+        policy.observe(call, DIRECT, PathMetrics(100.0, 0.01, 5.0))
+        totals = [s.history.total_calls() for s in policy.shards]
+        assert sorted(totals) == [0, 1]
+
+    def test_load_imbalance_reporting(self):
+        policy = ShardedPolicy(lambda i: DefaultPolicy(), 4)
+        assert policy.load_imbalance() == 1.0
+        for i in range(100):
+            policy.assign(make_call(call_id=i, src_asn=1000 + i, dst_asn=2000 + i), OPTIONS)
+        assert policy.load_imbalance() < 2.5
+
+    def test_single_shard_equals_plain_policy(self, small_world, small_trace):
+        from repro.simulation.replay import replay
+        from repro.workload.trace import TraceDataset
+
+        trace = TraceDataset(calls=small_trace.calls[:600], n_days=small_trace.n_days)
+        plain = ViaPolicy(ViaConfig(seed=3))
+        sharded = ShardedPolicy(lambda i: ViaPolicy(ViaConfig(seed=3)), 1)
+        r1 = replay(small_world, trace, plain, seed=4)
+        r2 = replay(small_world, trace, sharded, seed=4)
+        assert [o.option for o in r1.outcomes] == [o.option for o in r2.outcomes]

@@ -1,0 +1,171 @@
+"""Unit tests for repro.analysis.spatial and repro.analysis.temporal."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.spatial import (
+    by_country_pnr,
+    pair_contribution_curve,
+    split_international,
+)
+from repro.analysis.temporal import (
+    best_option_durations,
+    daily_pair_pnr,
+    persistence_and_prevalence,
+)
+from repro.netmodel.metrics import PathMetrics
+from repro.netmodel.options import DIRECT
+from repro.telephony.call import Call, CallOutcome
+
+GOOD = PathMetrics(rtt_ms=100.0, loss_rate=0.005, jitter_ms=5.0)
+BAD = PathMetrics(rtt_ms=400.0, loss_rate=0.05, jitter_ms=30.0)
+
+
+def outcome(
+    metrics: PathMetrics,
+    *,
+    src_asn: int = 1,
+    dst_asn: int = 2,
+    src_country: str = "A",
+    dst_country: str = "B",
+    day: int = 0,
+    call_id: int = 0,
+) -> CallOutcome:
+    call = Call(
+        call_id=call_id, t_hours=day * 24.0 + 1.0, src_asn=src_asn, dst_asn=dst_asn,
+        src_country=src_country, dst_country=dst_country, src_user=0, dst_user=1,
+    )
+    return CallOutcome(call=call, option=DIRECT, metrics=metrics)
+
+
+class TestSplitInternational:
+    def test_partition(self):
+        outcomes = [
+            outcome(GOOD, src_country="A", dst_country="B"),
+            outcome(GOOD, src_country="A", dst_country="A"),
+        ]
+        intl, dom = split_international(outcomes)
+        assert len(intl) == 1 and len(dom) == 1
+        assert intl[0].call.international
+
+
+class TestByCountryPnr:
+    def test_counts_both_sides(self):
+        outcomes = [outcome(BAD, src_country="X", dst_country="Y", call_id=i) for i in range(10)]
+        result = by_country_pnr(outcomes, "rtt_ms", min_calls=5)
+        assert result["X"] == pytest.approx(1.0)
+        assert result["Y"] == pytest.approx(1.0)
+
+    def test_domestic_excluded_when_international_only(self):
+        outcomes = [outcome(BAD, src_country="X", dst_country="X", call_id=i) for i in range(10)]
+        assert by_country_pnr(outcomes, "rtt_ms", min_calls=1) == {}
+        assert by_country_pnr(outcomes, "rtt_ms", min_calls=1, international_only=False)
+
+    def test_min_calls_filters(self):
+        outcomes = [outcome(BAD, call_id=i) for i in range(3)]
+        assert by_country_pnr(outcomes, min_calls=5) == {}
+
+
+class TestPairContribution:
+    def test_concentrated_single_pair(self):
+        outcomes = [outcome(BAD, src_asn=1, dst_asn=2, call_id=i) for i in range(10)]
+        curve = pair_contribution_curve(outcomes, "rtt_ms")
+        assert curve == [(1, 1.0)]
+
+    def test_spread_across_pairs(self):
+        outcomes = []
+        for pair_idx in range(10):
+            outcomes.append(
+                outcome(BAD, src_asn=pair_idx * 2, dst_asn=pair_idx * 2 + 1,
+                        call_id=pair_idx)
+            )
+        curve = pair_contribution_curve(outcomes, "rtt_ms")
+        assert curve[0] == (1, pytest.approx(0.1))
+        assert curve[-1] == (10, pytest.approx(1.0))
+
+    def test_no_poor_calls(self):
+        assert pair_contribution_curve([outcome(GOOD)], "rtt_ms") == []
+
+    def test_cumulative_monotone(self):
+        outcomes = [
+            outcome(BAD if i % 3 else GOOD, src_asn=i % 7, dst_asn=10 + i % 5, call_id=i)
+            for i in range(200)
+        ]
+        curve = pair_contribution_curve(outcomes)
+        fractions = [f for _n, f in curve]
+        assert fractions == sorted(fractions)
+
+
+class TestDailyPairPnr:
+    def test_basic_series(self):
+        outcomes = []
+        cid = 0
+        for day in range(3):
+            for _ in range(6):
+                outcomes.append(outcome(BAD if day == 1 else GOOD, day=day, call_id=cid))
+                cid += 1
+        pair_pnr, overall = daily_pair_pnr(outcomes, "rtt_ms", min_calls_per_day=5)
+        series = pair_pnr[(1, 2)]
+        assert series[0] == 0.0 and series[1] == 1.0 and series[2] == 0.0
+        assert overall[1] == 1.0
+
+    def test_sparse_days_dropped(self):
+        outcomes = [outcome(BAD, day=0, call_id=0)]
+        pair_pnr, _overall = daily_pair_pnr(outcomes, min_calls_per_day=5)
+        assert pair_pnr == {}
+
+
+class TestPersistencePrevalence:
+    def test_always_bad_pair(self):
+        pair_pnr = {(1, 2): {d: 1.0 for d in range(10)}}
+        overall = {d: 0.2 for d in range(10)}
+        persistence, prevalence = persistence_and_prevalence(pair_pnr, overall)
+        assert prevalence == [1.0]
+        assert persistence == [10.0]
+
+    def test_intermittent_pair(self):
+        # Bad on days 0 and 5 only: two 1-day streaks, prevalence 0.2.
+        series = {d: (1.0 if d in (0, 5) else 0.0) for d in range(10)}
+        persistence, prevalence = persistence_and_prevalence(
+            {(1, 2): series}, {d: 0.2 for d in range(10)}
+        )
+        assert prevalence == [pytest.approx(0.2)]
+        assert persistence == [1.0]
+
+    def test_never_high_pair_excluded(self):
+        series = {d: 0.1 for d in range(10)}
+        persistence, prevalence = persistence_and_prevalence(
+            {(1, 2): series}, {d: 0.2 for d in range(10)}
+        )
+        assert persistence == [] and prevalence == []
+
+    def test_factor_threshold(self):
+        # PNR of 0.25 vs overall 0.2: below the 1.5x factor -> not high.
+        series = {0: 0.25}
+        persistence, _ = persistence_and_prevalence({(1, 2): series}, {0: 0.2})
+        assert persistence == []
+        persistence, _ = persistence_and_prevalence(
+            {(1, 2): {0: 0.31}}, {0: 0.2}
+        )
+        assert persistence == [1.0]
+
+
+class TestBestOptionDurations:
+    def test_stable_choice(self):
+        durations = best_option_durations({(1, 2): {d: "opt-a" for d in range(10)}})
+        assert durations == [10.0]
+
+    def test_alternating_choice(self):
+        best = {d: ("a" if d % 2 == 0 else "b") for d in range(10)}
+        durations = best_option_durations({(1, 2): best})
+        assert durations == [1.0]
+
+    def test_median_of_runs(self):
+        # Runs: a,a,a | b | a,a -> lengths 3,1,2 -> median 2.
+        sequence = ["a", "a", "a", "b", "a", "a"]
+        best = {d: v for d, v in enumerate(sequence)}
+        assert best_option_durations({(1, 2): best}) == [2.0]
+
+    def test_empty(self):
+        assert best_option_durations({}) == []

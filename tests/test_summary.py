@@ -1,0 +1,52 @@
+"""Unit tests for repro.analysis.summary (whole-experiment reporting)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import experiment_report
+from repro.core.baselines import DefaultPolicy, OraclePolicy
+from repro.simulation import ExperimentPlan
+
+
+@pytest.fixture(scope="module")
+def evaluated(small_world, small_trace):
+    plan = ExperimentPlan(world=small_world, trace=small_trace,
+                          warmup_days=1, min_pair_calls=30)
+    results = plan.run(
+        {"default": DefaultPolicy(), "oracle": OraclePolicy(small_world, "rtt_ms")},
+        seed=55,
+    )
+    return results, {name: plan.evaluate(r) for name, r in results.items()}
+
+
+class TestExperimentReport:
+    def test_contains_all_strategies(self, evaluated):
+        results, outcomes = evaluated
+        report = experiment_report(outcomes, metric="rtt_ms", results=results)
+        assert "default" in report and "oracle" in report
+
+    def test_sections_present(self, evaluated):
+        results, outcomes = evaluated
+        report = experiment_report(outcomes, metric="rtt_ms", results=results)
+        assert "PNR by strategy" in report
+        assert "Percentile improvements" in report
+        assert "International vs domestic" in report
+        assert "Relay mix" in report
+
+    def test_error_bars_rendered(self, evaluated):
+        _results, outcomes = evaluated
+        report = experiment_report(outcomes, metric="rtt_ms")
+        assert "±" in report
+
+    def test_any_metric_mode(self, evaluated):
+        _results, outcomes = evaluated
+        report = experiment_report(outcomes, metric="mos")  # not a raw metric
+        assert "PNR by strategy" in report
+        # No percentile table for composite objectives.
+        assert "Percentile improvements" not in report
+
+    def test_missing_baseline_rejected(self, evaluated):
+        _results, outcomes = evaluated
+        with pytest.raises(KeyError):
+            experiment_report(outcomes, baseline="nonexistent")

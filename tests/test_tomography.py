@@ -1,0 +1,226 @@
+"""Unit tests for repro.core.tomography (segment estimation + stitching)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.history import RunningStat
+from repro.core.tomography import TomographyModel
+from repro.netmodel.metrics import PathMetrics
+from repro.netmodel.options import DIRECT, RelayOption
+
+
+def stat_of(rtt: float, loss: float = 0.01, jitter: float = 2.0, count: int = 10) -> RunningStat:
+    stat = RunningStat()
+    for _ in range(count):
+        stat.push(PathMetrics(rtt_ms=rtt, loss_rate=loss, jitter_ms=jitter))
+    return stat
+
+
+ZERO_INTER = lambda r1, r2: PathMetrics(rtt_ms=0.0, loss_rate=0.0, jitter_ms=0.0)  # noqa: E731
+
+
+def make_observations(segments: dict[tuple[str, int], float], pairs, inter=None):
+    """Noiseless bounce/transit observations from known segment RTTs."""
+    observations = []
+    for (s, d, option) in pairs:
+        if option.kind.value == "bounce":
+            rtt = segments[(s, option.ingress)] + segments[(d, option.ingress)]
+        else:
+            base = inter(option.ingress, option.egress).rtt_ms if inter else 0.0
+            rtt = segments[(s, option.ingress)] + segments[(d, option.egress)] + base
+        observations.append(((s, d), option, stat_of(rtt)))
+    return observations
+
+
+class TestFitRecovery:
+    def test_recovers_segments_from_bounce_observations(self):
+        segments = {("A", 0): 30.0, ("B", 0): 50.0, ("C", 0): 70.0}
+        pairs = [
+            ("A", "B", RelayOption.bounce(0)),
+            ("B", "C", RelayOption.bounce(0)),
+            ("A", "C", RelayOption.bounce(0)),
+        ]
+        model = TomographyModel.fit(
+            make_observations(segments, pairs), ZERO_INTER
+        )
+        for key, expected in segments.items():
+            estimate = model.segment_estimate(*key)
+            assert estimate is not None
+            assert estimate[0] == pytest.approx(expected, rel=0.02)
+
+    def test_prediction_stitches_unseen_path(self):
+        # Observe A-B and B-C via relay 0; predict the never-seen A-C.
+        segments = {("A", 0): 30.0, ("B", 0): 50.0, ("C", 0): 70.0}
+        pairs = [
+            ("A", "B", RelayOption.bounce(0)),
+            ("B", "C", RelayOption.bounce(0)),
+            ("A", "C", RelayOption.bounce(0)),
+        ]
+        model = TomographyModel.fit(make_observations(segments, pairs), ZERO_INTER)
+        prediction = model.predict("A", "C", RelayOption.bounce(0))
+        assert prediction is not None
+        mean, sem = prediction
+        assert mean[0] == pytest.approx(100.0, rel=0.03)
+        assert (sem >= 0).all()
+
+    def test_transit_subtracts_known_backbone(self):
+        inter = lambda r1, r2: PathMetrics(rtt_ms=40.0, loss_rate=0.0, jitter_ms=0.1)  # noqa: E731
+        segments = {("A", 0): 30.0, ("B", 1): 60.0, ("A", 1): 35.0, ("B", 0): 55.0}
+        pairs = [
+            ("A", "B", RelayOption.transit(0, 1)),
+            ("A", "B", RelayOption.transit(1, 0)),
+            ("A", "B", RelayOption.bounce(0)),
+            ("A", "B", RelayOption.bounce(1)),
+        ]
+        model = TomographyModel.fit(
+            make_observations(segments, pairs, inter), inter
+        )
+        prediction = model.predict("A", "B", RelayOption.transit(0, 1))
+        assert prediction is not None
+        assert prediction[0][0] == pytest.approx(30.0 + 60.0 + 40.0, rel=0.03)
+
+    def test_figure_11_path_stitching_identity(self):
+        # The paper's example: RTT(3<->4) = RTT(1<->4) + RTT(2<->3) - RTT(1<->2)
+        # expressed through a shared relay RN (id 0).
+        segments = {("AS1", 0): 20.0, ("AS2", 0): 30.0, ("AS3", 0): 25.0, ("AS4", 0): 45.0}
+        pairs = [
+            ("AS1", "AS4", RelayOption.bounce(0)),
+            ("AS2", "AS3", RelayOption.bounce(0)),
+            ("AS1", "AS2", RelayOption.bounce(0)),
+        ]
+        model = TomographyModel.fit(make_observations(segments, pairs), ZERO_INTER)
+        got = model.predict("AS3", "AS4", RelayOption.bounce(0))
+        assert got is not None
+        # (20+45) + (30+25) - (20+30) = 70
+        assert got[0][0] == pytest.approx(70.0, rel=0.05)
+
+    def test_intra_as_bounce_uses_double_coefficient(self):
+        # A call within one AS observes 2 * x[(A, 0)].
+        observations = [(("A", "A"), RelayOption.bounce(0), stat_of(60.0))]
+        model = TomographyModel.fit(observations, ZERO_INTER)
+        estimate = model.segment_estimate("A", 0)
+        assert estimate is not None
+        assert estimate[0] == pytest.approx(30.0, rel=0.05)
+
+    def test_loss_solved_in_linear_domain(self):
+        # Segment losses 1% and 2% compose to ~2.98%, not 3%.
+        stat = stat_of(100.0, loss=1 - (1 - 0.01) * (1 - 0.02))
+        observations = [
+            (("A", "B"), RelayOption.bounce(0), stat),
+            (("A", "A"), RelayOption.bounce(0), stat_of(100.0, loss=1 - (1 - 0.01) ** 2)),
+        ]
+        model = TomographyModel.fit(observations, ZERO_INTER)
+        prediction = model.predict("A", "B", RelayOption.bounce(0))
+        assert prediction is not None
+        assert prediction[0][1] == pytest.approx(1 - (1 - 0.01) * (1 - 0.02), rel=0.05)
+
+
+class TestFitEdgeCases:
+    def test_direct_observations_ignored(self):
+        observations = [(("A", "B"), DIRECT, stat_of(100.0))]
+        model = TomographyModel.fit(observations, ZERO_INTER)
+        assert model.n_segments == 0
+
+    def test_min_count_filters_thin_observations(self):
+        observations = [(("A", "B"), RelayOption.bounce(0), stat_of(100.0, count=2))]
+        model = TomographyModel.fit(observations, ZERO_INTER, min_count=5)
+        assert model.n_segments == 0
+
+    def test_empty_observations(self):
+        model = TomographyModel.fit([], ZERO_INTER)
+        assert model.n_segments == 0
+        assert model.predict("A", "B", RelayOption.bounce(0)) is None
+
+    def test_predict_direct_returns_none(self):
+        observations = [(("A", "B"), RelayOption.bounce(0), stat_of(100.0))]
+        model = TomographyModel.fit(observations, ZERO_INTER)
+        assert model.predict("A", "B", DIRECT) is None
+
+    def test_predict_missing_segment_returns_none(self):
+        observations = [(("A", "B"), RelayOption.bounce(0), stat_of(100.0))]
+        model = TomographyModel.fit(observations, ZERO_INTER)
+        assert model.predict("A", "Z", RelayOption.bounce(0)) is None
+        assert model.predict("A", "B", RelayOption.bounce(9)) is None
+
+    def test_estimates_respect_floors(self):
+        # Wildly inconsistent observations can push LSQR negative; the
+        # published estimates must stay at or above the physical floors.
+        observations = [
+            (("A", "B"), RelayOption.bounce(0), stat_of(10.0)),
+            (("A", "A"), RelayOption.bounce(0), stat_of(100.0)),
+            (("B", "B"), RelayOption.bounce(0), stat_of(100.0)),
+        ]
+        model = TomographyModel.fit(observations, ZERO_INTER)
+        for side in ("A", "B"):
+            estimate = model.segment_estimate(side, 0)
+            assert estimate is not None
+            assert estimate[0] >= 0.5
+            assert estimate[1] >= 0.0
+
+
+class TestWorldIntegration:
+    def test_accuracy_on_world_generated_observations(self, small_world, rng):
+        """Tomography should land near ground truth for linear relay paths."""
+        world = small_world
+        asns = world.topology.asns[:10]
+        day = 2
+        observations = []
+        for i, a in enumerate(asns):
+            for b in asns[i + 1:]:
+                for option in world.options_for_pair(a, b)[1:6]:
+                    stat = RunningStat()
+                    for _ in range(30):
+                        stat.push(world.sample_path(a, b, option, day * 24.0 + 1.0, rng))
+                    observations.append((((a, b)), option, stat))
+        inter = lambda r1, r2: world.inter_segment(r1, r2).mean_on_day(day)  # noqa: E731
+        model = TomographyModel.fit(observations, inter)
+        errors = []
+        for (pair, option, _stat) in observations:
+            prediction = model.predict(pair[0], pair[1], option)
+            assert prediction is not None
+            truth = world.true_mean(pair[0], pair[1], option, day).rtt_ms
+            errors.append(abs(prediction[0][0] - truth) / truth)
+        # Most predictions land close; residuals put a floor on accuracy
+        # (that is the paper's §5.3 story: ~71% within 20%).
+        assert np.mean(np.asarray(errors) <= 0.2) > 0.5
+        assert np.median(errors) < 0.2
+
+
+class TestRandomSystemRecovery:
+    """Property-based check: any consistent linear system is recovered."""
+
+    from hypothesis import given, settings, strategies as st
+
+    @given(
+        st.integers(min_value=2, max_value=5),   # number of sides
+        st.integers(min_value=1, max_value=3),   # number of relays
+        st.integers(min_value=0, max_value=1000),  # seed for values
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_consistent_bounce_systems_recovered(self, n_sides, n_relays, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        sides = [f"S{i}" for i in range(n_sides)]
+        true = {
+            (s, r): float(rng.uniform(5.0, 120.0))
+            for s in sides
+            for r in range(n_relays)
+        }
+        observations = []
+        for i, a in enumerate(sides):
+            for b in sides[i:]:
+                for r in range(n_relays):
+                    rtt = true[(a, r)] + true[(b, r)]
+                    observations.append(((a, b), RelayOption.bounce(r), stat_of(rtt)))
+        model = TomographyModel.fit(observations, ZERO_INTER)
+        # Every end-to-end prediction matches the generating system.
+        for i, a in enumerate(sides):
+            for b in sides[i:]:
+                for r in range(n_relays):
+                    predicted = model.predict(a, b, RelayOption.bounce(r))
+                    assert predicted is not None
+                    expected = true[(a, r)] + true[(b, r)]
+                    assert predicted[0][0] == pytest.approx(expected, rel=0.05)

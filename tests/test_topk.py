@@ -1,0 +1,136 @@
+"""Unit tests for repro.core.topk (Algorithm 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.predictor import Prediction
+from repro.core.topk import dynamic_top_k, fixed_top_k
+from repro.netmodel.options import RelayOption
+
+
+def prediction(mean: float, sem: float) -> Prediction:
+    return Prediction(
+        mean=np.array([mean, 0.01, 5.0]),
+        sem=np.array([sem, 0.001, 0.5]),
+        n=10,
+        source="history",
+    )
+
+
+def options(n: int) -> list[RelayOption]:
+    return [RelayOption.bounce(i) for i in range(n)]
+
+
+class TestDynamicTopK:
+    def test_empty_predictions(self):
+        assert dynamic_top_k({}, 0) == []
+
+    def test_single_option(self):
+        opts = options(1)
+        result = dynamic_top_k({opts[0]: prediction(100.0, 5.0)}, 0)
+        assert result == opts
+
+    def test_clearly_separated_keeps_only_best(self):
+        opts = options(3)
+        preds = {
+            opts[0]: prediction(100.0, 1.0),
+            opts[1]: prediction(200.0, 1.0),
+            opts[2]: prediction(300.0, 1.0),
+        }
+        assert dynamic_top_k(preds, 0) == [opts[0]]
+
+    def test_overlapping_intervals_all_kept(self):
+        opts = options(3)
+        preds = {o: prediction(100.0 + i, 50.0) for i, o in enumerate(opts)}
+        assert set(dynamic_top_k(preds, 0)) == set(opts)
+
+    def test_partial_overlap_chain(self):
+        opts = options(4)
+        preds = {
+            opts[0]: prediction(100.0, 10.0),   # CI [80.4, 119.6]
+            opts[1]: prediction(110.0, 10.0),   # CI [90.4, 129.6]  overlaps 0
+            opts[2]: prediction(135.0, 2.0),    # CI [131.1, 138.9] overlaps 1's upper? lower 131 > 129.6
+            opts[3]: prediction(500.0, 2.0),
+        }
+        result = dynamic_top_k(preds, 0)
+        assert set(result) == {opts[0], opts[1]}
+
+    def test_result_sorted_by_predicted_mean(self):
+        opts = options(3)
+        preds = {
+            opts[2]: prediction(100.0, 40.0),
+            opts[0]: prediction(120.0, 40.0),
+            opts[1]: prediction(110.0, 40.0),
+        }
+        result = dynamic_top_k(preds, 0)
+        means = [preds[o].value(0) for o in result]
+        assert means == sorted(means)
+
+    def test_max_k_caps_size(self):
+        opts = options(10)
+        preds = {o: prediction(100.0, 100.0) for o in opts}
+        assert len(dynamic_top_k(preds, 0, max_k=4)) == 4
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=1.0, max_value=1000.0),
+                st.floats(min_value=0.1, max_value=200.0),
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=100)
+    def test_separation_invariant(self, params):
+        """Every excluded option's lower bound exceeds every kept option's
+        upper bound -- the defining property of Algorithm 2."""
+        opts = options(len(params))
+        preds = {o: prediction(m, s) for o, (m, s) in zip(opts, params)}
+        kept = dynamic_top_k(preds, 0)
+        assert kept, "top-k never empty for non-empty predictions"
+        kept_set = set(kept)
+        max_upper = max(preds[o].upper(0) for o in kept)
+        for option in opts:
+            if option not in kept_set:
+                assert preds[option].lower(0) > max_upper
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=1.0, max_value=1000.0),
+                st.floats(min_value=0.1, max_value=200.0),
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=100)
+    def test_contains_best_predicted(self, params):
+        opts = options(len(params))
+        preds = {o: prediction(m, s) for o, (m, s) in zip(opts, params)}
+        kept = dynamic_top_k(preds, 0)
+        best = min(preds, key=lambda o: preds[o].value(0))
+        # The best *lower-bound* option is always kept; the best mean is
+        # kept whenever its interval isn't dominated, which holds by
+        # construction of the sweep.
+        assert best in kept
+
+
+class TestFixedTopK:
+    def test_picks_best_means(self):
+        opts = options(5)
+        preds = {o: prediction(100.0 + 10 * i, 1.0) for i, o in enumerate(opts)}
+        assert fixed_top_k(preds, 0, 2) == [opts[0], opts[1]]
+
+    def test_k_larger_than_population(self):
+        opts = options(2)
+        preds = {o: prediction(100.0, 1.0) for o in opts}
+        assert len(fixed_top_k(preds, 0, 10)) == 2
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            fixed_top_k({}, 0, 0)

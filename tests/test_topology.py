@@ -1,0 +1,113 @@
+"""Unit tests for repro.netmodel.topology."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netmodel.geo import GeoPoint
+from repro.netmodel.topology import (
+    COUNTRY_CATALOG,
+    RELAY_SITE_CATALOG,
+    TopologyConfig,
+    build_topology,
+)
+
+
+class TestTopologyConfig:
+    def test_defaults_valid(self):
+        TopologyConfig()
+
+    def test_rejects_too_many_countries(self):
+        with pytest.raises(ValueError):
+            TopologyConfig(n_countries=len(COUNTRY_CATALOG) + 1)
+
+    def test_rejects_zero_countries(self):
+        with pytest.raises(ValueError):
+            TopologyConfig(n_countries=0)
+
+    def test_rejects_too_many_relays(self):
+        with pytest.raises(ValueError):
+            TopologyConfig(n_relays=len(RELAY_SITE_CATALOG) + 1)
+
+    def test_rejects_fractional_ases_below_one(self):
+        with pytest.raises(ValueError):
+            TopologyConfig(ases_per_country=0.5)
+
+
+class TestBuildTopology:
+    @pytest.fixture(scope="class")
+    def topo(self):
+        return build_topology(TopologyConfig(n_countries=10, n_relays=8, seed=3))
+
+    def test_country_count(self, topo):
+        assert len(topo.countries) == 10
+
+    def test_relay_count_and_ids(self, topo):
+        assert len(topo.relays) == 8
+        assert sorted(topo.relays) == list(range(8))
+
+    def test_every_as_belongs_to_a_country(self, topo):
+        for asys in topo.ases.values():
+            assert asys.country in topo.countries
+
+    def test_country_ases_index_is_consistent(self, topo):
+        for code, members in topo.country_ases.items():
+            for asn in members:
+                assert topo.ases[asn].country == code
+        indexed = sum(len(v) for v in topo.country_ases.values())
+        assert indexed == len(topo.ases)
+
+    def test_as_attributes_in_range(self, topo):
+        for asys in topo.ases.values():
+            assert 0.0 < asys.access_quality <= 1.0
+            assert 0.0 < asys.wireless_fraction < 1.0
+            assert asys.n_prefixes >= 1
+
+    def test_deterministic_given_seed(self):
+        t1 = build_topology(TopologyConfig(n_countries=6, n_relays=4, seed=42))
+        t2 = build_topology(TopologyConfig(n_countries=6, n_relays=4, seed=42))
+        assert list(t1.ases) == list(t2.ases)
+        for asn in t1.ases:
+            assert t1.ases[asn] == t2.ases[asn]
+
+    def test_different_seed_changes_ases(self):
+        t1 = build_topology(TopologyConfig(n_countries=6, n_relays=4, seed=1))
+        t2 = build_topology(TopologyConfig(n_countries=6, n_relays=4, seed=2))
+        same = all(
+            t1.ases.get(a) == t2.ases.get(a) for a in set(t1.ases) & set(t2.ases)
+        )
+        assert not same
+
+    def test_nearest_relays_sorted_by_distance(self, topo):
+        origin = GeoPoint(0.0, 0.0)
+        ranked = topo.nearest_relays(origin, 8)
+        distances = [origin.distance_km(topo.relays[r].location) for r in ranked]
+        assert distances == sorted(distances)
+
+    def test_nearest_relays_truncates(self, topo):
+        assert len(topo.nearest_relays(GeoPoint(0.0, 0.0), 3)) == 3
+
+    def test_is_international(self, topo):
+        asns = topo.asns
+        a = asns[0]
+        same_country = next(
+            x for x in asns if topo.country_of_as(x) == topo.country_of_as(a)
+        )
+        assert not topo.is_international(a, same_country)
+        other = next(
+            (x for x in asns if topo.country_of_as(x) != topo.country_of_as(a)), None
+        )
+        assert other is not None
+        assert topo.is_international(a, other)
+
+    def test_catalog_entries_have_valid_coordinates(self):
+        for _code, _name, lat, lon, weight, quality in COUNTRY_CATALOG:
+            GeoPoint(lat, lon)  # raises if invalid
+            assert weight > 0.0
+            assert 0.0 < quality <= 1.0
+        for _site, lat, lon in RELAY_SITE_CATALOG:
+            GeoPoint(lat, lon)
+
+    def test_catalog_codes_unique(self):
+        codes = [c[0] for c in COUNTRY_CATALOG]
+        assert len(codes) == len(set(codes))

@@ -1,0 +1,225 @@
+"""Unit tests for repro.netmodel.world (ground-truth path model)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.netmodel.metrics import PathMetrics
+from repro.netmodel.options import DIRECT, OptionKind, RelayOption
+from repro.netmodel.world import WorldConfig, _mid_longitude, build_world
+from repro.netmodel.topology import TopologyConfig
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_world(
+        WorldConfig(topology=TopologyConfig(n_countries=8, n_relays=6, seed=11), n_days=8, seed=13)
+    )
+
+
+@pytest.fixture(scope="module")
+def as_pair(world):
+    asns = world.topology.asns
+    # Pick an international pair for meaningful relay options.
+    a = asns[0]
+    b = next(x for x in asns if world.topology.is_international(a, x))
+    return a, b
+
+
+class TestWorldConfig:
+    def test_rejects_zero_days(self):
+        with pytest.raises(ValueError):
+            WorldConfig(n_days=0)
+
+    def test_rejects_zero_bounce_candidates(self):
+        with pytest.raises(ValueError):
+            WorldConfig(n_bounce_near=0)
+
+
+class TestSegments:
+    def test_access_segment_cached(self, world):
+        asn = world.topology.asns[0]
+        assert world.access_segment(asn) is world.access_segment(asn)
+
+    def test_direct_segment_symmetric(self, world, as_pair):
+        a, b = as_pair
+        assert world.direct_segment(a, b) is world.direct_segment(b, a)
+
+    def test_inter_segment_symmetric(self, world):
+        assert world.inter_segment(0, 1) is world.inter_segment(1, 0)
+
+    def test_inter_segment_rejects_self(self, world):
+        with pytest.raises(ValueError):
+            world.inter_segment(2, 2)
+
+    def test_wan_segment_per_direction_of_key(self, world):
+        asn = world.topology.asns[0]
+        assert world.wan_segment(asn, 0) is world.wan_segment(asn, 0)
+        assert world.wan_segment(asn, 0) is not world.wan_segment(asn, 1)
+
+    def test_deterministic_across_instances(self, as_pair):
+        cfg = WorldConfig(
+            topology=TopologyConfig(n_countries=8, n_relays=6, seed=11), n_days=8, seed=13
+        )
+        w1, w2 = build_world(cfg), build_world(cfg)
+        a, b = as_pair
+        assert w1.direct_segment(a, b).base == w2.direct_segment(a, b).base
+        # Lazy creation order must not matter.
+        w3 = build_world(cfg)
+        w3.wan_segment(a, 3)  # touch something else first
+        assert w3.direct_segment(a, b).base == w1.direct_segment(a, b).base
+
+
+class TestOptions:
+    def test_direct_is_first_option(self, world, as_pair):
+        options = world.options_for_pair(*as_pair)
+        assert options[0] is DIRECT
+
+    def test_option_count_in_testbed_range(self, world, as_pair):
+        options = world.options_for_pair(*as_pair)
+        assert 5 <= len(options) <= 25
+
+    def test_options_unique(self, world, as_pair):
+        options = world.options_for_pair(*as_pair)
+        assert len(set(options)) == len(options)
+
+    def test_transit_options_use_distinct_relays(self, world, as_pair):
+        for option in world.options_for_pair(*as_pair):
+            if option.kind is OptionKind.TRANSIT:
+                assert option.ingress != option.egress
+
+    def test_reverse_pair_offers_mirrored_options(self, world, as_pair):
+        a, b = as_pair
+        fwd = {o if not o.is_relayed else o for o in world.options_for_pair(a, b)}
+        rev = {o.reversed() for o in world.options_for_pair(b, a)}
+        assert fwd == rev
+
+    def test_options_cached(self, world, as_pair):
+        assert world.options_for_pair(*as_pair) is world.options_for_pair(*as_pair)
+
+
+class TestPathComposition:
+    def test_direct_path_segments(self, world, as_pair):
+        a, b = as_pair
+        segs = world.path_segments(a, b, DIRECT)
+        names = [s.name for s in segs]
+        assert names[0] == f"access({a})"
+        assert names[-1] == f"access({b})"
+        assert any(name.startswith("direct(") for name in names)
+        assert len(segs) == 3
+
+    def test_bounce_path_segments(self, world, as_pair):
+        a, b = as_pair
+        segs = world.path_segments(a, b, RelayOption.bounce(0))
+        assert len(segs) == 4  # access + wan(a) + wan(b) + access
+
+    def test_transit_path_segments(self, world, as_pair):
+        a, b = as_pair
+        segs = world.path_segments(a, b, RelayOption.transit(0, 1))
+        assert len(segs) == 5
+        assert any(s.name.startswith("inter(") for s in segs)
+
+    def test_true_mean_composes_segments(self, world, as_pair):
+        a, b = as_pair
+        option = RelayOption.bounce(0)
+        expected = PathMetrics.compose(
+            seg.mean_on_day(2) for seg in world.path_segments(a, b, option)
+        )
+        residual = world.path_residual(a, b, option)
+        got = world.true_mean(a, b, option, 2)
+        assert got.rtt_ms == pytest.approx(expected.rtt_ms * residual[0])
+
+    def test_true_mean_direct_has_no_residual(self, world, as_pair):
+        a, b = as_pair
+        expected = PathMetrics.compose(
+            seg.mean_on_day(1) for seg in world.path_segments(a, b, DIRECT)
+        )
+        assert world.true_mean(a, b, DIRECT, 1) == expected
+
+    def test_true_mean_symmetric_in_pair(self, world, as_pair):
+        a, b = as_pair
+        opt = RelayOption.transit(0, 1)
+        fwd = world.true_mean(a, b, opt, 3)
+        rev = world.true_mean(b, a, opt.reversed(), 3)
+        assert fwd.rtt_ms == pytest.approx(rev.rtt_ms)
+
+    def test_sample_path_positive(self, world, as_pair, rng):
+        for option in world.options_for_pair(*as_pair)[:5]:
+            m = world.sample_path(*as_pair, option, 5.0, rng)
+            assert m.rtt_ms > 0 and 0 <= m.loss_rate <= 1 and m.jitter_ms >= 0
+
+
+class TestResiduals:
+    def test_direct_residual_is_identity(self, world, as_pair):
+        assert world.path_residual(*as_pair, DIRECT) == (1.0, 1.0, 1.0)
+
+    def test_residual_symmetric_under_reversal(self, world, as_pair):
+        a, b = as_pair
+        opt = RelayOption.transit(0, 1)
+        assert world.path_residual(a, b, opt) == world.path_residual(b, a, opt.reversed())
+
+    def test_residual_cached_and_positive(self, world, as_pair):
+        opt = RelayOption.bounce(2)
+        r1 = world.path_residual(*as_pair, opt)
+        r2 = world.path_residual(*as_pair, opt)
+        assert r1 == r2
+        assert all(f > 0 for f in r1)
+
+    def test_residuals_differ_across_options(self, world, as_pair):
+        r1 = world.path_residual(*as_pair, RelayOption.bounce(0))
+        r2 = world.path_residual(*as_pair, RelayOption.bounce(1))
+        assert r1 != r2
+
+
+class TestClientEffects:
+    def test_prefix_factor_cached(self, world):
+        asn = world.topology.asns[0]
+        assert world.prefix_factor(asn, 0) == world.prefix_factor(asn, 0)
+
+    def test_prefix_factors_differ(self, world):
+        asn = world.topology.asns[0]
+        assert world.prefix_factor(asn, 0) != world.prefix_factor(asn, 1)
+
+    def test_wireless_extra_non_negative(self, world, rng):
+        asn = world.topology.asns[0]
+        for _ in range(50):
+            extra = world.sample_wireless_extra(asn, rng)
+            assert extra.rtt_ms >= 0
+            assert 0 <= extra.loss_rate <= 0.5
+            assert extra.jitter_ms >= 0
+
+    def test_sample_call_wireless_increases_mean_rtt(self, world, as_pair):
+        a, b = as_pair
+        rng1, rng2 = np.random.default_rng(1), np.random.default_rng(1)
+        wired = np.mean([
+            world.sample_call(a, b, DIRECT, 1.0, rng1).rtt_ms for _ in range(400)
+        ])
+        wireless = np.mean([
+            world.sample_call(
+                a, b, DIRECT, 1.0, rng2, src_wireless=True, dst_wireless=True
+            ).rtt_ms
+            for _ in range(400)
+        ])
+        assert wireless > wired
+
+    def test_best_option_minimises_true_mean(self, world, as_pair):
+        a, b = as_pair
+        best = world.best_option(a, b, 2, "rtt_ms")
+        options = world.options_for_pair(a, b)
+        best_cost = world.true_mean(a, b, best, 2).rtt_ms
+        assert all(world.true_mean(a, b, o, 2).rtt_ms >= best_cost - 1e-9 for o in options)
+
+
+class TestMidLongitude:
+    def test_simple_midpoint(self):
+        assert _mid_longitude(0.0, 10.0) == pytest.approx(5.0)
+
+    def test_wraps_around_dateline(self):
+        mid = _mid_longitude(170.0, -170.0)
+        assert mid == pytest.approx(180.0) or mid == pytest.approx(-180.0)
+
+    def test_result_in_range(self):
+        for lon1 in (-179.0, -90.0, 0.0, 90.0, 179.0):
+            for lon2 in (-179.0, -90.0, 0.0, 90.0, 179.0):
+                assert -180.0 <= _mid_longitude(lon1, lon2) <= 180.0

@@ -1,0 +1,68 @@
+"""Unit tests for OptionFilteredWorld / restrict_relays / without_transit."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netmodel import restrict_relays, without_transit
+from repro.netmodel.options import DIRECT, OptionKind
+
+
+@pytest.fixture(scope="module")
+def as_pair(small_world):
+    asns = small_world.topology.asns
+    a = asns[0]
+    b = next(x for x in asns if small_world.topology.is_international(a, x))
+    return a, b
+
+
+class TestRestrictRelays:
+    def test_only_allowed_relays_offered(self, small_world, as_pair):
+        allowed = {0, 1}
+        filtered = restrict_relays(small_world, allowed)
+        for option in filtered.options_for_pair(*as_pair):
+            assert all(rid in allowed for rid in option.relay_ids())
+
+    def test_direct_always_survives(self, small_world, as_pair):
+        filtered = restrict_relays(small_world, set())
+        assert filtered.options_for_pair(*as_pair) == [DIRECT]
+
+    def test_rejects_unknown_relay(self, small_world):
+        with pytest.raises(ValueError):
+            restrict_relays(small_world, {9999})
+
+    def test_subset_of_original_options(self, small_world, as_pair):
+        filtered = restrict_relays(small_world, {0, 1, 2})
+        original = set(small_world.options_for_pair(*as_pair))
+        assert set(filtered.options_for_pair(*as_pair)) <= original
+
+    def test_delegates_ground_truth(self, small_world, as_pair):
+        filtered = restrict_relays(small_world, {0})
+        a, b = as_pair
+        assert filtered.true_mean(a, b, DIRECT, 1) == small_world.true_mean(a, b, DIRECT, 1)
+        assert filtered.topology is small_world.topology
+
+    def test_options_cached(self, small_world, as_pair):
+        filtered = restrict_relays(small_world, {0, 1})
+        assert filtered.options_for_pair(*as_pair) is filtered.options_for_pair(*as_pair)
+
+
+class TestWithoutTransit:
+    def test_no_transit_options(self, small_world, as_pair):
+        filtered = without_transit(small_world)
+        kinds = {o.kind for o in filtered.options_for_pair(*as_pair)}
+        assert OptionKind.TRANSIT not in kinds
+        assert OptionKind.BOUNCE in kinds
+        assert OptionKind.DIRECT in kinds
+
+    def test_bounce_set_unchanged(self, small_world, as_pair):
+        filtered = without_transit(small_world)
+        original_bounce = {
+            o for o in small_world.options_for_pair(*as_pair)
+            if o.kind is OptionKind.BOUNCE
+        }
+        filtered_bounce = {
+            o for o in filtered.options_for_pair(*as_pair)
+            if o.kind is OptionKind.BOUNCE
+        }
+        assert filtered_bounce == original_bounce
