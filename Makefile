@@ -2,13 +2,17 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples quick-bench all clean
+.PHONY: install test test-faults bench examples quick-bench all clean
 
 install:
 	pip install -e .
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Fault-injection and resilience suite only (chaos mode, outages, recovery).
+test-faults:
+	$(PYTHON) -m pytest tests/ -m faults
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -105,6 +105,10 @@ class UCB1Explorer:
     def total_plays(self) -> int:
         return self._total_plays
 
+    @property
+    def max_seen_cost(self) -> float:
+        return self._max_seen_cost
+
     def count(self, arm: RelayOption) -> int:
         return self._counts[arm]
 
@@ -149,6 +153,29 @@ class UCB1Explorer:
         # Classic UCB1 emulation: normalise by the observed cost range so
         # outliers compress the scale (what Figure 15 shows going wrong).
         return max(self._max_seen_cost, 1e-9)
+
+    def export_state(self) -> dict[RelayOption, tuple[int, float]]:
+        """Per-arm (count, cost_sum) pairs, for controller checkpointing."""
+        return {arm: (self._counts[arm], self._cost_sums[arm]) for arm in self.arms}
+
+    def restore_state(
+        self,
+        per_arm: dict[RelayOption, tuple[int, float]],
+        *,
+        max_seen_cost: float = 0.0,
+    ) -> None:
+        """Overlay (count, cost_sum) pairs exported by :meth:`export_state`.
+
+        Arms unknown to this bandit are ignored -- the candidate set may
+        have shifted between checkpoint and restore; total plays are
+        recomputed from the restored counts.
+        """
+        for arm, (count, cost_sum) in per_arm.items():
+            if arm in self._counts:
+                self._counts[arm] = int(count)
+                self._cost_sums[arm] = float(cost_sum)
+        self._total_plays = sum(self._counts.values())
+        self._max_seen_cost = max(self._max_seen_cost, float(max_seen_cost))
 
     def snapshot(self) -> dict[str, dict[str, float]]:
         """Diagnostic view of per-arm state (for logs and tests)."""

@@ -16,7 +16,14 @@ import numpy as np
 from repro.netmodel.metrics import METRICS, PathMetrics
 from repro.netmodel.options import RelayOption
 
-__all__ = ["RunningStat", "CallHistory", "history_to_dict", "history_from_dict"]
+__all__ = [
+    "RunningStat",
+    "CallHistory",
+    "history_to_dict",
+    "history_from_dict",
+    "option_to_dict",
+    "option_from_dict",
+]
 
 _N_METRICS = len(METRICS)
 
@@ -169,6 +176,24 @@ def confidence_bounds(mean: float, sem: float, z: float = 1.96) -> tuple[float, 
     return (mean - z * sem, mean + z * sem)
 
 
+def option_to_dict(option: RelayOption) -> dict:
+    """JSON-safe form of a relaying option (checkpoint serialisation)."""
+    return {
+        "kind": option.kind.value,
+        "ingress": option.ingress,
+        "egress": option.egress,
+    }
+
+
+def option_from_dict(data: dict) -> RelayOption:
+    """Inverse of :func:`option_to_dict`."""
+    from repro.netmodel.options import OptionKind
+
+    return RelayOption(
+        kind=OptionKind(data["kind"]), ingress=data["ingress"], egress=data["egress"]
+    )
+
+
 def _encode_key(value):
     """JSON-safe form of a pair-side key (int, str, or (int, int) tuple)."""
     if isinstance(value, tuple):
@@ -196,11 +221,7 @@ def history_to_dict(history: CallHistory) -> dict:
             entries.append(
                 {
                     "pair": [_encode_key(pair_key[0]), _encode_key(pair_key[1])],
-                    "option": {
-                        "kind": option.kind.value,
-                        "ingress": option.ingress,
-                        "egress": option.egress,
-                    },
+                    "option": option_to_dict(option),
                     "count": stat.count,
                     "mean": [float(x) for x in stat._mean],
                     "m2": [float(x) for x in stat._m2],
@@ -212,20 +233,13 @@ def history_to_dict(history: CallHistory) -> dict:
 
 def history_from_dict(data: dict) -> CallHistory:
     """Rebuild a :class:`CallHistory` from :func:`history_to_dict` output."""
-    from repro.netmodel.options import OptionKind
-
     history = CallHistory(window_hours=float(data["window_hours"]))
     for window_str, entries in data["windows"].items():
         window = int(window_str)
         bucket = history._windows.setdefault(window, {})
         for entry in entries:
             pair_key = (_decode_key(entry["pair"][0]), _decode_key(entry["pair"][1]))
-            option_data = entry["option"]
-            option = RelayOption(
-                kind=OptionKind(option_data["kind"]),
-                ingress=option_data["ingress"],
-                egress=option_data["egress"],
-            )
+            option = option_from_dict(entry["option"])
             stat = RunningStat()
             stat.count = int(entry["count"])
             stat._mean = np.asarray(entry["mean"], dtype=float)

@@ -166,9 +166,13 @@ class ViaPolicy:
             self._load_tracker = RelayLoadTracker(
                 self.config.per_relay_cap, window=self.config.per_relay_window
             )
+        # Relays currently marked down by the operator / fault plan: assign
+        # skips options through them and repicks (graceful degradation, §7).
+        self._down_relays: frozenset[int] = frozenset()
         # Diagnostics used by benches (§5.2 relay-mix, refresh counts).
         self.n_refreshes = 0
         self.n_epsilon_explorations = 0
+        self.n_outage_repicks = 0
 
     # ------------------------------------------------------------------
     # SelectionPolicy interface
@@ -186,11 +190,11 @@ class ViaPolicy:
 
         gate = self._budget_gate
         if gate is not None and not gate.allows(state.benefit):
-            fallback = self._fallback(norm_options)
+            fallback = self._avoid_down(state, norm_options, self._fallback(norm_options))
             gate.record(state.benefit, relayed=fallback.is_relayed)
             return view.denormalize(fallback)
 
-        choice = self._choose(state, norm_options)
+        choice = self._avoid_down(state, norm_options, self._choose(state, norm_options))
         tracker = self._load_tracker
         if tracker is not None:
             if choice.is_relayed and tracker.would_exceed(choice):
@@ -217,6 +221,43 @@ class ViaPolicy:
         if self.config.selector == "greedy":
             state.greedy_counts[norm] = state.greedy_counts.get(norm, 0) + 1
             state.greedy_sums[norm] = state.greedy_sums.get(norm, 0.0) + cost
+
+    # ------------------------------------------------------------------
+    # Relay outages (operator-marked, graceful degradation)
+    # ------------------------------------------------------------------
+
+    @property
+    def down_relays(self) -> frozenset[int]:
+        """Relay ids currently marked down (assign avoids them)."""
+        return self._down_relays
+
+    def set_down_relays(self, relay_ids) -> None:
+        """Replace the set of relays assign must route around."""
+        self._down_relays = frozenset(int(r) for r in relay_ids)
+
+    def _option_down(self, option: RelayOption) -> bool:
+        return any(rid in self._down_relays for rid in option.relay_ids())
+
+    def _avoid_down(
+        self, state: _PairState, norm_options: list[RelayOption], choice: RelayOption
+    ) -> RelayOption:
+        """Repick when the selected option rides a down relay.
+
+        Walks the pair's top-k in predicted order first, then the full
+        candidate list; if *every* option is down the original choice is
+        returned (nothing better exists, and the realised blackhole metrics
+        will teach the bandit the same lesson).
+        """
+        if not self._down_relays or not self._option_down(choice):
+            return choice
+        self.n_outage_repicks += 1
+        for candidate in state.topk:
+            if candidate != choice and not self._option_down(candidate):
+                return candidate
+        for candidate in norm_options:
+            if candidate != choice and not self._option_down(candidate):
+                return candidate
+        return choice
 
     # ------------------------------------------------------------------
     # Stages 2-3: periodic refresh
@@ -376,35 +417,61 @@ class ViaPolicy:
     # Checkpointing (controller restarts, §7 operational concerns)
     # ------------------------------------------------------------------
 
-    def save_state(self, path) -> None:
-        """Checkpoint the learned call history to ``path`` (JSON).
+    def state_dict(self) -> dict:
+        """JSON-compatible checkpoint of everything worth surviving a crash.
 
-        Bandit and pruning state are per-period and rebuild at the next
-        refresh; the windowed history is the state worth persisting.
+        v2 persists the windowed history *and* the current period's per-pair
+        bandit/greedy state, so a restored controller resumes mid-period
+        with the same top-k and the same exploration counts instead of
+        relearning from scratch (§7 operational concerns).
         """
-        import json
-        from pathlib import Path
+        from repro.core.history import _encode_key, option_to_dict
 
-        payload = {
-            "format": "via-policy-state-v1",
+        pair_states = []
+        for (pair_key, direct_blocked), state in self._pair_state.items():
+            entry: dict = {
+                "pair": [_encode_key(pair_key[0]), _encode_key(pair_key[1])],
+                "direct_blocked": bool(direct_blocked),
+                "options": [option_to_dict(o) for o in state.options],
+            }
+            if state.bandit is not None:
+                per_arm = state.bandit.export_state()
+                entry["bandit"] = {
+                    "arms": [option_to_dict(a) for a in state.bandit.arms],
+                    "counts": [per_arm[a][0] for a in state.bandit.arms],
+                    "cost_sums": [per_arm[a][1] for a in state.bandit.arms],
+                    "max_seen_cost": state.bandit.max_seen_cost,
+                }
+            if state.greedy_counts:
+                greedy_opts = list(state.greedy_counts)
+                entry["greedy"] = {
+                    "options": [option_to_dict(o) for o in greedy_opts],
+                    "counts": [state.greedy_counts[o] for o in greedy_opts],
+                    "sums": [state.greedy_sums.get(o, 0.0) for o in greedy_opts],
+                }
+            pair_states.append(entry)
+        return {
+            "format": "via-policy-state-v2",
             "metric": self.config.metric,
             "period": self._period,
+            "n_refreshes": self.n_refreshes,
             "history": history_to_dict(self.history),
+            "pair_states": pair_states,
         }
-        Path(path).write_text(json.dumps(payload), encoding="utf-8")
 
-    def load_state(self, path) -> None:
-        """Restore a checkpoint written by :meth:`save_state`.
+    def load_state_dict(self, payload: dict) -> None:
+        """Restore a checkpoint produced by :meth:`state_dict`.
 
-        The next assigned call triggers a refresh, rebuilding predictor,
-        tomography and per-pair bandit state from the restored history.
+        Accepts both the v1 (history-only) and v2 (history + bandit)
+        formats.  For v2, predictor/tomography and per-pair pruning are
+        rebuilt deterministically from the restored history, then the
+        saved exploration counts are overlaid onto the fresh bandits.
         """
-        import json
-        from pathlib import Path
+        from repro.core.history import _decode_key, option_from_dict
 
-        payload = json.loads(Path(path).read_text(encoding="utf-8"))
-        if payload.get("format") != "via-policy-state-v1":
-            raise ValueError(f"unrecognised checkpoint format in {path}")
+        fmt = payload.get("format")
+        if fmt not in ("via-policy-state-v1", "via-policy-state-v2"):
+            raise ValueError(f"unrecognised checkpoint format: {fmt!r}")
         if payload.get("metric") != self.config.metric:
             raise ValueError(
                 f"checkpoint optimises {payload.get('metric')!r}, "
@@ -414,6 +481,53 @@ class ViaPolicy:
         self._period = -1  # force a refresh on the next call
         self._pair_state = {}
         self._predictor = None
+        if fmt == "via-policy-state-v1":
+            return
+        period = int(payload.get("period", -1))
+        if period < 0:
+            return
+        saved_refreshes = payload.get("n_refreshes")
+        self._refresh(period)
+        for entry in payload.get("pair_states", ()):
+            pair_key = (_decode_key(entry["pair"][0]), _decode_key(entry["pair"][1]))
+            options = [option_from_dict(o) for o in entry["options"]]
+            state = self._state_for(pair_key, bool(entry["direct_blocked"]), options)
+            bandit_data = entry.get("bandit")
+            if bandit_data is not None and state.bandit is not None:
+                arms = [option_from_dict(o) for o in bandit_data["arms"]]
+                state.bandit.restore_state(
+                    {
+                        arm: (int(count), float(cost_sum))
+                        for arm, count, cost_sum in zip(
+                            arms, bandit_data["counts"], bandit_data["cost_sums"]
+                        )
+                    },
+                    max_seen_cost=float(bandit_data.get("max_seen_cost", 0.0)),
+                )
+            greedy = entry.get("greedy")
+            if greedy:
+                for opt_data, count, total in zip(
+                    greedy["options"], greedy["counts"], greedy["sums"]
+                ):
+                    option = option_from_dict(opt_data)
+                    state.greedy_counts[option] = int(count)
+                    state.greedy_sums[option] = float(total)
+        if saved_refreshes is not None:
+            self.n_refreshes = int(saved_refreshes)
+
+    def save_state(self, path) -> None:
+        """Checkpoint learned state to ``path`` (JSON); see :meth:`state_dict`."""
+        import json
+        from pathlib import Path
+
+        Path(path).write_text(json.dumps(self.state_dict()), encoding="utf-8")
+
+    def load_state(self, path) -> None:
+        """Restore a checkpoint written by :meth:`save_state`."""
+        import json
+        from pathlib import Path
+
+        self.load_state_dict(json.loads(Path(path).read_text(encoding="utf-8")))
 
     # ------------------------------------------------------------------
     # Introspection

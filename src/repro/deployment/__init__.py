@@ -19,11 +19,16 @@ from repro.deployment.protocol import (
     HelloMessage,
     MeasurementMessage,
     RequestMessage,
+    ResilienceMessage,
+    StatsMessage,
+    StatsRequestMessage,
     decode_message,
     encode_message,
     decode_option,
     encode_option,
 )
+from repro.deployment.resilience import CircuitBreaker, ResilienceStats, RetryPolicy
+from repro.deployment.faults import FaultInjector, FaultPlan, RelayOutage
 from repro.deployment.controller import ViaController
 from repro.deployment.client import TestbedClient
 from repro.deployment.testbed import TestbedConfig, TestbedReport, run_testbed
@@ -33,11 +38,20 @@ __all__ = [
     "MeasurementMessage",
     "RequestMessage",
     "AssignMessage",
+    "StatsRequestMessage",
+    "StatsMessage",
+    "ResilienceMessage",
     "ByeMessage",
     "encode_message",
     "decode_message",
     "encode_option",
     "decode_option",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "ResilienceStats",
+    "FaultPlan",
+    "FaultInjector",
+    "RelayOutage",
     "ViaController",
     "TestbedClient",
     "TestbedConfig",

@@ -4,11 +4,22 @@ A :class:`TestbedClient` opens one TCP connection to the controller,
 introduces itself, and then (a) reports measurements after every call and
 (b) asks the controller which relaying option an upcoming call should use
 -- the same two interactions the paper added to the Skype client.
+
+Resilience (§7: "if the controller is unreachable, the client simply
+falls back to the default path"): constructed with a
+:class:`~repro.deployment.resilience.RetryPolicy`, the client bounds every
+assignment round-trip with a timeout, retries with capped backoff over a
+fresh connection, and -- once attempts or the deadline run out, or the
+circuit breaker is open -- falls back to a client-side default option (the
+direct path when offered, else the first candidate).  A call is never
+blocked on the control plane.  Without a retry policy the client keeps the
+original fail-fast semantics (used by protocol-level tests).
 """
 
 from __future__ import annotations
 
 import asyncio
+import time
 from typing import Any
 
 from repro.deployment.protocol import (
@@ -18,23 +29,37 @@ from repro.deployment.protocol import (
     MeasurementMessage,
     ProtocolError,
     RequestMessage,
+    ResilienceMessage,
     StatsMessage,
     StatsRequestMessage,
     decode_message,
+    decode_option,
     encode_message,
     encode_option,
 )
+from repro.deployment.resilience import CircuitBreaker, ResilienceStats, RetryPolicy
 from repro.netmodel.metrics import PathMetrics
-from repro.netmodel.options import RelayOption
-from repro.deployment.protocol import decode_option
+from repro.netmodel.options import DIRECT, RelayOption
 
 __all__ = ["TestbedClient"]
+
+#: Exceptions that mean "this attempt failed, the connection is suspect".
+_TRANSPORT_ERRORS = (ConnectionError, OSError, asyncio.TimeoutError, ProtocolError)
 
 
 class TestbedClient:
     """One instrumented client, identified by ``client_id`` and a site label."""
 
-    def __init__(self, client_id: int, site: str, host: str, port: int) -> None:
+    def __init__(
+        self,
+        client_id: int,
+        site: str,
+        host: str,
+        port: int,
+        *,
+        retry: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+    ) -> None:
         self.client_id = client_id
         self.site = site
         self._host = host
@@ -44,16 +69,30 @@ class TestbedClient:
         # One request in flight at a time per connection: replies carry no
         # correlation id, so request/response must not interleave.
         self._request_lock = asyncio.Lock()
+        self._retry = retry
+        self._breaker = breaker
+        self._ever_connected = False
+        self.stats = ResilienceStats()
+        self._last_reported_events = 0
+
+    @property
+    def resilient(self) -> bool:
+        """True when a retry policy governs this client's requests."""
+        return self._retry is not None
 
     async def connect(self) -> None:
         self._reader, self._writer = await asyncio.open_connection(self._host, self._port)
+        if self._ever_connected:
+            self.stats.n_reconnects += 1
+        self._ever_connected = True
         await self._send(HelloMessage(client_id=self.client_id, site=self.site))
 
     async def close(self) -> None:
         if self._writer is not None:
             try:
+                await self._report_resilience()
                 await self._send(ByeMessage(client_id=self.client_id))
-            except ConnectionError:  # pragma: no cover - teardown race
+            except (ConnectionError, OSError):  # pragma: no cover - teardown race
                 pass
             self._writer.close()
             try:
@@ -81,45 +120,185 @@ class TestbedClient:
         metrics: PathMetrics,
         t_hours: float,
     ) -> None:
-        """Push one completed call's metrics to the controller."""
-        await self._send(
-            MeasurementMessage(
-                src_id=self.client_id,
-                dst_id=dst_id,
-                t_hours=t_hours,
-                option=encode_option(option),
-                rtt_ms=metrics.rtt_ms,
-                loss_rate=metrics.loss_rate,
-                jitter_ms=metrics.jitter_ms,
-            )
+        """Push one completed call's metrics to the controller.
+
+        With a retry policy, a broken connection triggers one reconnect and
+        resend; a measurement that still cannot be delivered is dropped
+        (and counted) -- losing one sample must never block the next call.
+        """
+        message = MeasurementMessage(
+            src_id=self.client_id,
+            dst_id=dst_id,
+            t_hours=t_hours,
+            option=encode_option(option),
+            rtt_ms=metrics.rtt_ms,
+            loss_rate=metrics.loss_rate,
+            jitter_ms=metrics.jitter_ms,
         )
+        if self._retry is None:
+            await self._send(message)
+            return
+        try:
+            await self._ensure_connected()
+            await self._send(message)
+        except _TRANSPORT_ERRORS:
+            self._drop_connection()
+            try:
+                await asyncio.wait_for(
+                    self._ensure_connected(), timeout=self._retry.request_timeout_s
+                )
+                await self._send(message)
+                self.stats.n_retries += 1
+            except _TRANSPORT_ERRORS:
+                self._drop_connection()
+                self.stats.n_dropped_measurements += 1
 
     async def request_assignment(
         self, dst_id: int, options: list[RelayOption], t_hours: float
     ) -> RelayOption:
-        """Ask the controller which option the next call should use."""
-        async with self._request_lock:
-            await self._send(
-                RequestMessage(
-                    src_id=self.client_id,
-                    dst_id=dst_id,
-                    t_hours=t_hours,
-                    options=[encode_option(o) for o in options],
+        """Ask the controller which option the next call should use.
+
+        Without a retry policy this fails fast (original semantics).  With
+        one, the request is retried within the policy's attempt/deadline
+        budget and then falls back to :meth:`default_option` -- the §7
+        degrade-to-direct behaviour.
+        """
+        if self._retry is None:
+            async with self._request_lock:
+                await self._send(
+                    RequestMessage(
+                        src_id=self.client_id,
+                        dst_id=dst_id,
+                        t_hours=t_hours,
+                        options=[encode_option(o) for o in options],
+                    )
                 )
-            )
-            reply = await self._receive()
-        if not isinstance(reply, AssignMessage):
-            raise ProtocolError(f"expected assign, got {type(reply).__name__}")
-        return decode_option(reply.option)
+                reply = await self._receive()
+            if not isinstance(reply, AssignMessage):
+                raise ProtocolError(f"expected assign, got {type(reply).__name__}")
+            return decode_option(reply.option)
+        return await self._request_assignment_resilient(dst_id, options, t_hours)
 
     async def fetch_stats(self) -> StatsMessage:
         """Query the controller's operational counters."""
         async with self._request_lock:
+            await self._ensure_connected()
+            await self._send_resilience_report()
             await self._send(StatsRequestMessage())
-            reply = await self._receive()
+            if self._retry is not None:
+                reply = await asyncio.wait_for(
+                    self._receive(), timeout=self._retry.request_timeout_s
+                )
+            else:
+                reply = await self._receive()
         if not isinstance(reply, StatsMessage):
             raise ProtocolError(f"expected stats, got {type(reply).__name__}")
         return reply
+
+    @staticmethod
+    def default_option(options: list[RelayOption]) -> RelayOption:
+        """The client-side fallback: direct if offered, else first candidate."""
+        if not options:
+            raise ValueError("need at least one option to fall back to")
+        if DIRECT in options:
+            return DIRECT
+        return options[0]
+
+    # ------------------------------------------------------------------
+    # Resilient request path
+    # ------------------------------------------------------------------
+
+    async def _request_assignment_resilient(
+        self, dst_id: int, options: list[RelayOption], t_hours: float
+    ) -> RelayOption:
+        policy = self._retry
+        assert policy is not None
+        deadline = time.monotonic() + policy.deadline_s
+        request = RequestMessage(
+            src_id=self.client_id,
+            dst_id=dst_id,
+            t_hours=t_hours,
+            options=[encode_option(o) for o in options],
+        )
+        for attempt in range(1, policy.max_attempts + 1):
+            if self._breaker is not None and not self._breaker.allow():
+                self.stats.n_breaker_fastfails += 1
+                break
+            try:
+                reply = await asyncio.wait_for(
+                    self._round_trip(request),
+                    timeout=min(policy.request_timeout_s, deadline - time.monotonic()),
+                )
+                if not isinstance(reply, AssignMessage):
+                    raise ProtocolError(f"expected assign, got {type(reply).__name__}")
+                choice = decode_option(reply.option)
+            except _TRANSPORT_ERRORS as exc:
+                if isinstance(exc, asyncio.TimeoutError):
+                    self.stats.n_timeouts += 1
+                if self._breaker is not None:
+                    self._breaker.record_failure()
+                # The reply to this request may still be in flight; a fresh
+                # connection is the only way to keep the stream in sync.
+                self._drop_connection()
+                if attempt >= policy.max_attempts:
+                    break
+                delay = policy.delay_for(attempt)
+                if time.monotonic() + delay >= deadline:
+                    break
+                self.stats.n_retries += 1
+                await asyncio.sleep(delay)
+                continue
+            if self._breaker is not None:
+                self._breaker.record_success()
+            await self._maybe_report_resilience()
+            return choice
+        self.stats.n_fallbacks += 1
+        return self.default_option(options)
+
+    async def _round_trip(self, request: RequestMessage) -> Any:
+        async with self._request_lock:
+            await self._ensure_connected()
+            await self._send(request)
+            return await self._receive()
+
+    async def _ensure_connected(self) -> None:
+        if self._writer is None:
+            await self.connect()
+
+    def _drop_connection(self) -> None:
+        """Abandon the current connection (the next use reconnects)."""
+        if self._writer is not None:
+            self._writer.close()
+        self._writer = None
+        self._reader = None
+
+    async def _maybe_report_resilience(self) -> None:
+        """Push updated fault counters after a successful interaction."""
+        if self.stats.total_events() == self._last_reported_events:
+            return
+        try:
+            await self._report_resilience()
+        except (ConnectionError, OSError):  # best-effort telemetry
+            pass
+
+    async def _report_resilience(self) -> None:
+        if self._writer is None or self.stats.total_events() == 0:
+            return
+        await self._send_resilience_report()
+
+    async def _send_resilience_report(self) -> None:
+        if self._writer is None or self.stats.total_events() == self._last_reported_events:
+            return
+        await self._send(
+            ResilienceMessage(
+                client_id=self.client_id,
+                n_retries=self.stats.n_retries,
+                n_fallbacks=self.stats.n_fallbacks,
+                n_reconnects=self.stats.n_reconnects,
+                n_timeouts=self.stats.n_timeouts,
+            )
+        )
+        self._last_reported_events = self.stats.total_events()
 
     # ------------------------------------------------------------------
     # Wire helpers

@@ -5,15 +5,32 @@ clients push per-call measurements (stage 1 of Figure 10) and query for
 relay assignments (stage 4).  One controller serves many concurrent
 clients; all policy state lives in-process, exactly like the paper's
 central controller on Azure.
+
+Robustness (§7 operational concerns):
+
+* a policy exception while handling one message is logged and isolated --
+  it never kills the client's connection, and a request still gets a
+  best-effort default-path reply;
+* disconnected clients are dropped from the live-client set, so
+  ``n_clients`` reflects reality (site labels stay sticky for call
+  records);
+* an optional :class:`~repro.deployment.faults.FaultPlan` turns the
+  controller into its own chaos monkey (dropped connections, delayed or
+  blackholed replies) for fault experiments;
+* learned state can be checkpointed to disk and is reloaded on start, so
+  a controller crash recovers instead of relearning from scratch.
 """
 
 from __future__ import annotations
 
 import asyncio
+import json
 import logging
+from pathlib import Path
 from typing import Any
 
 from repro.core.policy import ViaConfig, ViaPolicy
+from repro.deployment.faults import FaultInjector, FaultPlan
 from repro.deployment.protocol import (
     AssignMessage,
     ByeMessage,
@@ -21,6 +38,7 @@ from repro.deployment.protocol import (
     MeasurementMessage,
     ProtocolError,
     RequestMessage,
+    ResilienceMessage,
     StatsMessage,
     StatsRequestMessage,
     decode_message,
@@ -34,6 +52,8 @@ __all__ = ["ViaController"]
 
 logger = logging.getLogger(__name__)
 
+_SNAPSHOT_FORMAT = "via-controller-snapshot-v1"
+
 
 class ViaController:
     """Asyncio server running the relay-selection policy.
@@ -43,8 +63,13 @@ class ViaController:
         async with ViaController(config) as controller:
             ...  # connect clients to controller.port
 
-    ``client_sites`` (filled by hello messages) map client ids to site
-    labels, used only for logging and for the Call records' country field.
+    ``client_sites`` holds the *live* clients (hello adds, disconnect or
+    bye removes); ``site_labels`` remembers every site a client ever
+    announced, used for the Call records' country field.
+
+    ``faults`` injects controller-side chaos; ``snapshot_path`` makes
+    :meth:`start` restore a previous checkpoint when one exists (write one
+    with :meth:`save_snapshot`).
     """
 
     def __init__(
@@ -53,15 +78,25 @@ class ViaController:
         *,
         host: str = "127.0.0.1",
         port: int = 0,
+        faults: FaultPlan | None = None,
+        snapshot_path: str | Path | None = None,
     ) -> None:
         self.policy = ViaPolicy(policy_config or ViaConfig(), name="controller")
         self.host = host
         self._requested_port = port
         self._server: asyncio.Server | None = None
         self.client_sites: dict[int, str] = {}
+        self.site_labels: dict[int, str] = {}
         self.n_measurements = 0
         self.n_requests = 0
+        self.n_reconnects = 0
+        self.n_policy_errors = 0
         self._call_counter = 0
+        self._client_resilience: dict[int, ResilienceMessage] = {}
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._conn_writers: set[asyncio.StreamWriter] = set()
+        self.faults = FaultInjector(faults) if faults is not None else None
+        self.snapshot_path = Path(snapshot_path) if snapshot_path is not None else None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -70,13 +105,30 @@ class ViaController:
     async def start(self) -> None:
         if self._server is not None:
             raise RuntimeError("controller already started")
+        if self.snapshot_path is not None and self.snapshot_path.exists():
+            # Auto-restore is best-effort: a corrupt checkpoint (e.g. a
+            # crash mid-write) must not prevent the controller from
+            # starting fresh.  Explicit load_snapshot() still raises.
+            try:
+                self.load_snapshot(self.snapshot_path)
+            except (ValueError, KeyError, OSError, json.JSONDecodeError):
+                logger.exception(
+                    "ignoring unreadable snapshot %s; starting fresh",
+                    self.snapshot_path,
+                )
         self._server = await asyncio.start_server(
             self._handle_connection, host=self.host, port=self._requested_port
         )
 
     async def stop(self) -> None:
+        """Stop serving and sever live connections (a crash, as clients
+        see it: their next request must reconnect or fall back)."""
         if self._server is not None:
             self._server.close()
+            for writer in list(self._conn_writers):
+                writer.close()
+            if self._conn_tasks:
+                await asyncio.gather(*self._conn_tasks, return_exceptions=True)
             await self._server.wait_closed()
             self._server = None
 
@@ -95,6 +147,63 @@ class ViaController:
         return self._server.sockets[0].getsockname()[1]
 
     # ------------------------------------------------------------------
+    # Crash recovery: snapshot / restore
+    # ------------------------------------------------------------------
+
+    def snapshot_dict(self) -> dict:
+        """JSON-compatible checkpoint: policy state + controller counters."""
+        return {
+            "format": _SNAPSHOT_FORMAT,
+            "policy": self.policy.state_dict(),
+            "n_measurements": self.n_measurements,
+            "n_requests": self.n_requests,
+            "call_counter": self._call_counter,
+            "site_labels": {str(cid): site for cid, site in self.site_labels.items()},
+        }
+
+    def restore_dict(self, payload: dict) -> None:
+        """Restore a checkpoint produced by :meth:`snapshot_dict`."""
+        if payload.get("format") != _SNAPSHOT_FORMAT:
+            raise ValueError(f"unrecognised snapshot format: {payload.get('format')!r}")
+        self.policy.load_state_dict(payload["policy"])
+        self.n_measurements = int(payload.get("n_measurements", 0))
+        self.n_requests = int(payload.get("n_requests", 0))
+        self._call_counter = int(payload.get("call_counter", 0))
+        self.site_labels.update(
+            {int(cid): site for cid, site in payload.get("site_labels", {}).items()}
+        )
+
+    def save_snapshot(self, path: str | Path | None = None) -> Path:
+        """Write the checkpoint to ``path`` (default: ``snapshot_path``)."""
+        target = Path(path) if path is not None else self.snapshot_path
+        if target is None:
+            raise ValueError("no snapshot path given and none configured")
+        # Write-then-rename so a crash mid-write never corrupts the
+        # previous good checkpoint.
+        tmp = target.with_suffix(target.suffix + ".tmp")
+        tmp.write_text(json.dumps(self.snapshot_dict()), encoding="utf-8")
+        tmp.replace(target)
+        return target
+
+    def load_snapshot(self, path: str | Path) -> None:
+        """Restore the checkpoint at ``path``."""
+        self.restore_dict(json.loads(Path(path).read_text(encoding="utf-8")))
+        logger.info(
+            "restored snapshot from %s (%d measurements, %d requests)",
+            path,
+            self.n_measurements,
+            self.n_requests,
+        )
+
+    # ------------------------------------------------------------------
+    # Relay outage plumbing (operators / fault plans mark relays down)
+    # ------------------------------------------------------------------
+
+    def set_down_relays(self, relay_ids) -> None:
+        """Mark ``relay_ids`` down: the policy routes around them."""
+        self.policy.set_down_relays(relay_ids)
+
+    # ------------------------------------------------------------------
     # Connection handling
     # ------------------------------------------------------------------
 
@@ -102,6 +211,11 @@ class ViaController:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         peer = writer.get_extra_info("peername")
+        conn_client_id: int | None = None
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        self._conn_writers.add(writer)
         try:
             while True:
                 line = await reader.readline()
@@ -112,27 +226,75 @@ class ViaController:
                 except ProtocolError as exc:
                     logger.warning("dropping bad message from %s: %s", peer, exc)
                     continue
-                if isinstance(message, HelloMessage):
-                    self.client_sites[message.client_id] = message.site
-                elif isinstance(message, MeasurementMessage):
-                    self._on_measurement(message)
-                elif isinstance(message, RequestMessage):
-                    reply = self._on_request(message)
-                    writer.write(encode_message(reply))
-                    await writer.drain()
-                elif isinstance(message, StatsRequestMessage):
-                    writer.write(encode_message(self._stats()))
-                    await writer.drain()
-                elif isinstance(message, ByeMessage):
+                if isinstance(message, ByeMessage):
                     break
-                else:  # AssignMessage arriving at the server is a client bug
-                    logger.warning("unexpected %s from %s", type(message).__name__, peer)
+                conn_client_id = self._dispatch_client_id(message, conn_client_id)
+                await self._handle_message(message, writer, peer)
+                if self.faults is not None and self.faults.should_drop_connection():
+                    logger.info("fault injection: dropping connection to %s", peer)
+                    break
         finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            self._conn_writers.discard(writer)
+            if conn_client_id is not None:
+                self.client_sites.pop(conn_client_id, None)
             writer.close()
             try:
                 await writer.wait_closed()
             except (ConnectionError, OSError):  # pragma: no cover - teardown race
                 pass
+
+    def _dispatch_client_id(self, message: Any, current: int | None) -> int | None:
+        """Track which client this connection belongs to (via hello)."""
+        if isinstance(message, HelloMessage):
+            return message.client_id
+        return current
+
+    async def _handle_message(
+        self, message: Any, writer: asyncio.StreamWriter, peer: Any
+    ) -> None:
+        """Handle one decoded message; policy errors are isolated here."""
+        if isinstance(message, HelloMessage):
+            if message.client_id in self.site_labels:
+                self.n_reconnects += 1
+            self.client_sites[message.client_id] = message.site
+            self.site_labels[message.client_id] = message.site
+        elif isinstance(message, MeasurementMessage):
+            self.n_measurements += 1
+            try:
+                self._on_measurement(message)
+            except Exception:
+                self.n_policy_errors += 1
+                logger.exception("policy.observe failed for %s", peer)
+        elif isinstance(message, RequestMessage):
+            self.n_requests += 1
+            if self.faults is not None and self.faults.should_blackhole(message.t_hours):
+                logger.info("fault injection: blackholing request from %s", peer)
+                return
+            try:
+                reply = self._on_request(message)
+            except Exception:
+                self.n_policy_errors += 1
+                logger.exception("policy.assign failed for %s", peer)
+                reply = self._default_reply(message)
+            if reply is None:
+                return
+            await self._send_reply(writer, reply)
+        elif isinstance(message, StatsRequestMessage):
+            await self._send_reply(writer, self._stats())
+        elif isinstance(message, ResilienceMessage):
+            self._client_resilience[message.client_id] = message
+        else:  # AssignMessage arriving at the server is a client bug
+            logger.warning("unexpected %s from %s", type(message).__name__, peer)
+
+    async def _send_reply(self, writer: asyncio.StreamWriter, reply: Any) -> None:
+        if self.faults is not None:
+            delay = self.faults.reply_delay_s()
+            if delay > 0.0:
+                await asyncio.sleep(delay)
+        writer.write(encode_message(reply))
+        await writer.drain()
 
     # ------------------------------------------------------------------
     # Policy bridging
@@ -146,30 +308,49 @@ class ViaController:
             t_hours=t_hours,
             src_asn=src_id,
             dst_asn=dst_id,
-            src_country=self.client_sites.get(src_id, "?"),
-            dst_country=self.client_sites.get(dst_id, "?"),
+            src_country=self.site_labels.get(src_id, "?"),
+            dst_country=self.site_labels.get(dst_id, "?"),
             src_user=src_id,
             dst_user=dst_id,
         )
 
     def _on_measurement(self, message: MeasurementMessage) -> None:
-        self.n_measurements += 1
         call = self._call_from(message.src_id, message.dst_id, message.t_hours)
         self.policy.observe(call, decode_option(message.option), message.metrics())
 
     def _on_request(self, message: RequestMessage) -> AssignMessage:
-        self.n_requests += 1
         call = self._call_from(message.src_id, message.dst_id, message.t_hours)
         options = [decode_option(o) for o in message.options]
         choice = self.policy.assign(call, options)
         return AssignMessage(option=encode_option(choice))
 
+    @staticmethod
+    def _default_reply(message: RequestMessage) -> AssignMessage | None:
+        """Best-effort reply when the policy blew up: the default path if
+        offered, else the first candidate; None when nothing was offered
+        (the client's own timeout/fallback machinery takes over)."""
+        if not message.options:
+            return None
+        for option_data in message.options:
+            if option_data.get("kind") == "direct":
+                return AssignMessage(option=option_data)
+        return AssignMessage(option=message.options[0])
+
     def _stats(self) -> StatsMessage:
         """Operator-facing counters (the §7 scalability discussion's
-        observables: per-call control load and client population)."""
+        observables: per-call control load, client population, and the
+        resilience events seen so far)."""
+        reports = self._client_resilience.values()
         return StatsMessage(
             n_measurements=self.n_measurements,
             n_requests=self.n_requests,
             n_clients=len(self.client_sites),
             n_refreshes=self.policy.n_refreshes,
+            n_fallbacks=sum(r.n_fallbacks for r in reports),
+            n_retries=sum(r.n_retries for r in reports),
+            n_reconnects=self.n_reconnects,
+            n_policy_errors=self.n_policy_errors,
+            n_faults_injected=(
+                self.faults.n_faults_injected if self.faults is not None else 0
+            ),
         )

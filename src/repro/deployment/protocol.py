@@ -22,6 +22,7 @@ __all__ = [
     "AssignMessage",
     "StatsRequestMessage",
     "StatsMessage",
+    "ResilienceMessage",
     "ByeMessage",
     "Message",
     "encode_message",
@@ -112,14 +113,40 @@ class StatsRequestMessage:
 
 @dataclass(frozen=True, slots=True)
 class StatsMessage:
-    """Controller counters (measurements, requests, clients, refreshes)."""
+    """Controller counters (measurements, requests, clients, refreshes)
+    plus the resilience observables: client-reported fallbacks/retries,
+    reconnects seen server-side, per-message policy errors, and faults the
+    chaos harness injected.  The resilience fields default to zero so v1
+    peers interoperate."""
 
     n_measurements: int
     n_requests: int
     n_clients: int
     n_refreshes: int
+    n_fallbacks: int = 0
+    n_retries: int = 0
+    n_reconnects: int = 0
+    n_policy_errors: int = 0
+    n_faults_injected: int = 0
 
     type: str = "stats"
+
+
+@dataclass(frozen=True, slots=True)
+class ResilienceMessage:
+    """Client-side fault counters, pushed opportunistically.
+
+    Counters are *cumulative per client*: the controller keeps the latest
+    report per client id and sums across clients, so re-reports after a
+    reconnect never double count."""
+
+    client_id: int
+    n_retries: int = 0
+    n_fallbacks: int = 0
+    n_reconnects: int = 0
+    n_timeouts: int = 0
+
+    type: str = "resilience"
 
 
 @dataclass(frozen=True, slots=True)
@@ -138,6 +165,7 @@ Message = Union[
     AssignMessage,
     StatsRequestMessage,
     StatsMessage,
+    ResilienceMessage,
     ByeMessage,
 ]
 
@@ -148,6 +176,7 @@ _MESSAGE_TYPES: dict[str, type] = {
     "assign": AssignMessage,
     "stats_request": StatsRequestMessage,
     "stats": StatsMessage,
+    "resilience": ResilienceMessage,
     "bye": ByeMessage,
 }
 

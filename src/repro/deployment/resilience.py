@@ -1,0 +1,170 @@
+"""Client-side resilience primitives: retries, backoff and circuit breaking.
+
+The paper's §7 answer to "what if the controller is unreachable?" is that
+the client "simply falls back to the default path" -- relay selection is an
+optimisation, never a dependency.  This module provides the machinery that
+makes the fallback disciplined rather than accidental:
+
+* :class:`RetryPolicy` -- a deadline-bounded, capped-exponential-backoff
+  schedule with *deterministic* jitter (seeded per attempt), so fault
+  experiments replay identically under a fixed seed.
+* :class:`CircuitBreaker` -- after enough consecutive failures the client
+  stops hammering a dead controller and fails fast to the default path,
+  probing again (half-open) only after a cool-down.
+* :class:`ResilienceStats` -- the counters the testbed and the controller's
+  stats endpoint aggregate (retries, fallbacks, reconnects, timeouts).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["RetryPolicy", "CircuitBreaker", "ResilienceStats"]
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """Deadline + capped exponential backoff with deterministic jitter.
+
+    ``request_timeout_s`` bounds one round-trip; ``deadline_s`` bounds the
+    whole operation including backoff sleeps.  Jitter is derived from
+    ``(seed, attempt)`` alone, so two runs with the same seed retry on the
+    same schedule -- a requirement for reproducible chaos experiments.
+    """
+
+    max_attempts: int = 3
+    request_timeout_s: float = 1.0
+    base_delay_s: float = 0.05
+    max_delay_s: float = 1.0
+    backoff_factor: float = 2.0
+    #: Relative jitter amplitude: each delay is scaled by ``1 + j*u`` with
+    #: ``u`` deterministic in [-1, 1].
+    jitter: float = 0.25
+    deadline_s: float = 10.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1: {self.max_attempts}")
+        if self.request_timeout_s <= 0.0 or self.deadline_s <= 0.0:
+            raise ValueError("timeouts must be positive")
+        if self.base_delay_s < 0.0 or self.max_delay_s < self.base_delay_s:
+            raise ValueError("need 0 <= base_delay_s <= max_delay_s")
+        if self.backoff_factor < 1.0:
+            raise ValueError(f"backoff_factor must be >= 1: {self.backoff_factor}")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1): {self.jitter}")
+
+    def delay_for(self, attempt: int) -> float:
+        """Backoff sleep before retry ``attempt`` (1-based), jittered."""
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1: {attempt}")
+        raw = min(
+            self.max_delay_s, self.base_delay_s * self.backoff_factor ** (attempt - 1)
+        )
+        if self.jitter == 0.0:
+            return raw
+        u = random.Random((self.seed << 32) ^ attempt).uniform(-1.0, 1.0)
+        return raw * (1.0 + self.jitter * u)
+
+    def delays(self) -> list[float]:
+        """The full backoff schedule (one sleep per retry attempt)."""
+        return [self.delay_for(a) for a in range(1, self.max_attempts)]
+
+
+class CircuitBreaker:
+    """Fail-fast guard in front of a flaky controller.
+
+    Closed: every call is allowed.  After ``failure_threshold`` consecutive
+    failures the breaker *opens*: calls are rejected (the caller should go
+    straight to its fallback) until ``reset_after_s`` has elapsed, at which
+    point one trial call is let through (*half-open*); its success closes
+    the breaker, its failure re-opens it.
+
+    ``clock`` is injectable so tests need not sleep through cool-downs.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_after_s: float = 2.0,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(f"failure_threshold must be >= 1: {failure_threshold}")
+        if reset_after_s <= 0.0:
+            raise ValueError(f"reset_after_s must be positive: {reset_after_s}")
+        self.failure_threshold = failure_threshold
+        self.reset_after_s = reset_after_s
+        self._clock = clock
+        self._consecutive_failures = 0
+        self._opened_at: float | None = None
+        self._half_open = False
+        self.n_opens = 0
+        self.n_rejections = 0
+
+    @property
+    def state(self) -> str:
+        """``closed``, ``open`` or ``half-open`` (for logs and tests)."""
+        if self._opened_at is None:
+            return "closed"
+        if self._half_open:
+            return "half-open"
+        return "open"
+
+    def allow(self) -> bool:
+        """May the caller contact the controller right now?"""
+        if self._opened_at is None:
+            return True
+        if self._half_open:
+            # A trial call is already the one in flight; further callers
+            # keep failing fast until it resolves.
+            self.n_rejections += 1
+            return False
+        if self._clock() - self._opened_at >= self.reset_after_s:
+            self._half_open = True
+            return True
+        self.n_rejections += 1
+        return False
+
+    def record_success(self) -> None:
+        self._consecutive_failures = 0
+        self._opened_at = None
+        self._half_open = False
+
+    def record_failure(self) -> None:
+        self._consecutive_failures += 1
+        if self._half_open or self._consecutive_failures >= self.failure_threshold:
+            if self._opened_at is None or self._half_open:
+                self.n_opens += 1
+            self._opened_at = self._clock()
+            self._half_open = False
+
+
+@dataclass(slots=True)
+class ResilienceStats:
+    """Cumulative per-client fault counters (reported to the controller)."""
+
+    n_retries: int = 0
+    n_fallbacks: int = 0
+    n_reconnects: int = 0
+    n_timeouts: int = 0
+    n_dropped_measurements: int = 0
+    n_breaker_fastfails: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "n_retries": self.n_retries,
+            "n_fallbacks": self.n_fallbacks,
+            "n_reconnects": self.n_reconnects,
+            "n_timeouts": self.n_timeouts,
+            "n_dropped_measurements": self.n_dropped_measurements,
+            "n_breaker_fastfails": self.n_breaker_fastfails,
+        }
+
+    def total_events(self) -> int:
+        return sum(self.as_dict().values())

@@ -26,11 +26,24 @@ import numpy as np
 from repro.core.policy import ViaConfig
 from repro.deployment.client import TestbedClient
 from repro.deployment.controller import ViaController
+from repro.deployment.faults import FaultPlan
+from repro.deployment.resilience import RetryPolicy
 from repro.netmodel.options import RelayOption
 from repro.netmodel.topology import TopologyConfig
 from repro.netmodel.world import World, WorldConfig, build_world
 
 __all__ = ["TestbedConfig", "TestbedReport", "run_testbed"]
+
+#: Retry policy used in chaos mode when the config does not supply one:
+#: tight timeouts so blackholed/delayed replies fall back quickly instead
+#: of stretching the experiment's wall-clock.
+CHAOS_RETRY = RetryPolicy(
+    max_attempts=3,
+    request_timeout_s=0.25,
+    base_delay_s=0.01,
+    max_delay_s=0.05,
+    deadline_s=2.0,
+)
 
 #: The five deployment countries of the paper's testbed.
 PAPER_SITES: tuple[str, ...] = ("SG", "IN", "US", "GB", "LK")
@@ -49,6 +62,12 @@ class TestbedConfig:
     metric: str = "rtt_ms"
     seed: int = 99
     sites: tuple[str, ...] = PAPER_SITES
+    #: Chaos mode: a fault plan injected into the controller and the world
+    #: (connection drops, delayed/blackholed replies, relay outages).
+    chaos: FaultPlan | None = None
+    #: Client retry policy; defaults to CHAOS_RETRY when chaos is on, and
+    #: to no resilience layer (the original fail-fast client) otherwise.
+    retry: RetryPolicy | None = None
 
     def __post_init__(self) -> None:
         if self.n_clients < 2 or self.n_pairs < 1:
@@ -68,6 +87,18 @@ class TestbedReport:
     n_calls: int = 0
     n_measurements: int = 0
     options_per_pair: list[int] = field(default_factory=list)
+    # Resilience observables (nonzero only under chaos / faults):
+    n_fallbacks: int = 0
+    n_retries: int = 0
+    n_reconnects: int = 0
+    n_timeouts: int = 0
+    n_dropped_measurements: int = 0
+    n_faults_injected: int = 0
+    n_policy_errors: int = 0
+    #: VIA-phase calls placed while a relay outage window was active.
+    n_outage_calls: int = 0
+    #: VIA-phase calls whose assigned option rode a down relay anyway.
+    n_dead_assignments: int = 0
 
     @property
     def frac_exact_best(self) -> float:
@@ -146,6 +177,16 @@ async def _run_async(config: TestbedConfig) -> TestbedReport:
     world = _build_testbed_world(config)
     clients_spec, pairs = _pick_clients_and_pairs(world, config, rng)
 
+    chaos = config.chaos
+    retry = config.retry
+    if chaos is not None:
+        # Relay outages live in the world: calls through a dead relay see
+        # blackhole metrics, exactly what a real kill-relay event does.
+        for outage in chaos.relay_outages:
+            world.add_outage(outage)
+        if retry is None:
+            retry = CHAOS_RETRY
+
     policy_config = ViaConfig(
         metric=config.metric,
         refresh_hours=24.0,
@@ -156,9 +197,15 @@ async def _run_async(config: TestbedConfig) -> TestbedReport:
     )
     report = TestbedReport(n_pairs=len(pairs))
 
-    async with ViaController(policy_config) as controller:
+    async with ViaController(policy_config, faults=chaos) as controller:
         clients = [
-            TestbedClient(client_id=i, site=site, host="127.0.0.1", port=controller.port)
+            TestbedClient(
+                client_id=i,
+                site=site,
+                host="127.0.0.1",
+                port=controller.port,
+                retry=retry,
+            )
             for i, (_asn, site) in enumerate(clients_spec)
         ]
         await asyncio.gather(*(c.connect() for c in clients))
@@ -187,6 +234,10 @@ async def _run_async(config: TestbedConfig) -> TestbedReport:
                 dst_asn, _ = clients_spec[dst_idx]
                 options = _relayed_options(world, src_asn, dst_asn)
                 choice = await clients[src_idx].request_assignment(dst_idx, options, t_hours)
+                if world.relays_down_at(t_hours):
+                    report.n_outage_calls += 1
+                    if not world.option_available(choice, t_hours):
+                        report.n_dead_assignments += 1
                 metrics = world.sample_call(src_asn, dst_asn, choice, t_hours, rng)
                 await clients[src_idx].report_measurement(dst_idx, choice, metrics, t_hours)
                 true_costs = {
@@ -201,11 +252,24 @@ async def _run_async(config: TestbedConfig) -> TestbedReport:
 
             for round_idx in range(config.via_rounds):
                 t_hours = 24.05 + round_idx * 0.02
+                if chaos is not None:
+                    # Operators mark scheduled outages down at the
+                    # controller; the policy repicks around them.
+                    controller.set_down_relays(world.relays_down_at(t_hours))
                 await asyncio.gather(
                     *(one_call(src, dst, t_hours) for src, dst in pairs)
                 )
         finally:
             await asyncio.gather(*(c.close() for c in clients))
+            for client in clients:
+                report.n_fallbacks += client.stats.n_fallbacks
+                report.n_retries += client.stats.n_retries
+                report.n_reconnects += client.stats.n_reconnects
+                report.n_timeouts += client.stats.n_timeouts
+                report.n_dropped_measurements += client.stats.n_dropped_measurements
+            report.n_policy_errors = controller.n_policy_errors
+            if controller.faults is not None:
+                report.n_faults_injected = controller.faults.n_faults_injected
     return report
 
 

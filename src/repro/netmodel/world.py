@@ -42,7 +42,15 @@ from repro.netmodel.segments import (
 )
 from repro.netmodel.topology import Topology, TopologyConfig, build_topology
 
-__all__ = ["WorldConfig", "World", "OptionFilteredWorld", "restrict_relays", "without_transit", "build_world"]
+__all__ = [
+    "WorldConfig",
+    "RelayOutage",
+    "World",
+    "OptionFilteredWorld",
+    "restrict_relays",
+    "without_transit",
+    "build_world",
+]
 
 # Integer tags mixing segment kind into per-segment RNG seeds.
 _KIND_ACCESS = 1
@@ -141,11 +149,37 @@ class WorldConfig:
     residual_loss_sigma: float = 0.55
     residual_jitter_sigma: float = 0.35
 
+    # --- relay outages (robustness experiments) ---
+    #: Metrics experienced by a call assigned to an option whose relay is
+    #: down: the media session effectively blackholes (total loss, a long
+    #: timeout-like delay) until the client gives up.
+    outage_rtt_ms: float = 3000.0
+    outage_loss_rate: float = 1.0
+    outage_jitter_ms: float = 60.0
+
     def __post_init__(self) -> None:
         if self.n_days < 1:
             raise ValueError(f"n_days must be >= 1: {self.n_days}")
         if self.n_bounce_near < 1 or self.n_transit_near < 0 or self.n_bounce_mid < 0:
             raise ValueError("candidate counts must be positive")
+
+
+@dataclass(frozen=True, slots=True)
+class RelayOutage:
+    """One relay being down for a half-open time window ``[start, end)``."""
+
+    relay_id: int
+    start_hours: float
+    end_hours: float
+
+    def __post_init__(self) -> None:
+        if self.end_hours <= self.start_hours:
+            raise ValueError(
+                f"outage window must be non-empty: [{self.start_hours}, {self.end_hours})"
+            )
+
+    def active_at(self, t_hours: float) -> bool:
+        return self.start_hours <= t_hours < self.end_hours
 
 
 class World:
@@ -169,6 +203,58 @@ class World:
         self._residual_cache: dict[tuple, tuple[float, float, float]] = {}
         self._default_noise = NoiseConfig()
         self._inter_noise = NoiseConfig(rtt_sigma=0.05, loss_sigma=0.3, jitter_sigma=0.15)
+        self._outages: list[RelayOutage] = []
+
+    # ------------------------------------------------------------------
+    # Relay outages (robustness experiments)
+    # ------------------------------------------------------------------
+
+    @property
+    def outages(self) -> tuple[RelayOutage, ...]:
+        """The scheduled relay outages, in insertion order."""
+        return tuple(self._outages)
+
+    def add_outage(self, outage: RelayOutage) -> None:
+        """Schedule ``outage``; its relay must exist in the topology."""
+        if outage.relay_id not in set(self.topology.relay_ids):
+            raise ValueError(f"unknown relay id: {outage.relay_id}")
+        self._outages.append(outage)
+
+    def clear_outages(self) -> None:
+        self._outages.clear()
+
+    def relays_down_at(self, t_hours: float) -> frozenset[int]:
+        """Relay ids with an active outage at ``t_hours``."""
+        return frozenset(
+            o.relay_id for o in self._outages if o.active_at(t_hours)
+        )
+
+    def option_available(self, option: RelayOption, t_hours: float) -> bool:
+        """False when any relay the option uses is down at ``t_hours``."""
+        if not self._outages or not option.is_relayed:
+            return True
+        down = self.relays_down_at(t_hours)
+        if not down:
+            return True
+        return not any(rid in down for rid in option.relay_ids())
+
+    def live_options_for_pair(
+        self, src_asn: int, dst_asn: int, t_hours: float
+    ) -> list[RelayOption]:
+        """``options_for_pair`` minus options riding a down relay."""
+        return [
+            o
+            for o in self.options_for_pair(src_asn, dst_asn)
+            if self.option_available(o, t_hours)
+        ]
+
+    def _outage_metrics(self) -> PathMetrics:
+        cfg = self.config
+        return PathMetrics(
+            rtt_ms=cfg.outage_rtt_ms,
+            loss_rate=cfg.outage_loss_rate,
+            jitter_ms=cfg.outage_jitter_ms,
+        )
 
     # ------------------------------------------------------------------
     # Segment construction (lazy, deterministic)
@@ -503,7 +589,14 @@ class World:
         src_prefix: int = 0,
         dst_prefix: int = 0,
     ) -> PathMetrics:
-        """Full per-call sample: path + wireless extras + prefix offsets."""
+        """Full per-call sample: path + wireless extras + prefix offsets.
+
+        A call assigned to an option whose relay is down experiences the
+        configured outage metrics (a blackholed media session) -- no last
+        mile or prefix effect can make it better or worse.
+        """
+        if not self.option_available(option, t_hours):
+            return self._outage_metrics()
         path = self.sample_path(src_asn, dst_asn, option, t_hours, rng)
         extras = [path]
         if src_wireless:

@@ -36,9 +36,47 @@ class ReplayResult:
     outcomes: list[CallOutcome] = field(default_factory=list)
     #: Active mock-call probes issued during the replay (§7 extension).
     n_probes: int = 0
+    #: Per-outcome flag: was any relay outage active when the call ran?
+    #: Empty when the world had no scheduled outages.
+    outage_flags: list[bool] = field(default_factory=list)
+    #: Calls that were actually assigned to an option riding a down relay.
+    n_dead_assignments: int = 0
 
     def __len__(self) -> int:
         return len(self.outcomes)
+
+    @property
+    def n_outage_calls(self) -> int:
+        """Calls placed while at least one relay outage was active."""
+        return sum(self.outage_flags)
+
+    def outage_degradation(self, metric: str) -> dict[str, float] | None:
+        """Mean ``metric`` during vs outside outage windows.
+
+        Returns ``{"during": ..., "outside": ..., "ratio": ...}`` or None
+        when the replay saw no outage window (or no calls on one side).
+        """
+        if not self.outage_flags:
+            return None
+        during = [
+            o.metrics.get(metric)
+            for o, flagged in zip(self.outcomes, self.outage_flags)
+            if flagged
+        ]
+        outside = [
+            o.metrics.get(metric)
+            for o, flagged in zip(self.outcomes, self.outage_flags)
+            if not flagged
+        ]
+        if not during or not outside:
+            return None
+        mean_during = float(np.mean(during))
+        mean_outside = float(np.mean(outside))
+        return {
+            "during": mean_during,
+            "outside": mean_outside,
+            "ratio": mean_during / max(mean_outside, 1e-12),
+        }
 
     @property
     def relayed_fraction(self) -> float:
@@ -85,7 +123,18 @@ def replay(
     options_for_pair = world.options_for_pair
     probe_call_id = -1
     plan_probe = getattr(policy, "plan_probe", None)
+    # Relay outages: keep the policy's down-relay set in sync with the
+    # world's schedule, and flag every outcome that ran during a window.
+    outages = tuple(getattr(world, "outages", ()))
+    set_down = getattr(policy, "set_down_relays", None) if outages else None
+    last_down: frozenset[int] | None = None
     for call in trace:
+        if outages:
+            down = world.relays_down_at(call.t_hours)
+            if set_down is not None and down != last_down:
+                set_down(down)
+                last_down = down
+            result.outage_flags.append(bool(down))
         options = options_for_pair(call.src_asn, call.dst_asn)
         if call.direct_blocked:
             # NAT/firewall pair: the default path is not establishable, so
@@ -99,6 +148,8 @@ def replay(
                 )
                 continue
         option = policy.assign(call, options)
+        if outages and not world.option_available(option, call.t_hours):
+            result.n_dead_assignments += 1
         metrics = sample_call(
             call.src_asn,
             call.dst_asn,

@@ -53,7 +53,10 @@ class TestControllerClient:
             async with ViaController() as controller:
                 async with AgentClient(7, "LK", "127.0.0.1", controller.port) as _client:
                     await _client.request_assignment(1, OPTIONS, t_hours=0.1)
-                assert controller.client_sites[7] == "LK"
+                    # Live while connected...
+                    assert controller.client_sites[7] == "LK"
+                # ...and the label stays sticky for call records after bye.
+                assert controller.site_labels[7] == "LK"
 
         run(scenario())
 

@@ -7,11 +7,20 @@ import asyncio
 import pytest
 
 from repro.core.policy import ViaConfig
-from repro.deployment import ViaController
+from repro.deployment import (
+    FaultPlan,
+    RelayOutage,
+    RetryPolicy,
+    ViaController,
+    run_testbed,
+)
+from repro.deployment import TestbedConfig as DeploymentConfig
 from repro.deployment import TestbedClient as AgentClient
 from repro.deployment.protocol import StatsMessage, encode_message, HelloMessage
 from repro.netmodel.metrics import PathMetrics
 from repro.netmodel.options import RelayOption
+
+pytestmark = pytest.mark.faults
 
 OPTIONS = [RelayOption.bounce(0), RelayOption.bounce(1)]
 METRICS = PathMetrics(rtt_ms=100.0, loss_rate=0.01, jitter_ms=5.0)
@@ -126,3 +135,127 @@ class TestFaultInjection:
                     await controller.start()
 
         run(scenario())
+
+    def test_disconnect_prunes_live_client_set(self):
+        async def scenario():
+            async with ViaController() as controller:
+                a = AgentClient(0, "US", "127.0.0.1", controller.port)
+                b = AgentClient(1, "IN", "127.0.0.1", controller.port)
+                await a.connect()
+                await b.connect()
+                stats = await a.fetch_stats()
+                assert stats.n_clients == 2
+                await b.close()
+                # The disconnect is observed asynchronously; poll stats.
+                for _ in range(100):
+                    stats = await a.fetch_stats()
+                    if stats.n_clients == 1:
+                        break
+                    await asyncio.sleep(0.01)
+                assert stats.n_clients == 1
+                # The site label stays sticky for call records.
+                assert controller.site_labels[1] == "IN"
+                await a.close()
+
+        run(scenario())
+
+
+class TestPolicyErrorIsolation:
+    def test_assign_failure_yields_default_reply(self):
+        async def scenario():
+            async with ViaController() as controller:
+                def boom(call, options):
+                    raise RuntimeError("policy blew up")
+
+                controller.policy.assign = boom
+                async with AgentClient(0, "US", "127.0.0.1", controller.port) as client:
+                    choice = await client.request_assignment(1, OPTIONS, 0.1)
+                    # Best-effort server-side fallback: the first candidate
+                    # (no direct path was offered).
+                    assert choice == OPTIONS[0]
+                    assert controller.n_policy_errors == 1
+                    # The connection survived: another request still works.
+                    assert await client.request_assignment(1, OPTIONS, 0.2) == OPTIONS[0]
+
+        run(scenario())
+
+    def test_observe_failure_does_not_kill_connection(self):
+        async def scenario():
+            async with ViaController() as controller:
+                def boom(call, option, metrics):
+                    raise RuntimeError("observe blew up")
+
+                controller.policy.observe = boom
+                async with AgentClient(0, "US", "127.0.0.1", controller.port) as client:
+                    await client.report_measurement(1, OPTIONS[0], METRICS, 0.1)
+                    # A request round-trip fences the fire-and-forget send.
+                    assert await client.request_assignment(1, OPTIONS, 0.2) in OPTIONS
+                    assert controller.n_policy_errors == 1
+                    assert controller.n_measurements == 1
+
+        run(scenario())
+
+    def test_stats_carry_resilience_counters(self):
+        async def scenario():
+            async with ViaController() as controller:
+                async with AgentClient(0, "US", "127.0.0.1", controller.port) as client:
+                    await client.request_assignment(1, OPTIONS, 0.1)
+                    stats = await client.fetch_stats()
+                # A clean run: the counters exist and are all zero.
+                assert stats.n_fallbacks == 0
+                assert stats.n_retries == 0
+                assert stats.n_reconnects == 0
+                assert stats.n_policy_errors == 0
+                assert stats.n_faults_injected == 0
+
+        run(scenario())
+
+
+class TestChaosMode:
+    def test_chaos_run_completes_with_degradation_counters(self):
+        """The acceptance scenario: connection drops + a blackhole window +
+        one relay outage; the experiment completes and the resilience
+        machinery visibly absorbed the faults."""
+        chaos = FaultPlan(
+            seed=3,
+            drop_connection_rate=0.05,
+            blackhole_windows=((24.05, 24.10),),
+            relay_outages=(RelayOutage(relay_id=0, start_hours=24.0, end_hours=24.3),),
+        )
+        config = DeploymentConfig(
+            n_clients=6,
+            n_pairs=4,
+            measurement_rounds=2,
+            via_rounds=6,
+            seed=5,
+            chaos=chaos,
+            retry=RetryPolicy(
+                max_attempts=2,
+                request_timeout_s=0.05,
+                base_delay_s=0.01,
+                max_delay_s=0.02,
+                deadline_s=0.5,
+            ),
+        )
+        report = run_testbed(config)
+        assert report.n_calls == 4 * 6
+        assert len(report.suboptimalities) == report.n_calls
+        # Blackholed requests timed out, were retried, then fell back.
+        assert report.n_retries > 0
+        assert report.n_fallbacks > 0
+        assert report.n_timeouts > 0
+        assert report.n_faults_injected > 0
+        # Every VIA-phase call ran inside the relay-0 outage window.
+        assert report.n_outage_calls == report.n_calls
+
+    def test_clean_run_reports_zero_fault_counters(self):
+        config = DeploymentConfig(
+            n_clients=6, n_pairs=3, measurement_rounds=2, via_rounds=4, seed=6
+        )
+        report = run_testbed(config)
+        assert report.n_fallbacks == 0
+        assert report.n_retries == 0
+        assert report.n_reconnects == 0
+        assert report.n_faults_injected == 0
+        assert report.n_outage_calls == 0
+        assert report.n_dead_assignments == 0
