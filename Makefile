@@ -2,13 +2,18 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-faults bench examples quick-bench all clean
+.PHONY: install test test-faults docs-check bench examples quick-bench all clean
 
 install:
 	pip install -e .
 
-test:
+test: docs-check
 	$(PYTHON) -m pytest tests/
+
+# Documentation referential integrity: fail on dangling repro.* symbol
+# refs, file paths, markdown links or pytest node ids in the docs.
+docs-check:
+	PYTHONPATH=src $(PYTHON) scripts/check_docs.py
 
 # Fault-injection and resilience suite only (chaos mode, outages, recovery).
 test-faults:

@@ -26,5 +26,14 @@ def once(benchmark, fn):
     The experiments replay tens of thousands of calls; statistical timing
     repetition is meaningless and expensive, so each bench is a single
     measured round.
+
+    Set ``REPRO_PROFILE=1`` to additionally run the experiment body under
+    cProfile and print the hot functions (see ``repro.obs.profiling``).
     """
-    return benchmark.pedantic(fn, rounds=1, iterations=1)
+    from repro.obs.profiling import maybe_profiled
+
+    def run():
+        with maybe_profiled(label=getattr(fn, "__qualname__", "experiment")):
+            return fn()
+
+    return benchmark.pedantic(run, rounds=1, iterations=1)

@@ -4,6 +4,11 @@ Starts the asyncio VIA controller, connects 14 instrumented clients in
 five countries, replays the paper's back-to-back-call methodology, and
 prints the Figure 18 sub-optimality CDF of VIA's choices.
 
+Runs with observability enabled (``observe=True``): at the end, the
+controller is scraped over the wire and a digest of its metrics registry
+is printed -- per-message-type counters and assign latency percentiles.
+See docs/observability.md for the full metric catalogue.
+
     python examples/live_controller.py
 """
 
@@ -15,9 +20,26 @@ from repro.analysis import format_series
 from repro.deployment import TestbedConfig, run_testbed
 
 
+def metrics_digest(text: str) -> str:
+    """A short operator-style digest of the scraped exposition text."""
+    wanted = []
+    for line in text.splitlines():
+        if line.startswith("via_controller_messages_total"):
+            wanted.append(line)
+        elif line.startswith("via_assign_duration_seconds_count"):
+            wanted.append(line)
+        elif line.startswith("via_assign_duration_seconds_sum"):
+            wanted.append(line)
+        elif line.startswith("via_controller_clients"):
+            wanted.append(line)
+    return "\n".join(wanted)
+
+
 def main() -> None:
     t0 = time.time()
-    config = TestbedConfig(n_clients=14, n_pairs=18, measurement_rounds=4, via_rounds=30)
+    config = TestbedConfig(
+        n_clients=14, n_pairs=18, measurement_rounds=4, via_rounds=30, observe=True
+    )
     report = run_testbed(config)
     print(
         f"deployment finished in {time.time() - t0:.1f}s: "
@@ -43,6 +65,9 @@ def main() -> None:
         x_label="(Perf_VIA - Perf_oracle) / Perf_oracle",
         y_label="fraction of calls",
     ))
+    print()
+    print("scraped controller metrics (digest):")
+    print(metrics_digest(report.metrics_text))
 
 
 if __name__ == "__main__":

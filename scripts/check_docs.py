@@ -1,0 +1,157 @@
+"""Documentation referential-integrity checker (``make docs-check``).
+
+Scans the operator-facing documentation (README.md, DESIGN.md, docs/*.md,
+EXPERIMENTS.md) and fails on *dangling* references, so the docs cannot
+silently rot as the code moves:
+
+* dotted code references — every ``repro.*`` token must resolve to an
+  importable module or an attribute reachable from one
+  (``repro.core.policy.ViaPolicy`` → import + getattr chain);
+* ``ClassName.attr`` references — when ``ClassName`` is a class defined
+  anywhere under :mod:`repro`, the attribute must exist on it;
+* file paths — backticked paths and local markdown link targets must
+  exist on disk (paths like ``core/policy.py`` are also tried relative
+  to ``src/repro/``);
+* pytest node ids — ``tests/test_x.py::test_name`` must name a test
+  function that exists in that file.
+
+Exit status 0 when every reference resolves; 1 otherwise, listing each
+dangling reference with its file and line.
+
+    PYTHONPATH=src python scripts/check_docs.py
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+DOC_FILES = (
+    "README.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "docs/index.md",
+    "docs/algorithms.md",
+    "docs/worldmodel.md",
+    "docs/deployment.md",
+    "docs/observability.md",
+)
+
+#: ``repro.foo.Bar`` style dotted references (call parens already stripped).
+DOTTED_RE = re.compile(r"\brepro(?:\.[A-Za-z_][A-Za-z0-9_]*)+")
+#: Backticked spans; references are only harvested inside them (except
+#: dotted repro refs, which are checked wherever they appear).
+BACKTICK_RE = re.compile(r"`([^`\n]+)`")
+#: ``ClassName.attr`` inside backticks.
+CLASS_ATTR_RE = re.compile(r"^([A-Z][A-Za-z0-9_]*)\.([a-z_][A-Za-z0-9_]*)$")
+#: File-ish tokens: at least one path separator and a known extension.
+PATH_RE = re.compile(r"^[\w./-]*/[\w.-]+\.(?:py|md|txt|json|toml|cfg)$")
+#: pytest node ids.
+NODE_RE = re.compile(r"^([\w./-]+\.py)::(\w+)$")
+#: Local markdown link targets: [text](target).
+LINK_RE = re.compile(r"\]\(([^)#\s]+)(?:#[\w-]*)?\)")
+
+
+def _class_index() -> dict[str, list[type]]:
+    """Every public-ish class defined under :mod:`repro`, by name."""
+    index: dict[str, list[type]] = {}
+    package = importlib.import_module("repro")
+    for info in pkgutil.walk_packages(package.__path__, prefix="repro."):
+        try:
+            module = importlib.import_module(info.name)
+        except Exception:  # pragma: no cover - import errors surface elsewhere
+            continue
+        for name, obj in vars(module).items():
+            if inspect.isclass(obj) and obj.__module__.startswith("repro"):
+                index.setdefault(name, [])
+                if obj not in index[name]:
+                    index[name].append(obj)
+    return index
+
+
+def _resolves(dotted: str) -> bool:
+    """Does ``a.b.c`` import as a module or resolve via getattr?"""
+    parts = dotted.split(".")
+    for i in range(len(parts), 0, -1):
+        try:
+            obj = importlib.import_module(".".join(parts[:i]))
+        except ImportError:
+            continue
+        for attr in parts[i:]:
+            if not hasattr(obj, attr):
+                return False
+            obj = getattr(obj, attr)
+        return True
+    return False
+
+
+def _path_exists(token: str, doc_dir: Path) -> bool:
+    candidates = (REPO_ROOT / token, doc_dir / token, REPO_ROOT / "src" / "repro" / token)
+    return any(c.exists() for c in candidates)
+
+
+def check_file(path: Path, classes: dict[str, list[type]]) -> list[str]:
+    problems: list[str] = []
+    doc_dir = path.parent
+    rel = path.relative_to(REPO_ROOT)
+    for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        for match in DOTTED_RE.finditer(line):
+            dotted = match.group(0).split("(")[0]
+            if not _resolves(dotted):
+                problems.append(f"{rel}:{lineno}: dangling code ref `{dotted}`")
+        for target in LINK_RE.findall(line):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            if not _path_exists(target, doc_dir):
+                problems.append(f"{rel}:{lineno}: dangling link target `{target}`")
+        for span in BACKTICK_RE.findall(line):
+            token = span.strip().split("(")[0]
+            node = NODE_RE.match(span.strip())
+            if node:
+                test_file = REPO_ROOT / node.group(1)
+                if not test_file.exists():
+                    problems.append(f"{rel}:{lineno}: dangling test file `{node.group(1)}`")
+                elif f"def {node.group(2)}" not in test_file.read_text(encoding="utf-8"):
+                    problems.append(f"{rel}:{lineno}: dangling test id `{span.strip()}`")
+                continue
+            if PATH_RE.match(span.strip()):
+                if not _path_exists(span.strip(), doc_dir):
+                    problems.append(f"{rel}:{lineno}: dangling file ref `{span.strip()}`")
+                continue
+            attr_ref = CLASS_ATTR_RE.match(token)
+            if attr_ref and attr_ref.group(1) in classes:
+                name, attr = attr_ref.group(1), attr_ref.group(2)
+                if not any(hasattr(cls, attr) for cls in classes[name]):
+                    problems.append(f"{rel}:{lineno}: dangling attribute ref `{token}`")
+    return problems
+
+
+def main() -> int:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    classes = _class_index()
+    problems: list[str] = []
+    n_checked = 0
+    for name in DOC_FILES:
+        path = REPO_ROOT / name
+        if not path.exists():
+            problems.append(f"{name}: listed in DOC_FILES but missing")
+            continue
+        n_checked += 1
+        problems.extend(check_file(path, classes))
+    if problems:
+        print(f"docs-check: {len(problems)} dangling reference(s):")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print(f"docs-check: OK ({n_checked} documents, no dangling references)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

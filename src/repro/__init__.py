@@ -23,6 +23,7 @@ Package map (see DESIGN.md for the full inventory):
 * :mod:`repro.simulation` -- chronological replay (§5.1 methodology)
 * :mod:`repro.analysis`   -- PNR, distributions, spatial/temporal patterns
 * :mod:`repro.deployment` -- asyncio controller/client testbed (§5.5)
+* :mod:`repro.obs`        -- metrics registry, span tracing, profiling hooks
 """
 
 from repro.netmodel import (

@@ -18,6 +18,7 @@ shares this one code path and differs only where the paper says it does.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from time import perf_counter
 from typing import Hashable, Protocol
 
 import numpy as np
@@ -33,6 +34,9 @@ from repro.core.tomography import InterRelayLookup, TomographyModel
 from repro.core.topk import dynamic_top_k_cost, fixed_top_k_cost
 from repro.netmodel.metrics import PathMetrics
 from repro.netmodel.options import DIRECT, RelayOption
+from repro.obs import runtime as obs_runtime
+from repro.obs.metrics import REGISTRY, MetricsRegistry
+from repro.obs.tracing import trace
 from repro.telephony.call import Call
 
 __all__ = ["SelectionPolicy", "ViaConfig", "ViaPolicy", "make_policy"]
@@ -144,6 +148,7 @@ class ViaPolicy:
         *,
         inter_relay: InterRelayLookup | None = None,
         name: str | None = None,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         self.config = config or ViaConfig()
         self.name = name or f"via[{self.config.metric}]"
@@ -173,12 +178,52 @@ class ViaPolicy:
         self.n_refreshes = 0
         self.n_epsilon_explorations = 0
         self.n_outage_repicks = 0
+        # Observability: instruments are registered up front (so scrapes
+        # show them at zero) but only fed while `repro.obs.runtime` is
+        # enabled -- the disabled hot path pays one flag check.
+        self.registry = registry if registry is not None else REGISTRY
+        metric = self.config.metric
+        self._obs_assign = self.registry.histogram(
+            "via_assign_duration_seconds",
+            "Wall time of ViaPolicy.assign, by optimised metric.",
+            ("metric",),
+        ).labels(metric=metric)
+        self._obs_observe = self.registry.histogram(
+            "via_observe_duration_seconds",
+            "Wall time of ViaPolicy.observe, by optimised metric.",
+            ("metric",),
+        ).labels(metric=metric)
+        self._obs_refreshes = self.registry.counter(
+            "via_refreshes_total",
+            "Predictor/tomography rebuilds (stages 2-3), by optimised metric.",
+            ("metric",),
+        ).labels(metric=metric)
+        self._obs_epsilon = self.registry.counter(
+            "via_epsilon_explorations_total",
+            "Calls sent to epsilon general exploration, by optimised metric.",
+            ("metric",),
+        ).labels(metric=metric)
+        self._obs_repicks = self.registry.counter(
+            "via_outage_repicks_total",
+            "Assignments re-picked around a down relay, by optimised metric.",
+            ("metric",),
+        ).labels(metric=metric)
 
     # ------------------------------------------------------------------
     # SelectionPolicy interface
     # ------------------------------------------------------------------
 
     def assign(self, call: Call, options: list[RelayOption]) -> RelayOption:
+        if not obs_runtime.enabled:
+            return self._assign(call, options)
+        t0 = perf_counter()
+        with trace("assign", metric=self.config.metric) as span:
+            choice = self._assign(call, options)
+            span.tag(option=choice.kind.value)
+        self._obs_assign.observe(perf_counter() - t0)
+        return choice
+
+    def _assign(self, call: Call, options: list[RelayOption]) -> RelayOption:
         if not options:
             raise ValueError("assign() needs at least one option")
         period = int(call.t_hours // self.config.refresh_hours)
@@ -205,6 +250,15 @@ class ViaPolicy:
         return view.denormalize(choice)
 
     def observe(self, call: Call, option: RelayOption, metrics: PathMetrics) -> None:
+        if not obs_runtime.enabled:
+            return self._observe(call, option, metrics)
+        t0 = perf_counter()
+        with trace("observe", metric=self.config.metric):
+            self._observe(call, option, metrics)
+        self._obs_observe.observe(perf_counter() - t0)
+        return None
+
+    def _observe(self, call: Call, option: RelayOption, metrics: PathMetrics) -> None:
         view = self._keyer.view(call)
         norm = view.normalize(option)
         self.history.add(view.pair_key, norm, call.t_hours, metrics)
@@ -251,6 +305,8 @@ class ViaPolicy:
         if not self._down_relays or not self._option_down(choice):
             return choice
         self.n_outage_repicks += 1
+        if obs_runtime.enabled:
+            self._obs_repicks.inc()
         for candidate in state.topk:
             if candidate != choice and not self._option_down(candidate):
                 return candidate
@@ -264,6 +320,12 @@ class ViaPolicy:
     # ------------------------------------------------------------------
 
     def _refresh(self, period: int) -> None:
+        with trace("refresh", metric=self.config.metric, period=period):
+            self._do_refresh(period)
+        if obs_runtime.enabled:
+            self._obs_refreshes.inc()
+
+    def _do_refresh(self, period: int) -> None:
         self._period = period
         self._pair_state = {}
         self.n_refreshes += 1
@@ -301,8 +363,10 @@ class ViaPolicy:
             return state
         predictions: dict[RelayOption, Prediction] = {}
         if self._predictor is not None:
-            predictions = self._predictor.predict_all(pair_key, norm_options)  # type: ignore[arg-type]
-        topk = self._prune(predictions, norm_options)
+            with trace("predict", n_options=len(norm_options)):
+                predictions = self._predictor.predict_all(pair_key, norm_options)  # type: ignore[arg-type]
+        with trace("prune", mode=self.config.topk_mode):
+            topk = self._prune(predictions, norm_options)
         bandit: UCB1Explorer | None = None
         argmin_choice: RelayOption | None = None
         if self.config.topk_mode == "argmin":
@@ -376,6 +440,8 @@ class ViaPolicy:
         # keeps top-k honest under non-stationary performance (§4.5).
         if self.config.epsilon > 0.0 and self._rng.random() < self.config.epsilon:
             self.n_epsilon_explorations += 1
+            if obs_runtime.enabled:
+                self._obs_epsilon.inc()
             return norm_options[int(self._rng.integers(len(norm_options)))]
         if self.config.topk_mode == "argmin":
             if state.argmin_choice is not None:
@@ -384,6 +450,9 @@ class ViaPolicy:
         if self.config.selector == "greedy":
             return self._choose_greedy(state)
         assert state.bandit is not None
+        if obs_runtime.enabled:
+            with trace("bandit", k=len(state.topk)):
+                return state.bandit.choose()
         return state.bandit.choose()
 
     def _divert_overloaded(self, state: _PairState, choice: RelayOption) -> RelayOption:
@@ -564,6 +633,7 @@ def make_policy(
     *,
     inter_relay: InterRelayLookup | None = None,
     name: str | None = None,
+    registry: MetricsRegistry | None = None,
 ) -> ViaPolicy:
     """Convenience constructor mirroring :class:`ViaPolicy`."""
-    return ViaPolicy(config, inter_relay=inter_relay, name=name)
+    return ViaPolicy(config, inter_relay=inter_relay, name=name, registry=registry)

@@ -28,6 +28,7 @@ from scipy.sparse.linalg import lsqr
 from repro.netmodel.metrics import PathMetrics, linear_to_loss, loss_to_linear
 from repro.netmodel.options import OptionKind, RelayOption
 from repro.core.history import RunningStat
+from repro.obs.profiling import timed
 
 __all__ = ["TomographyModel"]
 
@@ -63,6 +64,7 @@ class TomographyModel:
         return None if value is None else value.copy()
 
     @classmethod
+    @timed("tomography.fit")
     def fit(
         cls,
         observations: Iterable[tuple[tuple[SideKey, SideKey], RelayOption, RunningStat]],

@@ -18,6 +18,8 @@ from repro.deployment.protocol import (
     ByeMessage,
     HelloMessage,
     MeasurementMessage,
+    MetricsMessage,
+    MetricsRequestMessage,
     RequestMessage,
     ResilienceMessage,
     StatsMessage,
@@ -40,6 +42,8 @@ __all__ = [
     "AssignMessage",
     "StatsRequestMessage",
     "StatsMessage",
+    "MetricsRequestMessage",
+    "MetricsMessage",
     "ResilienceMessage",
     "ByeMessage",
     "encode_message",

@@ -27,6 +27,8 @@ from repro.deployment.protocol import (
     ByeMessage,
     HelloMessage,
     MeasurementMessage,
+    MetricsMessage,
+    MetricsRequestMessage,
     ProtocolError,
     RequestMessage,
     ResilienceMessage,
@@ -83,7 +85,7 @@ class TestbedClient:
     async def connect(self) -> None:
         self._reader, self._writer = await asyncio.open_connection(self._host, self._port)
         if self._ever_connected:
-            self.stats.n_reconnects += 1
+            self.stats.record("reconnect")
         self._ever_connected = True
         await self._send(HelloMessage(client_id=self.client_id, site=self.site))
 
@@ -148,10 +150,10 @@ class TestbedClient:
                     self._ensure_connected(), timeout=self._retry.request_timeout_s
                 )
                 await self._send(message)
-                self.stats.n_retries += 1
+                self.stats.record("retry")
             except _TRANSPORT_ERRORS:
                 self._drop_connection()
-                self.stats.n_dropped_measurements += 1
+                self.stats.record("dropped_measurement")
 
     async def request_assignment(
         self, dst_id: int, options: list[RelayOption], t_hours: float
@@ -195,6 +197,26 @@ class TestbedClient:
             raise ProtocolError(f"expected stats, got {type(reply).__name__}")
         return reply
 
+    async def fetch_metrics(self) -> str:
+        """Scrape the controller: its Prometheus text exposition.
+
+        The returned text carries the controller's per-message-type
+        counters and latency histograms, plus the policy's assign-path
+        instruments when the controller runs with observability enabled.
+        """
+        async with self._request_lock:
+            await self._ensure_connected()
+            await self._send(MetricsRequestMessage())
+            if self._retry is not None:
+                reply = await asyncio.wait_for(
+                    self._receive(), timeout=self._retry.request_timeout_s
+                )
+            else:
+                reply = await self._receive()
+        if not isinstance(reply, MetricsMessage):
+            raise ProtocolError(f"expected metrics, got {type(reply).__name__}")
+        return reply.text
+
     @staticmethod
     def default_option(options: list[RelayOption]) -> RelayOption:
         """The client-side fallback: direct if offered, else first candidate."""
@@ -222,7 +244,7 @@ class TestbedClient:
         )
         for attempt in range(1, policy.max_attempts + 1):
             if self._breaker is not None and not self._breaker.allow():
-                self.stats.n_breaker_fastfails += 1
+                self.stats.record("breaker_fastfail")
                 break
             try:
                 reply = await asyncio.wait_for(
@@ -234,7 +256,7 @@ class TestbedClient:
                 choice = decode_option(reply.option)
             except _TRANSPORT_ERRORS as exc:
                 if isinstance(exc, asyncio.TimeoutError):
-                    self.stats.n_timeouts += 1
+                    self.stats.record("timeout")
                 if self._breaker is not None:
                     self._breaker.record_failure()
                 # The reply to this request may still be in flight; a fresh
@@ -245,14 +267,14 @@ class TestbedClient:
                 delay = policy.delay_for(attempt)
                 if time.monotonic() + delay >= deadline:
                     break
-                self.stats.n_retries += 1
+                self.stats.record("retry")
                 await asyncio.sleep(delay)
                 continue
             if self._breaker is not None:
                 self._breaker.record_success()
             await self._maybe_report_resilience()
             return choice
-        self.stats.n_fallbacks += 1
+        self.stats.record("fallback")
         return self.default_option(options)
 
     async def _round_trip(self, request: RequestMessage) -> Any:

@@ -27,15 +27,19 @@ import asyncio
 import json
 import logging
 from pathlib import Path
+from time import perf_counter
 from typing import Any
 
 from repro.core.policy import ViaConfig, ViaPolicy
 from repro.deployment.faults import FaultInjector, FaultPlan
 from repro.deployment.protocol import (
+    MAX_LINE_BYTES,
     AssignMessage,
     ByeMessage,
     HelloMessage,
     MeasurementMessage,
+    MetricsMessage,
+    MetricsRequestMessage,
     ProtocolError,
     RequestMessage,
     ResilienceMessage,
@@ -46,6 +50,9 @@ from repro.deployment.protocol import (
     encode_message,
     encode_option,
 )
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiling import timed
+from repro.obs.tracing import trace
 from repro.telephony.call import Call
 
 __all__ = ["ViaController"]
@@ -70,7 +77,27 @@ class ViaController:
     ``faults`` injects controller-side chaos; ``snapshot_path`` makes
     :meth:`start` restore a previous checkpoint when one exists (write one
     with :meth:`save_snapshot`).
+
+    Every controller owns a private :class:`MetricsRegistry` (pass one in
+    to share): message counters and per-message-type latency histograms
+    are *always* collected (they back the stats endpoint, so they must be
+    exact), while the policy's assign-path histograms on the same registry
+    fill in only when :mod:`repro.obs.runtime` is enabled.  Scrape the
+    whole registry with :meth:`metrics_text` or, over the wire, with a
+    :class:`~repro.deployment.protocol.MetricsRequestMessage`.
     """
+
+    #: Message types pre-bound in the registry so a scrape shows every
+    #: series at zero before the first message arrives.
+    _MESSAGE_TYPES = (
+        "hello",
+        "measurement",
+        "request",
+        "stats_request",
+        "metrics_request",
+        "resilience",
+        "bye",
+    )
 
     def __init__(
         self,
@@ -80,23 +107,88 @@ class ViaController:
         port: int = 0,
         faults: FaultPlan | None = None,
         snapshot_path: str | Path | None = None,
+        registry: MetricsRegistry | None = None,
     ) -> None:
-        self.policy = ViaPolicy(policy_config or ViaConfig(), name="controller")
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.policy = ViaPolicy(
+            policy_config or ViaConfig(), name="controller", registry=self.registry
+        )
         self.host = host
         self._requested_port = port
         self._server: asyncio.Server | None = None
         self.client_sites: dict[int, str] = {}
         self.site_labels: dict[int, str] = {}
-        self.n_measurements = 0
-        self.n_requests = 0
-        self.n_reconnects = 0
-        self.n_policy_errors = 0
         self._call_counter = 0
         self._client_resilience: dict[int, ResilienceMessage] = {}
         self._conn_tasks: set[asyncio.Task] = set()
         self._conn_writers: set[asyncio.StreamWriter] = set()
         self.faults = FaultInjector(faults) if faults is not None else None
         self.snapshot_path = Path(snapshot_path) if snapshot_path is not None else None
+        # Registry-backed operational counters (PR 1 kept these as ad-hoc
+        # ints; the wire-visible StatsMessage shape is unchanged).
+        messages = self.registry.counter(
+            "via_controller_messages_total",
+            "Messages handled, by protocol message type.",
+            ("type",),
+        )
+        self._msg_counts = {t: messages.labels(type=t) for t in self._MESSAGE_TYPES}
+        self._msg_seconds = self.registry.histogram(
+            "via_controller_message_duration_seconds",
+            "Controller-side handling latency, by protocol message type.",
+            ("type",),
+        )
+        self._obs_reconnects = self.registry.counter(
+            "via_controller_reconnects_total",
+            "Hello messages from a client id seen before (client reconnects).",
+        )
+        self._obs_policy_errors = self.registry.counter(
+            "via_controller_policy_errors_total",
+            "Policy exceptions isolated while handling a message.",
+        )
+        self._obs_protocol_errors = self.registry.counter(
+            "via_controller_protocol_errors_total",
+            "Malformed wire lines dropped.",
+        )
+        self._obs_clients = self.registry.gauge(
+            "via_controller_clients",
+            "Currently connected clients (hello seen, not yet disconnected).",
+        )
+
+    # ------------------------------------------------------------------
+    # Registry-backed counter views (the StatsMessage observables)
+    # ------------------------------------------------------------------
+
+    @property
+    def n_measurements(self) -> int:
+        return int(self._msg_counts["measurement"].value)
+
+    @n_measurements.setter
+    def n_measurements(self, value: int) -> None:
+        self._msg_counts["measurement"].value = float(value)
+
+    @property
+    def n_requests(self) -> int:
+        return int(self._msg_counts["request"].value)
+
+    @n_requests.setter
+    def n_requests(self, value: int) -> None:
+        self._msg_counts["request"].value = float(value)
+
+    @property
+    def n_reconnects(self) -> int:
+        return int(self._obs_reconnects.value)
+
+    @n_reconnects.setter
+    def n_reconnects(self, value: int) -> None:
+        self._obs_reconnects._default_series().value = float(value)
+
+    @property
+    def n_policy_errors(self) -> int:
+        return int(self._obs_policy_errors.value)
+
+    @n_policy_errors.setter
+    def n_policy_errors(self, value: int) -> None:
+        self._obs_policy_errors._default_series().value = float(value)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -173,6 +265,7 @@ class ViaController:
             {int(cid): site for cid, site in payload.get("site_labels", {}).items()}
         )
 
+    @timed("controller.save_snapshot")
     def save_snapshot(self, path: str | Path | None = None) -> Path:
         """Write the checkpoint to ``path`` (default: ``snapshot_path``)."""
         target = Path(path) if path is not None else self.snapshot_path
@@ -224,12 +317,19 @@ class ViaController:
                 try:
                     message = decode_message(line)
                 except ProtocolError as exc:
+                    self._obs_protocol_errors.inc()
                     logger.warning("dropping bad message from %s: %s", peer, exc)
                     continue
+                self._count_message(message.type)
                 if isinstance(message, ByeMessage):
                     break
                 conn_client_id = self._dispatch_client_id(message, conn_client_id)
-                await self._handle_message(message, writer, peer)
+                t0 = perf_counter()
+                with trace("handle_message", type=message.type):
+                    await self._handle_message(message, writer, peer)
+                self._msg_seconds.labels(type=message.type).observe(
+                    perf_counter() - t0
+                )
                 if self.faults is not None and self.faults.should_drop_connection():
                     logger.info("fault injection: dropping connection to %s", peer)
                     break
@@ -239,6 +339,7 @@ class ViaController:
             self._conn_writers.discard(writer)
             if conn_client_id is not None:
                 self.client_sites.pop(conn_client_id, None)
+                self._obs_clients.set(len(self.client_sites))
             writer.close()
             try:
                 await writer.wait_closed()
@@ -251,31 +352,44 @@ class ViaController:
             return message.client_id
         return current
 
+    def _count_message(self, msg_type: str) -> None:
+        series = self._msg_counts.get(msg_type)
+        if series is None:
+            # Unknown-but-decodable types (e.g. a stray assign) still count.
+            series = self._msg_counts.setdefault(
+                msg_type,
+                self.registry.counter(
+                    "via_controller_messages_total",
+                    "Messages handled, by protocol message type.",
+                    ("type",),
+                ).labels(type=msg_type),
+            )
+        series.inc()
+
     async def _handle_message(
         self, message: Any, writer: asyncio.StreamWriter, peer: Any
     ) -> None:
         """Handle one decoded message; policy errors are isolated here."""
         if isinstance(message, HelloMessage):
             if message.client_id in self.site_labels:
-                self.n_reconnects += 1
+                self._obs_reconnects.inc()
             self.client_sites[message.client_id] = message.site
             self.site_labels[message.client_id] = message.site
+            self._obs_clients.set(len(self.client_sites))
         elif isinstance(message, MeasurementMessage):
-            self.n_measurements += 1
             try:
                 self._on_measurement(message)
             except Exception:
-                self.n_policy_errors += 1
+                self._obs_policy_errors.inc()
                 logger.exception("policy.observe failed for %s", peer)
         elif isinstance(message, RequestMessage):
-            self.n_requests += 1
             if self.faults is not None and self.faults.should_blackhole(message.t_hours):
                 logger.info("fault injection: blackholing request from %s", peer)
                 return
             try:
                 reply = self._on_request(message)
             except Exception:
-                self.n_policy_errors += 1
+                self._obs_policy_errors.inc()
                 logger.exception("policy.assign failed for %s", peer)
                 reply = self._default_reply(message)
             if reply is None:
@@ -283,6 +397,8 @@ class ViaController:
             await self._send_reply(writer, reply)
         elif isinstance(message, StatsRequestMessage):
             await self._send_reply(writer, self._stats())
+        elif isinstance(message, MetricsRequestMessage):
+            await self._send_reply(writer, self._metrics_reply())
         elif isinstance(message, ResilienceMessage):
             self._client_resilience[message.client_id] = message
         else:  # AssignMessage arriving at the server is a client bug
@@ -335,6 +451,31 @@ class ViaController:
             if option_data.get("kind") == "direct":
                 return AssignMessage(option=option_data)
         return AssignMessage(option=message.options[0])
+
+    def metrics_text(self) -> str:
+        """The controller's full Prometheus text exposition: message
+        counters, per-type latency histograms, and the policy's assign-path
+        instruments (fed while observability is enabled)."""
+        return self.registry.render_text()
+
+    def _metrics_reply(self) -> MetricsMessage:
+        """The exposition as a wire message, truncated at a line boundary
+        if a huge registry would overflow the protocol's line limit."""
+        text = self.metrics_text()
+        # JSON escaping roughly doubles worst-case size; keep a margin.
+        budget = MAX_LINE_BYTES - 4096
+        if len(text.encode("utf-8")) > budget // 2:
+            lines = text.splitlines()
+            kept: list[str] = []
+            size = 0
+            for line in lines:
+                size += len(line.encode("utf-8")) + 1
+                if 2 * size > budget:
+                    kept.append("# TRUNCATED: exposition exceeded wire line limit")
+                    break
+                kept.append(line)
+            text = "\n".join(kept) + "\n"
+        return MetricsMessage(text=text)
 
     def _stats(self) -> StatsMessage:
         """Operator-facing counters (the §7 scalability discussion's

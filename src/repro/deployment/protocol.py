@@ -1,9 +1,11 @@
 """JSON-lines wire protocol between instrumented clients and the controller.
 
-One JSON object per line (newline-delimited), UTF-8.  Four client->server
-messages (hello, measurement, request, bye) and one server->client reply
-(assign).  The paper notes the per-call overhead is exactly this: "one
-measurement update and one control message exchange per call" (§7).
+One JSON object per line (newline-delimited), UTF-8.  Client->server
+messages (hello, measurement, request, stats_request, metrics_request,
+resilience, bye) and server->client replies (assign, stats, metrics).
+The paper notes the per-call overhead is exactly the first pair: "one
+measurement update and one control message exchange per call" (§7); the
+operator-facing stats/metrics exchanges are off the call path.
 """
 
 from __future__ import annotations
@@ -22,6 +24,8 @@ __all__ = [
     "AssignMessage",
     "StatsRequestMessage",
     "StatsMessage",
+    "MetricsRequestMessage",
+    "MetricsMessage",
     "ResilienceMessage",
     "ByeMessage",
     "Message",
@@ -133,6 +137,27 @@ class StatsMessage:
 
 
 @dataclass(frozen=True, slots=True)
+class MetricsRequestMessage:
+    """Operator query: scrape the controller's metrics registry."""
+
+    type: str = "metrics_request"
+
+
+@dataclass(frozen=True, slots=True)
+class MetricsMessage:
+    """The controller's metrics in Prometheus text exposition format.
+
+    ``text`` is the full multi-line exposition (newlines survive JSON
+    encoding); ``format`` names the dialect so future formats can be
+    negotiated without a new message type."""
+
+    text: str
+    format: str = "prometheus"
+
+    type: str = "metrics"
+
+
+@dataclass(frozen=True, slots=True)
 class ResilienceMessage:
     """Client-side fault counters, pushed opportunistically.
 
@@ -165,6 +190,8 @@ Message = Union[
     AssignMessage,
     StatsRequestMessage,
     StatsMessage,
+    MetricsRequestMessage,
+    MetricsMessage,
     ResilienceMessage,
     ByeMessage,
 ]
@@ -176,6 +203,8 @@ _MESSAGE_TYPES: dict[str, type] = {
     "assign": AssignMessage,
     "stats_request": StatsRequestMessage,
     "stats": StatsMessage,
+    "metrics_request": MetricsRequestMessage,
+    "metrics": MetricsMessage,
     "resilience": ResilienceMessage,
     "bye": ByeMessage,
 }

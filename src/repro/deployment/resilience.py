@@ -22,7 +22,19 @@ import time
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.obs import runtime as obs_runtime
+from repro.obs.metrics import REGISTRY
+
 __all__ = ["RetryPolicy", "CircuitBreaker", "ResilienceStats"]
+
+#: Client-side fault events on the default registry (fed only while
+#: observability is enabled; the exact per-client counts always live in
+#: :class:`ResilienceStats` and travel in ResilienceMessage reports).
+_CLIENT_EVENTS = REGISTRY.counter(
+    "via_client_events_total",
+    "Client-side resilience events (retries, fallbacks, ...), by event.",
+    ("event",),
+)
 
 
 @dataclass(frozen=True, slots=True)
@@ -147,7 +159,14 @@ class CircuitBreaker:
 
 @dataclass(slots=True)
 class ResilienceStats:
-    """Cumulative per-client fault counters (reported to the controller)."""
+    """Cumulative per-client fault counters (reported to the controller).
+
+    :meth:`record` is the preferred mutator: it bumps the exact per-client
+    field *and* mirrors the event into the default metrics registry
+    (``via_client_events_total{event=...}``) when observability is on, so
+    a scrape sees fleet-wide fallback/retry rates without waiting for the
+    next ResilienceMessage round-trip.
+    """
 
     n_retries: int = 0
     n_fallbacks: int = 0
@@ -155,6 +174,28 @@ class ResilienceStats:
     n_timeouts: int = 0
     n_dropped_measurements: int = 0
     n_breaker_fastfails: int = 0
+
+    #: Event name -> counter field, the vocabulary :meth:`record` accepts.
+    EVENT_FIELDS = {
+        "retry": "n_retries",
+        "fallback": "n_fallbacks",
+        "reconnect": "n_reconnects",
+        "timeout": "n_timeouts",
+        "dropped_measurement": "n_dropped_measurements",
+        "breaker_fastfail": "n_breaker_fastfails",
+    }
+
+    def record(self, event: str) -> None:
+        """Count one resilience ``event`` (see :attr:`EVENT_FIELDS`)."""
+        field = self.EVENT_FIELDS.get(event)
+        if field is None:
+            raise ValueError(
+                f"unknown resilience event {event!r}; "
+                f"expected one of {sorted(self.EVENT_FIELDS)}"
+            )
+        setattr(self, field, getattr(self, field) + 1)
+        if obs_runtime.enabled:
+            _CLIENT_EVENTS.labels(event=event).inc()
 
     def as_dict(self) -> dict[str, int]:
         return {

@@ -31,6 +31,7 @@ from repro.deployment.resilience import RetryPolicy
 from repro.netmodel.options import RelayOption
 from repro.netmodel.topology import TopologyConfig
 from repro.netmodel.world import World, WorldConfig, build_world
+from repro.obs import runtime as obs_runtime
 
 __all__ = ["TestbedConfig", "TestbedReport", "run_testbed"]
 
@@ -68,6 +69,9 @@ class TestbedConfig:
     #: Client retry policy; defaults to CHAOS_RETRY when chaos is on, and
     #: to no resilience layer (the original fail-fast client) otherwise.
     retry: RetryPolicy | None = None
+    #: Observability: enable span tracing + gated histograms for the run
+    #: and scrape the controller over the wire into ``report.metrics_text``.
+    observe: bool = False
 
     def __post_init__(self) -> None:
         if self.n_clients < 2 or self.n_pairs < 1:
@@ -99,6 +103,9 @@ class TestbedReport:
     n_outage_calls: int = 0
     #: VIA-phase calls whose assigned option rode a down relay anyway.
     n_dead_assignments: int = 0
+    #: Prometheus text exposition scraped from the controller at the end
+    #: of the run (always captured; richest with ``observe=True``).
+    metrics_text: str = ""
 
     @property
     def frac_exact_best(self) -> float:
@@ -259,6 +266,14 @@ async def _run_async(config: TestbedConfig) -> TestbedReport:
                 await asyncio.gather(
                     *(one_call(src, dst, t_hours) for src, dst in pairs)
                 )
+
+            # Scrape the controller over the wire (the same exchange an
+            # operator's poller would run); fall back to the in-process
+            # registry if chaos severed the scraping client's connection.
+            try:
+                report.metrics_text = await clients[0].fetch_metrics()
+            except Exception:
+                report.metrics_text = controller.metrics_text()
         finally:
             await asyncio.gather(*(c.close() for c in clients))
             for client in clients:
@@ -274,5 +289,12 @@ async def _run_async(config: TestbedConfig) -> TestbedReport:
 
 
 def run_testbed(config: TestbedConfig | None = None) -> TestbedReport:
-    """Run the full §5.5 deployment experiment; blocking convenience API."""
-    return asyncio.run(_run_async(config or TestbedConfig()))
+    """Run the full §5.5 deployment experiment; blocking convenience API.
+
+    With ``observe=True`` the run executes under an enabled observability
+    scope: assign-path spans and latency histograms land in the
+    controller's registry and the scraped ``report.metrics_text``.
+    """
+    config = config or TestbedConfig()
+    with obs_runtime.enabled_scope(config.observe or obs_runtime.enabled):
+        return asyncio.run(_run_async(config))

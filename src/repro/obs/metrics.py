@@ -1,0 +1,427 @@
+"""Dependency-free metrics: counters, gauges, histograms with label sets.
+
+A tiny, stdlib-only subset of the Prometheus client model, built for the
+controller's operational counters and the policy's latency histograms:
+
+* a :class:`MetricsRegistry` owns named metrics; registration is
+  idempotent (re-asking for the same name/type/labels returns the same
+  instrument, so module-level wiring is safe under repeated imports),
+* each metric fans out into *series* keyed by label values
+  (``metric.labels(type="request").inc()``), with a cardinality cap so a
+  label-value explosion fails loudly instead of eating memory,
+* :meth:`MetricsRegistry.render_text` emits the Prometheus text
+  exposition format (the thing a scraper reads), and
+  :meth:`MetricsRegistry.snapshot` returns plain nested dicts for
+  programmatic assertions.
+
+No locks: all mutators are single-bytecode-ish updates that are safe
+under the GIL for the asyncio + replay workloads this repo runs.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Iterable, Mapping
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "DEFAULT_LATENCY_BUCKETS",
+]
+
+#: Histogram buckets sized for Python-level call latencies: the assign hot
+#: path sits in the tens-of-microseconds range, controller round-trips in
+#: milliseconds, chaos-mode fallbacks in the 0.1-10 s tail.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2,
+    2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Per-metric cap on distinct label-value combinations.
+DEFAULT_MAX_SERIES = 1000
+
+
+def _format_value(value: float) -> str:
+    """Float formatting for the exposition text: integral values render
+    without a fractional part so golden tests stay readable."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_le(bound: float) -> str:
+    if bound == float("inf"):
+        return "+Inf"
+    return _format_value(bound) if bound == int(bound) else f"{bound:g}"
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", r"\\").replace("\n", r"\n").replace('"', r'\"')
+
+
+def _render_labels(labelnames: tuple[str, ...], labelvalues: tuple[str, ...],
+                   extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = list(zip(labelnames, labelvalues)) + list(extra)
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label(v)}"' for k, v in pairs)
+    return "{" + inner + "}"
+
+
+class _Series:
+    """One (metric, label values) time series holding a scalar value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+
+class _CounterSeries(_Series):
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up; got {amount}")
+        self.value += amount
+
+
+class _GaugeSeries(_Series):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class _HistogramSeries:
+    """Bucketed distribution; counts are stored per-bucket and rendered
+    cumulatively (the Prometheus ``le`` convention)."""
+
+    __slots__ = ("buckets", "counts", "sum", "count")
+
+    def __init__(self, buckets: tuple[float, ...]) -> None:
+        self.buckets = buckets
+        self.counts = [0] * (len(buckets) + 1)  # last slot = +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def cumulative_counts(self) -> list[int]:
+        """Counts for ``le <= bucket[i]`` per bucket, then the +Inf total."""
+        total = 0
+        out = []
+        for c in self.counts:
+            total += c
+            out.append(total)
+        return out
+
+
+class _Metric:
+    """Base: name, help text, and the labels -> series fan-out."""
+
+    type_name = "untyped"
+    _series_cls: type = _Series
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labelnames: tuple[str, ...],
+        *,
+        max_series: int = DEFAULT_MAX_SERIES,
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.labelnames = labelnames
+        self.max_series = max_series
+        self._series: dict[tuple[str, ...], Any] = {}
+
+    # -- label handling -------------------------------------------------
+
+    def labels(self, **labelvalues: Any):
+        """The series for this combination of label values (created lazily)."""
+        if set(labelvalues) != set(self.labelnames):
+            raise ValueError(
+                f"{self.name}: expected labels {self.labelnames}, "
+                f"got {tuple(sorted(labelvalues))}"
+            )
+        key = tuple(str(labelvalues[n]) for n in self.labelnames)
+        series = self._series.get(key)
+        if series is None:
+            if len(self._series) >= self.max_series:
+                raise ValueError(
+                    f"{self.name}: label cardinality exceeds {self.max_series} "
+                    f"series (runaway label value?)"
+                )
+            series = self._new_series()
+            self._series[key] = series
+        return series
+
+    def _default_series(self):
+        if self.labelnames:
+            raise ValueError(f"{self.name} is labelled; use .labels(...)")
+        series = self._series.get(())
+        if series is None:
+            series = self._new_series()
+            self._series[()] = series
+        return series
+
+    def _new_series(self):
+        return self._series_cls()
+
+    @property
+    def n_series(self) -> int:
+        return len(self._series)
+
+    def clear(self) -> None:
+        """Drop every series (used by registry reset between runs)."""
+        self._series.clear()
+
+    # -- export ---------------------------------------------------------
+
+    def _sorted_series(self) -> list[tuple[tuple[str, ...], Any]]:
+        return sorted(self._series.items())
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "type": self.type_name,
+            "help": self.help,
+            "series": [
+                {"labels": dict(zip(self.labelnames, key)), "value": s.value}
+                for key, s in self._sorted_series()
+            ],
+        }
+
+    def render_lines(self) -> Iterable[str]:
+        yield f"# HELP {self.name} {self.help}"
+        yield f"# TYPE {self.name} {self.type_name}"
+        for key, series in self._sorted_series():
+            yield (
+                f"{self.name}{_render_labels(self.labelnames, key)} "
+                f"{_format_value(series.value)}"
+            )
+
+
+class Counter(_Metric):
+    """Monotonically increasing count (events, messages, errors)."""
+
+    type_name = "counter"
+    _series_cls = _CounterSeries
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default_series().inc(amount)
+
+    @property
+    def value(self) -> float:
+        """Sum over every series (the unlabelled value when unlabelled)."""
+        return sum(s.value for s in self._series.values())
+
+    def value_for(self, **labelvalues: Any) -> float:
+        return self.labels(**labelvalues).value
+
+
+class Gauge(_Metric):
+    """A value that goes up and down (live clients, replay progress)."""
+
+    type_name = "gauge"
+    _series_cls = _GaugeSeries
+
+    def set(self, value: float) -> None:
+        self._default_series().set(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default_series().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._default_series().dec(amount)
+
+    @property
+    def value(self) -> float:
+        series = self._series.get(())
+        return series.value if series is not None else 0.0
+
+    def value_for(self, **labelvalues: Any) -> float:
+        return self.labels(**labelvalues).value
+
+
+class Histogram(_Metric):
+    """Bucketed latency/size distribution with sum and count."""
+
+    type_name = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labelnames: tuple[str, ...],
+        *,
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+        max_series: int = DEFAULT_MAX_SERIES,
+    ) -> None:
+        if not buckets or list(buckets) != sorted(set(buckets)):
+            raise ValueError("buckets must be non-empty, sorted and unique")
+        super().__init__(name, help, labelnames, max_series=max_series)
+        self.buckets = tuple(float(b) for b in buckets)
+
+    def _new_series(self) -> _HistogramSeries:
+        return _HistogramSeries(self.buckets)
+
+    def observe(self, value: float) -> None:
+        self._default_series().observe(value)
+
+    def series_for(self, **labelvalues: Any) -> _HistogramSeries:
+        return self.labels(**labelvalues)
+
+    @property
+    def count(self) -> int:
+        return sum(s.count for s in self._series.values())
+
+    @property
+    def sum(self) -> float:
+        return sum(s.sum for s in self._series.values())
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "type": self.type_name,
+            "help": self.help,
+            "series": [
+                {
+                    "labels": dict(zip(self.labelnames, key)),
+                    "buckets": dict(
+                        zip(
+                            [_format_le(b) for b in (*self.buckets, float("inf"))],
+                            s.cumulative_counts(),
+                        )
+                    ),
+                    "sum": s.sum,
+                    "count": s.count,
+                }
+                for key, s in self._sorted_series()
+            ],
+        }
+
+    def render_lines(self) -> Iterable[str]:
+        yield f"# HELP {self.name} {self.help}"
+        yield f"# TYPE {self.name} {self.type_name}"
+        bounds = (*self.buckets, float("inf"))
+        for key, series in self._sorted_series():
+            for bound, cum in zip(bounds, series.cumulative_counts()):
+                labels = _render_labels(
+                    self.labelnames, key, extra=(("le", _format_le(bound)),)
+                )
+                yield f"{self.name}_bucket{labels} {cum}"
+            plain = _render_labels(self.labelnames, key)
+            yield f"{self.name}_sum{plain} {_format_value(series.sum)}"
+            yield f"{self.name}_count{plain} {series.count}"
+
+
+class MetricsRegistry:
+    """Named metrics with idempotent registration and text exposition."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, _Metric] = {}
+
+    # -- registration ---------------------------------------------------
+
+    def counter(
+        self, name: str, help: str = "", labelnames: tuple[str, ...] = ()
+    ) -> Counter:
+        return self._get_or_create(Counter, name, help, tuple(labelnames))
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: tuple[str, ...] = ()
+    ) -> Gauge:
+        return self._get_or_create(Gauge, name, help, tuple(labelnames))
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: tuple[str, ...] = (),
+        *,
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = Histogram(name, help, tuple(labelnames), buckets=buckets)
+            self._metrics[name] = metric
+            return metric
+        self._check_match(metric, Histogram, name, tuple(labelnames))
+        assert isinstance(metric, Histogram)
+        if metric.buckets != tuple(float(b) for b in buckets):
+            raise ValueError(f"{name} already registered with different buckets")
+        return metric
+
+    def _get_or_create(
+        self, cls: type, name: str, help: str, labelnames: tuple[str, ...]
+    ):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, help, labelnames)
+            self._metrics[name] = metric
+            return metric
+        self._check_match(metric, cls, name, labelnames)
+        return metric
+
+    @staticmethod
+    def _check_match(
+        metric: _Metric, cls: type, name: str, labelnames: tuple[str, ...]
+    ) -> None:
+        if type(metric) is not cls:
+            raise ValueError(
+                f"{name} already registered as {metric.type_name}, "
+                f"not {cls.type_name}"  # type: ignore[attr-defined]
+            )
+        if metric.labelnames != labelnames:
+            raise ValueError(
+                f"{name} already registered with labels {metric.labelnames}, "
+                f"not {labelnames}"
+            )
+
+    # -- access ---------------------------------------------------------
+
+    def get(self, name: str) -> _Metric | None:
+        return self._metrics.get(name)
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def reset(self) -> None:
+        """Zero every metric (registrations survive; series are dropped)."""
+        for metric in self._metrics.values():
+            metric.clear()
+
+    # -- export ---------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Mapping[str, Any]]:
+        """Plain nested dicts, for assertions and JSON dumps."""
+        return {name: m.snapshot() for name, m in sorted(self._metrics.items())}
+
+    def render_text(self) -> str:
+        """The Prometheus text exposition format (trailing newline incl.)."""
+        lines: list[str] = []
+        for _name, metric in sorted(self._metrics.items()):
+            lines.extend(metric.render_lines())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+#: Process-wide default registry: the policy, replay loop and client-side
+#: resilience events all land here.  Controllers use their own registry so
+#: concurrent controllers never mix counters.
+REGISTRY = MetricsRegistry()

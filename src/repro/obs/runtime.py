@@ -1,0 +1,57 @@
+"""The one global observability switch.
+
+Instrumentation in hot paths (``ViaPolicy.assign``, the replay loop) costs
+one attribute check per call when off -- the acceptance bar is <= 5 %
+overhead on the replay benchmarks with observability *disabled*, so the
+check must be as close to free as Python allows.  Controller-side message
+counters are *not* gated on this switch: they replace the pre-existing
+operational counters and must stay exact for the stats endpoint.
+
+Usage::
+
+    from repro.obs import runtime
+
+    runtime.enable()
+    ...            # spans recorded, histograms fed
+    runtime.disable()
+
+or scoped::
+
+    with runtime.enabled_scope():
+        replay(world, trace, policy)
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["enabled", "enable", "disable", "enabled_scope"]
+
+#: Read directly from hot paths (``runtime.enabled``); mutate only through
+#: :func:`enable` / :func:`disable` so the intent is greppable.
+enabled: bool = False
+
+
+def enable() -> None:
+    """Turn span tracing and gated metric observation on, process-wide."""
+    global enabled
+    enabled = True
+
+
+def disable() -> None:
+    """Turn gated observability off (the default)."""
+    global enabled
+    enabled = False
+
+
+@contextmanager
+def enabled_scope(on: bool = True) -> Iterator[None]:
+    """Temporarily force the switch to ``on``, restoring the prior state."""
+    global enabled
+    previous = enabled
+    enabled = on
+    try:
+        yield
+    finally:
+        enabled = previous

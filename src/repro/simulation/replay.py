@@ -18,9 +18,28 @@ from typing import TYPE_CHECKING
 
 from repro.core.policy import SelectionPolicy
 from repro.netmodel.world import World
+from repro.obs import runtime as obs_runtime
+from repro.obs.metrics import REGISTRY
 from repro.telephony.call import CallOutcome
 from repro.telephony.quality import QualityModel
 from repro.workload.trace import TraceDataset
+
+#: Replay progress instruments on the default registry.  Fed only while
+#: observability is enabled; an operator watching a long replay sees the
+#: current epoch (24 h day), calls done, and the completed fraction.
+_G_DAY = REGISTRY.gauge(
+    "via_replay_day", "Trace day (24 h epoch) the replay is currently in."
+)
+_G_CALLS = REGISTRY.gauge(
+    "via_replay_calls_done", "Calls replayed so far in the current replay."
+)
+_G_FRACTION = REGISTRY.gauge(
+    "via_replay_progress_fraction", "Completed fraction of the current replay."
+)
+_C_CALLS = REGISTRY.counter(
+    "via_replay_calls_total", "Calls replayed across all replays, by policy.",
+    ("policy",),
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only import cycle guard
     from repro.core.probing import ActiveProber
@@ -128,7 +147,19 @@ def replay(
     outages = tuple(getattr(world, "outages", ()))
     set_down = getattr(policy, "set_down_relays", None) if outages else None
     last_down: frozenset[int] | None = None
+    n_total = len(trace)
+    obs_calls = _C_CALLS.labels(policy=policy.name)
+    last_day = -1
     for call in trace:
+        if obs_runtime.enabled:
+            day = int(call.t_hours // 24.0)
+            if day != last_day:
+                _G_DAY.set(day)
+                last_day = day
+            done = len(outcomes)
+            _G_CALLS.set(done)
+            _G_FRACTION.set(done / n_total if n_total else 1.0)
+            obs_calls.inc()
         if outages:
             down = world.relays_down_at(call.t_hours)
             if set_down is not None and down != last_down:
@@ -171,6 +202,9 @@ def replay(
                 probe_call_id -= 1
                 probe_metrics = sample_call(src, dst, probe_option, call.t_hours, rng)
                 policy.observe(mock, probe_option, probe_metrics)
+    if obs_runtime.enabled:
+        _G_CALLS.set(len(outcomes))
+        _G_FRACTION.set(1.0)
     result.n_probes = prober.n_probes_issued if prober is not None else 0
     return result
 

@@ -1,0 +1,294 @@
+"""Unit + integration tests for the observability plane (repro.obs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.policy import ViaConfig, make_policy
+from repro.obs import (
+    REGISTRY,
+    TRACER,
+    MetricsRegistry,
+    Tracer,
+    enabled_scope,
+    runtime,
+    timed,
+    trace,
+)
+from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS
+from repro.obs.tracing import _NOOP_SPAN
+from repro.simulation import replay
+from repro.workload.trace import TraceDataset
+
+
+@pytest.fixture()
+def reg():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_inc_and_value(self, reg):
+        c = reg.counter("t_total", "Total.")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == pytest.approx(3.5)
+
+    def test_negative_increment_rejected(self, reg):
+        c = reg.counter("t_total")
+        with pytest.raises(ValueError, match="only go up"):
+            c.inc(-1)
+
+    def test_labelled_series_are_independent(self, reg):
+        c = reg.counter("t_total", "Total.", ("kind",))
+        c.labels(kind="a").inc()
+        c.labels(kind="a").inc()
+        c.labels(kind="b").inc()
+        assert c.value_for(kind="a") == 2
+        assert c.value_for(kind="b") == 1
+        assert c.value == 3  # sums over series
+
+    def test_label_name_mismatch_rejected(self, reg):
+        c = reg.counter("t_total", "Total.", ("kind",))
+        with pytest.raises(ValueError, match="expected labels"):
+            c.labels(type="a")
+
+    def test_unlabelled_use_of_labelled_metric_rejected(self, reg):
+        c = reg.counter("t_total", "Total.", ("kind",))
+        with pytest.raises(ValueError, match="use .labels"):
+            c.inc()
+
+    def test_cardinality_cap(self, reg):
+        c = reg.counter("t_total", "Total.", ("kind",))
+        c.max_series = 10
+        for i in range(10):
+            c.labels(kind=str(i)).inc()
+        with pytest.raises(ValueError, match="cardinality"):
+            c.labels(kind="overflow")
+        # Existing series stay usable after the cap trips.
+        c.labels(kind="3").inc()
+        assert c.n_series == 10
+
+
+class TestGauge:
+    def test_set_inc_dec(self, reg):
+        g = reg.gauge("t_up", "Up.")
+        g.set(5)
+        g.inc(2)
+        g.dec(4)
+        assert g.value == pytest.approx(3.0)
+
+    def test_unset_gauge_reads_zero(self, reg):
+        assert reg.gauge("t_up").value == 0.0
+
+
+class TestHistogram:
+    def test_bucket_placement_is_cumulative_le(self, reg):
+        h = reg.histogram("t_seconds", "Lat.", buckets=(0.1, 1.0, 5.0))
+        for v in (0.05, 0.1, 0.5, 2.0, 50.0):
+            h.observe(v)
+        (series,) = h.snapshot()["series"]
+        # le is inclusive: the 0.1 observation lands in the 0.1 bucket.
+        assert series["buckets"] == {"0.1": 2, "1": 3, "5": 4, "+Inf": 5}
+        assert series["count"] == 5
+        assert series["sum"] == pytest.approx(52.65)
+        assert h.count == 5
+
+    def test_bad_buckets_rejected(self, reg):
+        with pytest.raises(ValueError, match="sorted"):
+            reg.histogram("t_seconds", buckets=(1.0, 0.5))
+        with pytest.raises(ValueError, match="sorted"):
+            reg.histogram("t_dup_seconds", buckets=(1.0, 1.0))
+
+    def test_default_buckets_cover_latency_range(self):
+        assert DEFAULT_LATENCY_BUCKETS[0] <= 1e-4
+        assert DEFAULT_LATENCY_BUCKETS[-1] >= 5.0
+        assert list(DEFAULT_LATENCY_BUCKETS) == sorted(DEFAULT_LATENCY_BUCKETS)
+
+
+class TestRegistry:
+    def test_reregistration_is_idempotent(self, reg):
+        a = reg.counter("t_total", "Total.", ("kind",))
+        b = reg.counter("t_total", "Total.", ("kind",))
+        assert a is b
+
+    def test_type_mismatch_rejected(self, reg):
+        reg.counter("t_thing")
+        with pytest.raises(ValueError, match="already registered as counter"):
+            reg.gauge("t_thing")
+
+    def test_label_mismatch_rejected(self, reg):
+        reg.counter("t_total", labelnames=("kind",))
+        with pytest.raises(ValueError, match="labels"):
+            reg.counter("t_total", labelnames=("type",))
+
+    def test_bucket_mismatch_rejected(self, reg):
+        reg.histogram("t_seconds", buckets=(0.1, 1.0))
+        with pytest.raises(ValueError, match="different buckets"):
+            reg.histogram("t_seconds", buckets=(0.2, 1.0))
+
+    def test_reset_keeps_registrations_zeroes_series(self, reg):
+        c = reg.counter("t_total", "Total.", ("kind",))
+        c.labels(kind="a").inc()
+        reg.reset()
+        assert "t_total" in reg
+        assert reg.counter("t_total", "Total.", ("kind",)) is c
+        assert c.value == 0
+
+    def test_exposition_golden(self, reg):
+        events = reg.counter("t_events_total", "Events.", ("kind",))
+        events.labels(kind="a").inc(2)
+        events.labels(kind="b").inc()
+        lat = reg.histogram("t_latency_seconds", "Latency.", buckets=(0.3, 1.0))
+        for v in (0.25, 0.5, 4.0):
+            lat.observe(v)
+        reg.gauge("t_up", "Up.").set(1)
+        assert reg.render_text() == (
+            "# HELP t_events_total Events.\n"
+            "# TYPE t_events_total counter\n"
+            't_events_total{kind="a"} 2\n'
+            't_events_total{kind="b"} 1\n'
+            "# HELP t_latency_seconds Latency.\n"
+            "# TYPE t_latency_seconds histogram\n"
+            't_latency_seconds_bucket{le="0.3"} 1\n'
+            't_latency_seconds_bucket{le="1"} 2\n'
+            't_latency_seconds_bucket{le="+Inf"} 3\n'
+            "t_latency_seconds_sum 4.75\n"
+            "t_latency_seconds_count 3\n"
+            "# HELP t_up Up.\n"
+            "# TYPE t_up gauge\n"
+            "t_up 1\n"
+        )
+
+    def test_exposition_escapes_label_values(self, reg):
+        c = reg.counter("t_total", "Total.", ("kind",))
+        c.labels(kind='we"ird\\lab\nel').inc()
+        line = reg.render_text().splitlines()[2]
+        assert line == 't_total{kind="we\\"ird\\\\lab\\nel"} 1'
+
+    def test_snapshot_shape(self, reg):
+        reg.counter("t_total", "Total.", ("kind",)).labels(kind="a").inc()
+        snap = reg.snapshot()
+        assert snap["t_total"]["type"] == "counter"
+        assert snap["t_total"]["series"] == [{"labels": {"kind": "a"}, "value": 1.0}]
+
+
+class TestTracer:
+    def test_disabled_trace_is_shared_noop(self):
+        assert not runtime.enabled
+        span = trace("assign", metric="rtt_ms")
+        assert span is _NOOP_SPAN
+        with span as s:
+            assert s.tag(x=1) is s  # chainable, records nothing
+
+    def test_nesting_depth_and_parent(self):
+        tracer = Tracer(capacity=16, feed_histogram=False)
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+                assert inner.depth == 1
+        assert outer.parent_id is None
+        assert outer.depth == 0
+        # Children finish first, so the ring is child-then-parent.
+        assert [s.name for s in tracer.finished()] == ["inner", "outer"]
+        assert outer.duration_s >= inner.duration_s >= 0.0
+
+    def test_ring_buffer_caps_memory_not_counts(self):
+        tracer = Tracer(capacity=4, feed_histogram=False)
+        for i in range(10):
+            with tracer.span(f"s{i}"):
+                pass
+        assert tracer.n_finished == 10
+        assert [s.name for s in tracer.finished()] == ["s6", "s7", "s8", "s9"]
+
+    def test_render_text_indents_by_depth(self):
+        tracer = Tracer(capacity=16, feed_histogram=False)
+        with tracer.span("outer"):
+            with tracer.span("inner", k=3):
+                pass
+        text = tracer.render_text()
+        assert "\n" in text
+        inner_line, outer_line = text.splitlines()
+        assert inner_line.startswith("  inner")
+        assert "[k=3]" in inner_line
+        assert outer_line.startswith("outer")
+
+    def test_enabled_trace_feeds_global_tracer_and_histogram(self):
+        hist = REGISTRY.get("via_span_duration_seconds")
+        before_finished = TRACER.n_finished
+        before_count = hist.count
+        with enabled_scope():
+            with trace("obs_unit_test_span") as span:
+                pass
+        assert TRACER.n_finished == before_finished + 1
+        assert span.duration_s >= 0.0
+        assert hist.count == before_count + 1
+        assert hist.series_for(span="obs_unit_test_span").count >= 1
+
+
+class TestTimedAndRuntime:
+    def test_enabled_scope_restores_prior_state(self):
+        assert not runtime.enabled
+        with enabled_scope():
+            assert runtime.enabled
+            with enabled_scope(False):
+                assert not runtime.enabled
+            assert runtime.enabled
+        assert not runtime.enabled
+
+    def test_timed_observes_only_when_enabled(self, reg):
+        @timed("unit.timed_fn", registry=reg)
+        def fn(x):
+            return x + 1
+
+        hist = reg.get("via_timed_seconds")
+        assert hist is not None  # registered at decoration time
+        assert fn(1) == 2
+        assert hist.count == 0
+        with enabled_scope():
+            assert fn(2) == 3
+        assert hist.series_for(func="unit.timed_fn").count == 1
+
+
+class TestReplayIntegration:
+    def test_assign_path_metrics_and_spans(self, small_world, small_trace):
+        tiny = TraceDataset(calls=small_trace.calls[:600], n_days=small_trace.n_days)
+        reg = MetricsRegistry()
+        policy = make_policy(ViaConfig(metric="rtt_ms"), registry=reg)
+        TRACER.clear()
+        with enabled_scope():
+            result = replay(small_world, tiny, policy, seed=3)
+
+        assert len(result) == 600
+        # One assign-latency observation per replayed call, on the
+        # policy's own registry, labelled by the optimised metric.
+        assign = reg.get("via_assign_duration_seconds")
+        assert assign.count == 600
+        assert assign.sum > 0.0
+        assert assign.series_for(metric="rtt_ms").count == 600
+        assert reg.get("via_observe_duration_seconds").count == 600
+        assert reg.get("via_refreshes_total").value >= 1
+
+        # Replay progress instruments live on the default registry.
+        assert REGISTRY.get("via_replay_progress_fraction").value == 1.0
+        calls_total = REGISTRY.get("via_replay_calls_total")
+        assert calls_total.value_for(policy=policy.name) >= 600
+
+        # The span tree covers the assign path.
+        names = {s.name for s in TRACER.finished()}
+        assert {"assign", "predict", "prune"} <= names
+        assign_spans = [s for s in TRACER.finished() if s.name == "assign"]
+        assert all(s.tags.get("metric") == "rtt_ms" for s in assign_spans)
+        assert any("option" in s.tags for s in assign_spans)
+
+        # And the whole thing renders as a scrape.
+        text = reg.render_text()
+        assert 'via_assign_duration_seconds_bucket{metric="rtt_ms",le="+Inf"} 600' in text
+        assert "via_assign_duration_seconds_count" in text
+
+    def test_disabled_replay_records_nothing(self, small_world, small_trace):
+        tiny = TraceDataset(calls=small_trace.calls[:200], n_days=small_trace.n_days)
+        reg = MetricsRegistry()
+        policy = make_policy(ViaConfig(metric="rtt_ms"), registry=reg)
+        assert not runtime.enabled
+        replay(small_world, tiny, policy, seed=3)
+        assert reg.get("via_assign_duration_seconds").count == 0
