@@ -1,13 +1,15 @@
 # Convenience targets for the VIA reproduction.
 
 PYTHON ?= python
+# Worker processes for parallel-capable benchmarks: make bench WORKERS=4
+WORKERS ?= 1
 
-.PHONY: install test test-faults docs-check bench examples quick-bench all clean
+.PHONY: install test test-faults test-parallel docs-check bench examples quick-bench all clean
 
 install:
 	pip install -e .
 
-test: docs-check
+test: docs-check test-parallel
 	$(PYTHON) -m pytest tests/
 
 # Documentation referential integrity: fail on dangling repro.* symbol
@@ -19,8 +21,13 @@ docs-check:
 test-faults:
 	$(PYTHON) -m pytest tests/ -m faults
 
+# Serial-vs-parallel replay equivalence suite, forced through real worker
+# processes (REPRO_TEST_WORKERS=2 makes the pool path non-optional).
+test-parallel:
+	REPRO_TEST_WORKERS=2 $(PYTHON) -m pytest tests/test_parallel.py
+
 bench:
-	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+	REPRO_BENCH_WORKERS=$(WORKERS) $(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 # A fast subset: the headline figure plus the live deployment.
 quick-bench:

@@ -7,9 +7,28 @@ evaluation and both prints it and writes it under
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_workers(default: int = 1) -> int:
+    """Worker count for parallel-capable benches.
+
+    ``make bench WORKERS=N`` exports ``REPRO_BENCH_WORKERS``; benches
+    that replay independent grids pass this to
+    ``repro.simulation.run_grid`` / ``run_policies(workers=...)``.
+    Results are bit-identical at any worker count, so timing is the only
+    thing that changes.
+    """
+    raw = os.environ.get("REPRO_BENCH_WORKERS", "").strip()
+    if not raw:
+        return default
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return default
 
 
 def emit(name: str, text: str) -> None:

@@ -11,10 +11,15 @@ from __future__ import annotations
 
 import pytest
 
-from _util import emit, once
+from _util import bench_workers, emit, once
 from repro.analysis import format_table, pnr_breakdown, relative_improvement
 from repro.netmodel import TopologyConfig, WorldConfig, build_world
-from repro.simulation import ExperimentPlan, standard_policies
+from repro.simulation import (
+    ExperimentPlan,
+    ReplayTask,
+    run_grid,
+    standard_policy_specs,
+)
 from repro.workload import WorkloadConfig, generate_trace
 
 METRIC = "rtt_ms"
@@ -24,8 +29,15 @@ N_DAYS = 15
 
 @pytest.mark.benchmark(group="robustness")
 def test_robustness_across_seeds(benchmark):
+    workers = bench_workers()
+
     def experiment():
-        table = {}
+        # The grid is (world seed x policy): nine independent replays over
+        # three worlds, fanned out over the process pool when WORKERS>1.
+        # Results are bit-identical to the old per-seed serial loop.
+        plans: dict[int, ExperimentPlan] = {}
+        scenarios = {}
+        tasks = []
         for seed in SEEDS:
             world = build_world(
                 WorldConfig(
@@ -39,13 +51,22 @@ def test_robustness_across_seeds(benchmark):
                 WorkloadConfig(n_calls=25_000, n_pairs=250, seed=seed),
                 n_days=N_DAYS,
             )
-            plan = ExperimentPlan(
+            plans[seed] = ExperimentPlan(
                 world=world, trace=trace, warmup_days=2, min_pair_calls=8 * N_DAYS
             )
-            results = plan.run(
-                standard_policies(world, METRIC, include_strawmen=False, seed=seed),
-                seed=seed,
+            scenarios[seed] = (world, trace)
+            specs = standard_policy_specs(METRIC, include_strawmen=False, seed=seed)
+            tasks.extend(
+                ReplayTask(policy=spec, seed=seed, scenario=seed, label=name)
+                for name, spec in specs.items()
             )
+        grid = run_grid(tasks, scenarios=scenarios, workers=workers)
+        table = {}
+        for seed in SEEDS:
+            results = {
+                r.task.label: r.result for r in grid if r.task.scenario == seed
+            }
+            plan = plans[seed]
             base = pnr_breakdown(plan.evaluate(results["default"]))[METRIC]
             via = pnr_breakdown(plan.evaluate(results["via"]))[METRIC]
             oracle = pnr_breakdown(plan.evaluate(results["oracle"]))[METRIC]

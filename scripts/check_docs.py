@@ -41,6 +41,7 @@ DOC_FILES = (
     "docs/worldmodel.md",
     "docs/deployment.md",
     "docs/observability.md",
+    "docs/parallel.md",
 )
 
 #: ``repro.foo.Bar`` style dotted references (call parens already stripped).

@@ -33,6 +33,11 @@ class CachedAssignmentPolicy:
     stored in canonical pair orientation so both call directions share
     one entry, mirroring how a client-side cache keyed on the peer would
     behave under the controller's symmetric view.
+
+    Expired entries are deleted as soon as they are seen, and the cache is
+    bounded by ``max_entries``: at the cap, inserting first sweeps expired
+    entries, then drops the soonest-to-expire live entry.  Without the
+    bound a long replay touching many pairs grows the dict without limit.
     """
 
     def __init__(
@@ -41,16 +46,21 @@ class CachedAssignmentPolicy:
         *,
         ttl_hours: float = 1.0,
         granularity: str = "as",
+        max_entries: int | None = None,
     ) -> None:
         if ttl_hours < 0.0:
             raise ValueError(f"ttl_hours must be >= 0: {ttl_hours}")
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1: {max_entries}")
         self.inner = inner
         self.ttl_hours = ttl_hours
+        self.max_entries = max_entries
         self.name = f"cached[{inner.name}, ttl={ttl_hours:g}h]"
         self._keyer = PairKeyer(granularity)  # type: ignore[arg-type]
         self._cache: dict[Hashable, tuple[float, RelayOption]] = {}
         self.n_calls = 0
         self.n_controller_queries = 0
+        self.n_evicted = 0
 
     @property
     def query_fraction(self) -> float:
@@ -72,14 +82,51 @@ class CachedAssignmentPolicy:
                     # decommissioned); fall through to a fresh query then.
                     if candidate in options:
                         return candidate
+                else:
+                    # Expired: free the slot now rather than keeping dead
+                    # entries alive for the rest of a long replay.
+                    del self._cache[view.pair_key]
+                    self.n_evicted += 1
         self.n_controller_queries += 1
         choice = self.inner.assign(call, options)
         if self.ttl_hours > 0.0:
+            if (
+                self.max_entries is not None
+                and view.pair_key not in self._cache
+                and len(self._cache) >= self.max_entries
+            ):
+                self._make_room(call.t_hours)
             self._cache[view.pair_key] = (
                 call.t_hours + self.ttl_hours,
                 view.normalize(choice),
             )
         return choice
+
+    def _make_room(self, now_hours: float) -> None:
+        """Free at least one slot: sweep expired, else drop soonest expiry."""
+        if self.evict_expired(now_hours) > 0:
+            return
+        victim = min(self._cache, key=lambda key: self._cache[key][0])
+        del self._cache[victim]
+        self.n_evicted += 1
+
+    def evict_expired(self, now_hours: float) -> int:
+        """Drop every entry already expired at ``now_hours``; returns count.
+
+        Suitable for periodic sweeps between calls; ``assign`` also evicts
+        lazily whenever it hits an expired entry.
+        """
+        stale = [
+            key for key, (expiry, _) in self._cache.items() if expiry <= now_hours
+        ]
+        for key in stale:
+            del self._cache[key]
+        self.n_evicted += len(stale)
+        return len(stale)
+
+    def __len__(self) -> int:
+        """Number of cached decisions currently held (incl. expired)."""
+        return len(self._cache)
 
     def observe(self, call: Call, option: RelayOption, metrics: PathMetrics) -> None:
         # Measurement uploads are not cached: every call feeds learning.

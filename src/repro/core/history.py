@@ -47,6 +47,31 @@ class RunningStat:
             self._mean[i] += delta / self.count
             self._m2[i] += delta * (values[i] - self._mean[i])
 
+    def merge(self, other: "RunningStat") -> "RunningStat":
+        """Fold ``other``'s aggregate into this one (Chan's parallel Welford).
+
+        After ``a.merge(b)``, ``a`` holds exactly the statistics of the
+        union of both sample streams; ``b`` is left untouched.  This is
+        the reduce step of sharded replays: workers each build partial
+        :class:`RunningStat`\\ s and the coordinator merges them.  Returns
+        ``self`` for chaining.
+        """
+        if other.count == 0:
+            return self
+        if self.count == 0:
+            self.count = other.count
+            self._mean = other._mean.copy()
+            self._m2 = other._m2.copy()
+            return self
+        n1 = self.count
+        n2 = other.count
+        total = n1 + n2
+        delta = other._mean - self._mean
+        self._mean = self._mean + delta * (n2 / total)
+        self._m2 = self._m2 + other._m2 + delta * delta * (n1 * n2 / total)
+        self.count = total
+        return self
+
     @property
     def mean(self) -> np.ndarray:
         """Per-metric sample mean, as a length-3 array (rtt, loss, jitter)."""
@@ -151,6 +176,30 @@ class CallHistory:
             del self._windows[w]
         return len(stale)
 
+    def merge(self, other: "CallHistory") -> "CallHistory":
+        """Fold another shard's aggregates into this store.
+
+        Both stores must share ``window_hours`` (otherwise window indices
+        mean different things and the merge would silently mis-bucket).
+        Matching (pair, option, window) cells are combined with
+        :meth:`RunningStat.merge`; ``other`` is never mutated or aliased.
+        Returns ``self`` for chaining.
+        """
+        if other.window_hours != self.window_hours:
+            raise ValueError(
+                "cannot merge histories with different windows: "
+                f"{self.window_hours} vs {other.window_hours}"
+            )
+        for window, bucket in other._windows.items():
+            mine = self._windows.setdefault(window, {})
+            for key, stat in bucket.items():
+                existing = mine.get(key)
+                if existing is None:
+                    existing = RunningStat()
+                    mine[key] = existing
+                existing.merge(stat)
+        return self
+
     def total_calls(self) -> int:
         """Total number of calls folded into the store."""
         return sum(
@@ -231,18 +280,62 @@ def history_to_dict(history: CallHistory) -> dict:
     return {"window_hours": history.window_hours, "windows": windows}
 
 
+def _stat_from_entry(entry: dict, where: str) -> RunningStat:
+    """Build one validated :class:`RunningStat` from a checkpoint entry.
+
+    Checkpoints come from disk and may be truncated or corrupted; a bad
+    aggregate silently poisons every downstream mean/SEM the predictor
+    computes, so reject anything malformed with a clear error instead.
+    """
+    try:
+        count = entry["count"]
+        mean = np.asarray(entry["mean"], dtype=float)
+        m2 = np.asarray(entry["m2"], dtype=float)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValueError(f"corrupt history entry at {where}: {exc!r}") from exc
+    if not isinstance(count, int) or isinstance(count, bool) or count < 0:
+        raise ValueError(
+            f"corrupt history entry at {where}: count must be a non-negative "
+            f"integer, got {count!r}"
+        )
+    if mean.shape != (_N_METRICS,) or m2.shape != (_N_METRICS,):
+        raise ValueError(
+            f"corrupt history entry at {where}: mean/m2 must each hold "
+            f"{_N_METRICS} values, got {mean.shape[0] if mean.ndim == 1 else mean.shape}"
+            f"/{m2.shape[0] if m2.ndim == 1 else m2.shape}"
+        )
+    if not (np.isfinite(mean).all() and np.isfinite(m2).all()):
+        raise ValueError(f"corrupt history entry at {where}: non-finite mean/m2")
+    if (m2 < 0.0).any():
+        raise ValueError(f"corrupt history entry at {where}: negative m2")
+    stat = RunningStat()
+    stat.count = count
+    stat._mean = mean
+    stat._m2 = m2
+    return stat
+
+
 def history_from_dict(data: dict) -> CallHistory:
-    """Rebuild a :class:`CallHistory` from :func:`history_to_dict` output."""
+    """Rebuild a :class:`CallHistory` from :func:`history_to_dict` output.
+
+    Raises :class:`ValueError` on corrupt entries (negative counts,
+    non-finite moments, wrong-length mean/m2 vectors) rather than loading
+    state that would quietly break every later SEM computation.
+    """
     history = CallHistory(window_hours=float(data["window_hours"]))
     for window_str, entries in data["windows"].items():
-        window = int(window_str)
+        try:
+            window = int(window_str)
+        except (TypeError, ValueError) as exc:
+            raise ValueError(f"corrupt history window index: {window_str!r}") from exc
         bucket = history._windows.setdefault(window, {})
-        for entry in entries:
-            pair_key = (_decode_key(entry["pair"][0]), _decode_key(entry["pair"][1]))
-            option = option_from_dict(entry["option"])
-            stat = RunningStat()
-            stat.count = int(entry["count"])
-            stat._mean = np.asarray(entry["mean"], dtype=float)
-            stat._m2 = np.asarray(entry["m2"], dtype=float)
-            bucket[(pair_key, option)] = stat
+        for i, entry in enumerate(entries):
+            where = f"window {window}, entry {i}"
+            try:
+                pair = entry["pair"]
+                pair_key = (_decode_key(pair[0]), _decode_key(pair[1]))
+                option = option_from_dict(entry["option"])
+            except (KeyError, IndexError, TypeError, ValueError) as exc:
+                raise ValueError(f"corrupt history entry at {where}: {exc!r}") from exc
+            bucket[(pair_key, option)] = _stat_from_entry(entry, where)
     return history

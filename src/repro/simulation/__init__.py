@@ -4,6 +4,11 @@ Calls are replayed chronologically; each policy assigns a relaying option
 per call and the world draws the realised performance from the (pair,
 option, 24-hour window) ground-truth distribution.  Policies learn only
 from the outcomes of the calls they assigned.
+
+Grids of independent replays -- (policy x seed x metric), optionally
+across several worlds -- can fan out over a process pool through
+:mod:`repro.simulation.parallel` with results bit-identical to a serial
+run.
 """
 
 from repro.simulation.replay import ReplayResult, replay
@@ -15,6 +20,17 @@ from repro.simulation.experiment import (
     run_policies,
     standard_policies,
 )
+from repro.simulation.parallel import (
+    PolicySpec,
+    ReplayTask,
+    ScenarioSpec,
+    TaskResult,
+    merged_stats,
+    outcome_stat,
+    run_grid,
+    standard_policy_specs,
+    task_seed,
+)
 
 __all__ = [
     "ReplayResult",
@@ -25,4 +41,13 @@ __all__ = [
     "make_inter_relay_lookup",
     "run_policies",
     "standard_policies",
+    "PolicySpec",
+    "ReplayTask",
+    "ScenarioSpec",
+    "TaskResult",
+    "merged_stats",
+    "outcome_stat",
+    "run_grid",
+    "standard_policy_specs",
+    "task_seed",
 ]

@@ -85,10 +85,47 @@ def run_policies(
     *,
     seed: int = 0,
     quality: QualityModel | None = None,
+    workers: int = 1,
 ) -> dict[str, ReplayResult]:
-    """Replay the same trace through each policy with a shared noise seed."""
+    """Replay the same trace through each policy with a shared noise seed.
+
+    ``policies`` values may be live :class:`SelectionPolicy` objects or
+    picklable :class:`~repro.simulation.parallel.PolicySpec` recipes
+    (specs are built against ``world`` before replaying).  With
+    ``workers > 1`` the replays fan out over a process pool -- every
+    value must then be a spec, because live policies cannot cross the
+    process boundary; build the suite with
+    :func:`~repro.simulation.parallel.standard_policy_specs`.  Results
+    are bit-identical to the serial path either way.
+    """
+    from repro.simulation.parallel import PolicySpec, ReplayTask, run_grid
+
+    if workers > 1:
+        live = [
+            name for name, p in policies.items() if not isinstance(p, PolicySpec)
+        ]
+        if live:
+            raise TypeError(
+                f"run_policies(workers={workers}) needs PolicySpec values so "
+                f"workers can rebuild the policies; got live policies for "
+                f"{live}.  Build the suite with standard_policy_specs()."
+            )
+        tasks = [
+            ReplayTask(policy=spec, seed=seed, label=name)
+            for name, spec in policies.items()
+        ]
+        results = run_grid(
+            tasks, world=world, trace=trace, workers=workers, quality=quality
+        )
+        return {r.task.label: r.result for r in results}
     return {
-        name: replay(world, trace, policy, seed=seed, quality=quality)
+        name: replay(
+            world,
+            trace,
+            policy.build(world) if isinstance(policy, PolicySpec) else policy,
+            seed=seed,
+            quality=quality,
+        )
         for name, policy in policies.items()
     }
 
@@ -155,5 +192,13 @@ class ExperimentPlan:
         *,
         seed: int = 0,
         quality: QualityModel | None = None,
+        workers: int = 1,
     ) -> dict[str, ReplayResult]:
-        return run_policies(self.world, self.trace, policies, seed=seed, quality=quality)
+        return run_policies(
+            self.world,
+            self.trace,
+            policies,
+            seed=seed,
+            quality=quality,
+            workers=workers,
+        )

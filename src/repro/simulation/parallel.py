@@ -1,0 +1,460 @@
+"""Parallel replay engine: fan a grid of replays over a process pool.
+
+The §5 evaluation replays independent (policy, seed, metric) runs that
+share nothing but the (read-only) world and trace -- an embarrassingly
+parallel map-reduce workload.  This module runs such a grid over
+``multiprocessing`` workers while keeping the results **bit-identical**
+to a serial run:
+
+* **Picklable task specs.**  Policies are never pickled live (they hold
+  closures over the world and mutable learning state); each
+  :class:`ReplayTask` carries a :class:`PolicySpec` and the worker
+  constructs the policy from it, against its own copy of the world.
+* **Deterministic seeding.**  A task with no explicit seed derives one
+  from ``(base_seed, task_index)`` through
+  ``np.random.SeedSequence(base_seed).spawn(...)`` (see
+  :func:`task_seed`), so the seed depends only on the task's position in
+  the grid -- never on scheduling order or worker count.
+* **Map-reduce merging.**  Workers return full :class:`ReplayResult`\\ s;
+  :func:`merged_stats` reduces them into per-group
+  :class:`~repro.core.history.RunningStat` aggregates via Chan's
+  parallel-Welford ``RunningStat.merge``.
+
+Grids can span several worlds: pass ``scenarios`` (a mapping from task
+``scenario`` keys to either a prebuilt ``(world, trace)`` pair or a
+picklable :class:`ScenarioSpec` that the worker builds locally).  The
+seed-robustness benchmark uses this to replay three independent worlds
+concurrently.
+
+Workers prefer the ``fork`` start method where the platform offers it, so
+the world and trace transfer by copy-on-write instead of pickling; each
+worker process feeds its own ``via_replay_*`` progress gauges when
+observability is enabled (see :mod:`repro.obs`).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Hashable, Iterable, Mapping
+
+import numpy as np
+
+from repro.core.baselines import (
+    DefaultPolicy,
+    OraclePolicy,
+    make_strawman_exploration,
+    make_strawman_prediction,
+    make_via,
+)
+from repro.core.history import RunningStat
+from repro.core.policy import SelectionPolicy
+from repro.netmodel.world import World, WorldConfig, build_world
+from repro.obs import runtime as obs_runtime
+from repro.simulation.experiment import make_inter_relay_lookup
+from repro.simulation.replay import ReplayResult, replay
+from repro.workload.generator import WorkloadConfig, generate_trace
+from repro.workload.trace import TraceDataset
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.telephony.call import CallOutcome
+    from repro.telephony.quality import QualityModel
+
+__all__ = [
+    "PolicySpec",
+    "ScenarioSpec",
+    "ReplayTask",
+    "TaskResult",
+    "task_seed",
+    "run_grid",
+    "standard_policy_specs",
+    "outcome_stat",
+    "merged_stats",
+]
+
+
+# ----------------------------------------------------------------------
+# Task specs (everything a worker needs, in picklable form)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class PolicySpec:
+    """A picklable recipe for one selection policy.
+
+    Live policies close over the world and carry mutable learning state,
+    so they cannot cross a process boundary; a spec can.  ``build``
+    constructs the policy inside the worker, against the worker's world,
+    using exactly the same factories as :func:`standard_policies` -- a
+    policy built from a spec is bit-identical to one built directly.
+    """
+
+    kind: str
+    metric: str = "rtt_ms"
+    seed: int = 42
+    #: Extra keyword overrides for the underlying factory, as a sorted
+    #: tuple of pairs so the spec stays hashable and picklable.
+    overrides: tuple[tuple[str, Any], ...] = ()
+
+    @classmethod
+    def default(cls) -> "PolicySpec":
+        """The BGP default-path baseline (no knobs)."""
+        return cls(kind="default")
+
+    @classmethod
+    def oracle(cls, metric: str = "rtt_ms", **overrides: Any) -> "PolicySpec":
+        """The §3.2 foresight baseline for ``metric``."""
+        return cls(kind="oracle", metric=metric, overrides=_freeze(overrides))
+
+    @classmethod
+    def via(
+        cls, metric: str = "rtt_ms", *, seed: int = 42, **overrides: Any
+    ) -> "PolicySpec":
+        """The full Algorithm-1 VIA configuration."""
+        return cls(kind="via", metric=metric, seed=seed, overrides=_freeze(overrides))
+
+    @classmethod
+    def strawman_prediction(
+        cls, metric: str = "rtt_ms", *, seed: int = 43, **overrides: Any
+    ) -> "PolicySpec":
+        """Strawman I (§4.2): pure prediction."""
+        return cls(
+            kind="strawman-prediction",
+            metric=metric,
+            seed=seed,
+            overrides=_freeze(overrides),
+        )
+
+    @classmethod
+    def strawman_exploration(
+        cls, metric: str = "rtt_ms", *, seed: int = 44, **overrides: Any
+    ) -> "PolicySpec":
+        """Strawman II (§4.2): pure ε-greedy exploration."""
+        return cls(
+            kind="strawman-exploration",
+            metric=metric,
+            seed=seed,
+            overrides=_freeze(overrides),
+        )
+
+    def build(self, world: World) -> SelectionPolicy:
+        """Construct the live policy this spec describes, on ``world``."""
+        kwargs = dict(self.overrides)
+        if self.kind == "default":
+            return DefaultPolicy(**kwargs)
+        if self.kind == "oracle":
+            return OraclePolicy(world, self.metric, **kwargs)
+        if self.kind == "via":
+            return make_via(
+                self.metric,
+                inter_relay=make_inter_relay_lookup(world),
+                seed=self.seed,
+                **kwargs,
+            )
+        if self.kind == "strawman-prediction":
+            return make_strawman_prediction(
+                self.metric,
+                inter_relay=make_inter_relay_lookup(world),
+                seed=self.seed,
+                **kwargs,
+            )
+        if self.kind == "strawman-exploration":
+            return make_strawman_exploration(self.metric, seed=self.seed, **kwargs)
+        raise ValueError(f"unknown policy spec kind: {self.kind!r}")
+
+
+def _freeze(overrides: Mapping[str, Any]) -> tuple[tuple[str, Any], ...]:
+    return tuple(sorted(overrides.items()))
+
+
+def standard_policy_specs(
+    metric: str,
+    *,
+    seed: int = 42,
+    include_strawmen: bool = True,
+) -> dict[str, PolicySpec]:
+    """The Figure-12 strategy suite as specs, keyed like ``standard_policies``.
+
+    Seeds follow the same convention as
+    :func:`repro.simulation.experiment.standard_policies` (VIA at
+    ``seed``, strawmen at ``seed + 1`` / ``seed + 2``), so a parallel run
+    of these specs reproduces the serial suite exactly.
+    """
+    specs: dict[str, PolicySpec] = {
+        "default": PolicySpec.default(),
+        "oracle": PolicySpec.oracle(metric),
+        "via": PolicySpec.via(metric, seed=seed),
+    }
+    if include_strawmen:
+        specs["strawman-prediction"] = PolicySpec.strawman_prediction(
+            metric, seed=seed + 1
+        )
+        specs["strawman-exploration"] = PolicySpec.strawman_exploration(
+            metric, seed=seed + 2
+        )
+    return specs
+
+
+@dataclass(frozen=True, slots=True)
+class ScenarioSpec:
+    """A picklable recipe for one (world, trace) pair.
+
+    Workers build the scenario locally (cached per worker process), which
+    keeps multi-world grids -- e.g. the seed-robustness sweep -- cheap to
+    ship even under the ``spawn`` start method.
+    """
+
+    world: WorldConfig
+    workload: WorkloadConfig
+    #: Trace length; defaults to the world's ``n_days``.
+    n_days: int | None = None
+
+    def build(self) -> tuple[World, TraceDataset]:
+        world = build_world(self.world)
+        trace = generate_trace(
+            world.topology,
+            self.workload,
+            n_days=self.n_days if self.n_days is not None else self.world.n_days,
+        )
+        return world, trace
+
+
+@dataclass(frozen=True, slots=True)
+class ReplayTask:
+    """One cell of a replay grid: a policy spec plus its replay seed.
+
+    ``seed=None`` derives the replay seed from the grid's ``base_seed``
+    and the task's index (see :func:`task_seed`).  ``scenario`` selects a
+    (world, trace) pair from the grid's ``scenarios`` mapping; ``None``
+    uses the shared world/trace passed to :func:`run_grid` directly.
+    """
+
+    policy: PolicySpec
+    seed: int | None = None
+    metric: str = "rtt_ms"
+    label: str | None = None
+    scenario: Hashable = None
+
+
+@dataclass(slots=True)
+class TaskResult:
+    """One grid cell's replay, with enough identity to reduce over."""
+
+    index: int
+    task: ReplayTask
+    #: The resolved replay seed actually used (explicit or derived).
+    seed: int
+    result: ReplayResult
+
+    @property
+    def label(self) -> str:
+        return self.task.label if self.task.label is not None else (
+            f"{self.result.policy_name}#{self.index}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Deterministic per-task seeding
+# ----------------------------------------------------------------------
+
+
+def task_seed(base_seed: int, index: int) -> int:
+    """The replay seed of grid cell ``index`` under ``base_seed``.
+
+    Derived through ``np.random.SeedSequence(base_seed).spawn(...)``:
+    child ``index``'s spawn key depends only on ``(base_seed, index)``,
+    so the mapping is stable across runs, worker counts, and scheduling
+    order -- the determinism contract that makes ``workers=N``
+    bit-identical to ``workers=1``.
+    """
+    if index < 0:
+        raise ValueError(f"task index must be >= 0: {index}")
+    child = np.random.SeedSequence(base_seed).spawn(index + 1)[index]
+    return int(child.generate_state(1, dtype=np.uint64)[0])
+
+
+def _resolve_seeds(tasks: list[ReplayTask], base_seed: int) -> list[int]:
+    children = np.random.SeedSequence(base_seed).spawn(len(tasks))
+    return [
+        task.seed
+        if task.seed is not None
+        else int(children[i].generate_state(1, dtype=np.uint64)[0])
+        for i, task in enumerate(tasks)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Worker plumbing
+# ----------------------------------------------------------------------
+
+#: Per-worker-process context, set once by the pool initializer.
+_CTX: dict[str, Any] | None = None
+
+
+def _make_ctx(
+    world: World | None,
+    trace: TraceDataset | None,
+    scenarios: Mapping[Hashable, Any],
+    quality: "QualityModel | None",
+) -> dict[str, Any]:
+    return {
+        "world": world,
+        "trace": trace,
+        "scenarios": dict(scenarios),
+        "scenes": {},
+        "quality": quality,
+    }
+
+
+def _init_worker(
+    world: World | None,
+    trace: TraceDataset | None,
+    scenarios: Mapping[Hashable, Any],
+    quality: "QualityModel | None",
+    obs_enabled: bool,
+) -> None:
+    global _CTX
+    _CTX = _make_ctx(world, trace, scenarios, quality)
+    if obs_enabled:
+        # Each worker feeds its own process-local via_replay_* gauges.
+        obs_runtime.enable()
+
+
+def _scene(ctx: dict[str, Any], key: Hashable) -> tuple[World, TraceDataset]:
+    """The (world, trace) a task runs against, built/cached per process."""
+    if key is None:
+        if ctx["world"] is None or ctx["trace"] is None:
+            raise ValueError(
+                "task has scenario=None but run_grid was given no shared "
+                "world/trace"
+            )
+        return ctx["world"], ctx["trace"]
+    built = ctx["scenes"].get(key)
+    if built is None:
+        if key not in ctx["scenarios"]:
+            raise KeyError(f"unknown scenario key: {key!r}")
+        spec = ctx["scenarios"][key]
+        if isinstance(spec, ScenarioSpec):
+            built = spec.build()
+        else:
+            world, trace = spec
+            built = (world, trace)
+        ctx["scenes"][key] = built
+    return built
+
+
+def _execute(
+    ctx: dict[str, Any], index: int, task: ReplayTask, seed: int
+) -> TaskResult:
+    world, trace = _scene(ctx, task.scenario)
+    policy = task.policy.build(world)
+    result = replay(world, trace, policy, seed=seed, quality=ctx["quality"])
+    return TaskResult(index=index, task=task, seed=seed, result=result)
+
+
+def _pool_task(item: tuple[int, ReplayTask, int]) -> TaskResult:
+    assert _CTX is not None, "worker used before initialization"
+    index, task, seed = item
+    return _execute(_CTX, index, task, seed)
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+
+
+def run_grid(
+    tasks: Iterable[ReplayTask],
+    *,
+    world: World | None = None,
+    trace: TraceDataset | None = None,
+    scenarios: Mapping[Hashable, Any] | None = None,
+    base_seed: int = 0,
+    workers: int = 1,
+    quality: "QualityModel | None" = None,
+) -> list[TaskResult]:
+    """Replay every task in the grid; results come back in task order.
+
+    ``workers=1`` runs the grid serially in-process (the baseline);
+    ``workers>1`` fans out over a process pool.  Both paths execute the
+    exact same per-task code with the exact same derived seeds, so their
+    results are bit-identical -- verified by
+    ``tests/test_parallel.py::test_parallel_matches_serial_exactly``.
+
+    ``scenarios`` maps task ``scenario`` keys to either a prebuilt
+    ``(world, trace)`` pair or a :class:`ScenarioSpec`; tasks with
+    ``scenario=None`` use the shared ``world``/``trace`` arguments.
+    """
+    tasks = list(tasks)
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1: {workers}")
+    if (world is None) != (trace is None):
+        raise ValueError("world and trace must be given together")
+    if not tasks:
+        return []
+    scenarios = scenarios or {}
+    missing = {
+        task.scenario
+        for task in tasks
+        if task.scenario is not None and task.scenario not in scenarios
+    }
+    if missing:
+        raise KeyError(f"tasks reference unknown scenario keys: {sorted(map(repr, missing))}")
+    if any(task.scenario is None for task in tasks) and world is None:
+        raise ValueError(
+            "grid has tasks with scenario=None but no shared world/trace"
+        )
+    seeds = _resolve_seeds(tasks, base_seed)
+    items = [(i, task, seeds[i]) for i, task in enumerate(tasks)]
+
+    if workers == 1 or len(tasks) == 1:
+        ctx = _make_ctx(world, trace, scenarios, quality)
+        return [_execute(ctx, i, task, seed) for (i, task, seed) in items]
+
+    method = "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+    mp_ctx = multiprocessing.get_context(method)
+    n_workers = min(workers, len(tasks))
+    with mp_ctx.Pool(
+        processes=n_workers,
+        initializer=_init_worker,
+        initargs=(world, trace, scenarios, quality, obs_runtime.enabled),
+    ) as pool:
+        results = pool.map(_pool_task, items, chunksize=1)
+    results.sort(key=lambda r: r.index)
+    return results
+
+
+# ----------------------------------------------------------------------
+# Map-reduce result merging
+# ----------------------------------------------------------------------
+
+
+def outcome_stat(outcomes: Iterable["CallOutcome"]) -> RunningStat:
+    """Single-pass :class:`RunningStat` over one shard's call outcomes."""
+    stat = RunningStat()
+    for outcome in outcomes:
+        stat.push(outcome.metrics)
+    return stat
+
+
+def merged_stats(
+    results: Iterable[TaskResult],
+    *,
+    key=None,
+) -> dict[Any, RunningStat]:
+    """Reduce grid results to per-group aggregates (Chan's merge).
+
+    ``key`` maps a :class:`TaskResult` to its reduction group and
+    defaults to the replayed policy's name, so a (policy x seed) grid
+    collapses into one :class:`RunningStat` per policy, exactly as if
+    every group's calls had been pushed through one stat serially.
+    Groups appear in first-seen task order.
+    """
+    if key is None:
+        key = lambda r: r.result.policy_name  # noqa: E731
+    merged: dict[Any, RunningStat] = {}
+    for result in results:
+        merged.setdefault(key(result), RunningStat()).merge(
+            outcome_stat(result.result.outcomes)
+        )
+    return merged

@@ -17,6 +17,7 @@ import numpy as np
 from typing import TYPE_CHECKING
 
 from repro.core.policy import SelectionPolicy
+from repro.netmodel.metrics import METRICS
 from repro.netmodel.world import World
 from repro.obs import runtime as obs_runtime
 from repro.obs.metrics import REGISTRY
@@ -75,6 +76,10 @@ class ReplayResult:
         Returns ``{"during": ..., "outside": ..., "ratio": ...}`` or None
         when the replay saw no outage window (or no calls on one side).
         """
+        if metric not in METRICS:
+            raise KeyError(
+                f"unknown metric {metric!r}; valid metrics: {', '.join(METRICS)}"
+            )
         if not self.outage_flags:
             return None
         during = [
@@ -174,9 +179,15 @@ def replay(
         if plan_probe is not None:
             plan = plan_probe(call, options)
             if plan is not None:
-                outcomes.append(
-                    _probed_outcome(world, policy, call, plan, rng, quality)
-                )
+                outcome = _probed_outcome(world, policy, call, plan, rng, quality)
+                # Probed calls commit to a real assignment too; a winner
+                # riding a down relay is just as dead as a directly
+                # assigned one, so it gets the same accounting.
+                if outages and not world.option_available(
+                    outcome.option, call.t_hours
+                ):
+                    result.n_dead_assignments += 1
+                outcomes.append(outcome)
                 continue
         option = policy.assign(call, options)
         if outages and not world.option_available(option, call.t_hours):

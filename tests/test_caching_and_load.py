@@ -109,6 +109,80 @@ class TestCachedAssignmentPolicy:
         assert inner.assign_calls == 2
 
 
+class TestCacheEviction:
+    """Regression: expired/over-cap entries must leave the cache dict.
+
+    Before the fix an expired entry stayed resident forever (only its
+    *value* was replaced on re-query for the same pair), so a long replay
+    touching many pairs grew the cache without bound.
+    """
+
+    def test_expired_entry_deleted_on_hit(self):
+        inner = _FixedPolicy(RelayOption.bounce(0))
+        cached = CachedAssignmentPolicy(inner, ttl_hours=1.0)
+        cached.assign(make_call(call_id=0, t_hours=0.0), OPTIONS)
+        assert len(cached) == 1
+        # Expired hit: the dead entry is evicted, then re-cached fresh.
+        cached.assign(make_call(call_id=1, t_hours=2.0), OPTIONS)
+        assert len(cached) == 1
+        assert cached.n_evicted == 1
+
+    def test_evict_expired_sweep(self):
+        inner = _FixedPolicy(RelayOption.bounce(0))
+        cached = CachedAssignmentPolicy(inner, ttl_hours=1.0)
+        for i, (src, dst) in enumerate([(1, 2), (3, 4), (5, 6)]):
+            cached.assign(
+                make_call(call_id=i, t_hours=0.2 * i, src_asn=src, dst_asn=dst),
+                OPTIONS,
+            )
+        assert len(cached) == 3
+        # At t=1.3 the entries cached at t=0.0 and t=0.2 (expiries 1.0 and
+        # 1.2) are dead; the t=0.4 entry lives until 1.4.
+        assert cached.evict_expired(1.3) == 2
+        assert len(cached) == 1
+        assert cached.n_evicted == 2
+        assert cached.evict_expired(1.3) == 0
+
+    def test_max_entries_caps_cache_size(self):
+        inner = _FixedPolicy(RelayOption.bounce(0))
+        cached = CachedAssignmentPolicy(inner, ttl_hours=10.0, max_entries=2)
+        for i, (src, dst) in enumerate([(1, 2), (3, 4), (5, 6), (7, 8)]):
+            cached.assign(
+                make_call(call_id=i, t_hours=0.1 * i, src_asn=src, dst_asn=dst),
+                OPTIONS,
+            )
+        assert len(cached) == 2
+        assert cached.n_evicted == 2
+
+    def test_cap_evicts_soonest_expiry_first(self):
+        inner = _FixedPolicy(RelayOption.bounce(0))
+        cached = CachedAssignmentPolicy(inner, ttl_hours=10.0, max_entries=2)
+        cached.assign(make_call(call_id=0, t_hours=0.0, src_asn=1, dst_asn=2), OPTIONS)
+        cached.assign(make_call(call_id=1, t_hours=5.0, src_asn=3, dst_asn=4), OPTIONS)
+        cached.assign(make_call(call_id=2, t_hours=6.0, src_asn=5, dst_asn=6), OPTIONS)
+        # The (1, 2) entry expired-soonest and must be the victim: a fresh
+        # call on that pair misses and re-queries the controller.
+        inner.assign_calls = 0
+        cached.assign(make_call(call_id=3, t_hours=6.5, src_asn=1, dst_asn=2), OPTIONS)
+        assert inner.assign_calls == 1
+
+    def test_cap_prefers_sweeping_expired_entries(self):
+        inner = _FixedPolicy(RelayOption.bounce(0))
+        cached = CachedAssignmentPolicy(inner, ttl_hours=1.0, max_entries=2)
+        cached.assign(make_call(call_id=0, t_hours=0.0, src_asn=1, dst_asn=2), OPTIONS)
+        cached.assign(make_call(call_id=1, t_hours=4.8, src_asn=3, dst_asn=4), OPTIONS)
+        # (1, 2) is long expired at t=5.0; the cap should reclaim it and
+        # keep the still-live (3, 4) decision cached.
+        cached.assign(make_call(call_id=2, t_hours=5.0, src_asn=5, dst_asn=6), OPTIONS)
+        inner.assign_calls = 0
+        cached.assign(make_call(call_id=3, t_hours=5.2, src_asn=3, dst_asn=4), OPTIONS)
+        assert inner.assign_calls == 0  # still a cache hit
+
+    def test_rejects_bad_max_entries(self):
+        with pytest.raises(ValueError):
+            CachedAssignmentPolicy(_FixedPolicy(DIRECT), max_entries=0)
+
+
 class TestRelayLoadTracker:
     def test_rejects_bad_parameters(self):
         with pytest.raises(ValueError):

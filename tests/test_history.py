@@ -6,7 +6,14 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core.history import CallHistory, RunningStat, confidence_bounds, sem_floor
+from repro.core.history import (
+    CallHistory,
+    RunningStat,
+    confidence_bounds,
+    history_from_dict,
+    history_to_dict,
+    sem_floor,
+)
 from repro.netmodel.metrics import PathMetrics
 from repro.netmodel.options import DIRECT, RelayOption
 
@@ -152,3 +159,84 @@ class TestHelpers:
     def test_confidence_bounds_rejects_negative_sem(self):
         with pytest.raises(ValueError):
             confidence_bounds(10.0, -1.0)
+
+
+class TestCheckpointValidation:
+    """Regression: ``history_from_dict`` used to trust checkpoints blindly;
+    corrupt entries (negative counts, NaNs, truncated vectors) silently
+    poisoned every downstream mean/SEM instead of failing the load."""
+
+    def _checkpoint(self) -> dict:
+        history = CallHistory()
+        history.add(("a", "b"), DIRECT, 1.0, metrics(100.0))
+        history.add(("a", "b"), DIRECT, 1.5, metrics(120.0))
+        history.add(("a", "b"), RelayOption.bounce(1), 2.0, metrics(80.0))
+        return history_to_dict(history)
+
+    def test_valid_roundtrip_still_loads(self):
+        restored = history_from_dict(self._checkpoint())
+        assert restored.total_calls() == 3
+        stat = restored.stats(("a", "b"), DIRECT, 0)
+        assert stat.count == 2
+        assert stat.mean[0] == pytest.approx(110.0)
+
+    def test_negative_count_rejected(self):
+        data = self._checkpoint()
+        data["windows"]["0"][0]["count"] = -3
+        with pytest.raises(ValueError, match="count"):
+            history_from_dict(data)
+
+    def test_non_integer_count_rejected(self):
+        data = self._checkpoint()
+        data["windows"]["0"][0]["count"] = "2"
+        with pytest.raises(ValueError, match="count"):
+            history_from_dict(data)
+
+    def test_nan_mean_rejected(self):
+        data = self._checkpoint()
+        data["windows"]["0"][0]["mean"][1] = float("nan")
+        with pytest.raises(ValueError, match="non-finite"):
+            history_from_dict(data)
+
+    def test_infinite_m2_rejected(self):
+        data = self._checkpoint()
+        data["windows"]["0"][0]["m2"][2] = float("inf")
+        with pytest.raises(ValueError, match="non-finite"):
+            history_from_dict(data)
+
+    def test_negative_m2_rejected(self):
+        data = self._checkpoint()
+        data["windows"]["0"][0]["m2"][0] = -1.0
+        with pytest.raises(ValueError, match="negative m2"):
+            history_from_dict(data)
+
+    def test_truncated_mean_vector_rejected(self):
+        # A checkpoint cut off mid-write: the mean list lost an element.
+        data = self._checkpoint()
+        data["windows"]["0"][0]["mean"] = data["windows"]["0"][0]["mean"][:2]
+        with pytest.raises(ValueError, match="3 values"):
+            history_from_dict(data)
+
+    def test_mismatched_m2_length_rejected(self):
+        data = self._checkpoint()
+        data["windows"]["0"][0]["m2"] = data["windows"]["0"][0]["m2"] + [0.0]
+        with pytest.raises(ValueError, match="3 values"):
+            history_from_dict(data)
+
+    def test_missing_entry_field_rejected(self):
+        data = self._checkpoint()
+        del data["windows"]["0"][0]["m2"]
+        with pytest.raises(ValueError, match="corrupt history entry"):
+            history_from_dict(data)
+
+    def test_bad_window_index_rejected(self):
+        data = self._checkpoint()
+        data["windows"]["not-a-window"] = data["windows"].pop("0")
+        with pytest.raises(ValueError, match="window index"):
+            history_from_dict(data)
+
+    def test_error_names_the_offending_entry(self):
+        data = self._checkpoint()
+        data["windows"]["0"][1]["count"] = -1
+        with pytest.raises(ValueError, match="window 0, entry 1"):
+            history_from_dict(data)

@@ -5,9 +5,13 @@ from __future__ import annotations
 import pytest
 
 from repro.core.baselines import DefaultPolicy, OraclePolicy, make_via
+from repro.core.hybrid import ProbePlan
+from repro.netmodel import TopologyConfig, WorldConfig, build_world
 from repro.netmodel.options import DIRECT
+from repro.netmodel.world import RelayOutage
 from repro.simulation import (
     ExperimentPlan,
+    ReplayResult,
     dense_pairs,
     evaluation_slice,
     make_inter_relay_lookup,
@@ -16,6 +20,7 @@ from repro.simulation import (
     standard_policies,
 )
 from repro.telephony.quality import QualityModel
+from repro.workload import WorkloadConfig, generate_trace
 
 
 @pytest.fixture(scope="module")
@@ -119,3 +124,76 @@ class TestExperimentPlan:
         )
         assert set(results) == {"default"}
         assert results["default"].policy_name == "default"
+
+
+class TestOutageDegradationValidation:
+    """Regression: a typo'd metric used to surface as an opaque numpy
+    TypeError (``np.mean`` over ``None``s); it must be a clear KeyError."""
+
+    def test_unknown_metric_raises_keyerror_listing_valid_names(self):
+        result = ReplayResult(policy_name="x")
+        result.outage_flags.append(True)
+        with pytest.raises(KeyError, match="rtt_ms.*loss_rate.*jitter_ms"):
+            result.outage_degradation("rtt")  # typo for "rtt_ms"
+
+    def test_unknown_metric_rejected_even_without_outages(self):
+        with pytest.raises(KeyError):
+            ReplayResult(policy_name="x").outage_degradation("latency")
+
+    def test_valid_metric_without_outage_windows_returns_none(self):
+        assert ReplayResult(policy_name="x").outage_degradation("rtt_ms") is None
+
+
+class _ProbeEverything:
+    """Stub hybrid policy: probes the first two relayed options of every
+    call and always commits to the first (relayed) candidate."""
+
+    name = "probe-stub"
+
+    def assign(self, call, options):
+        return DIRECT
+
+    def observe(self, call, option, metrics):
+        return None
+
+    def plan_probe(self, call, options):
+        relayed = [o for o in options if o.is_relayed]
+        if len(relayed) < 2:
+            return None
+        return ProbePlan(candidates=tuple(relayed[:2]), primary=relayed[0])
+
+    def commit_probe(self, call, plan, samples):
+        return plan.candidates[0]
+
+    def probe_weight(self, call):
+        return 0.2
+
+
+class TestProbedOutageAccounting:
+    """Regression: the hybrid-probe path ``continue``d before the
+    dead-assignment check, so probed calls committed to a down relay were
+    never counted in ``n_dead_assignments``."""
+
+    def test_probed_dead_assignments_counted(self):
+        world = build_world(
+            WorldConfig(
+                topology=TopologyConfig(n_countries=5, n_relays=4, seed=31),
+                n_days=2,
+                seed=31,
+            )
+        )
+        # Every relay is down for the whole trace, so every committed
+        # relayed option is a dead assignment.
+        for rid in world.topology.relay_ids:
+            world.add_outage(
+                RelayOutage(relay_id=rid, start_hours=0.0, end_hours=48.0)
+            )
+        trace = generate_trace(
+            world.topology,
+            WorkloadConfig(n_calls=200, n_pairs=20, seed=31),
+            n_days=2,
+        )
+        result = replay(world, trace, _ProbeEverything(), seed=1)
+        probed_relayed = sum(o.option.is_relayed for o in result.outcomes)
+        assert probed_relayed > 0
+        assert result.n_dead_assignments == probed_relayed
