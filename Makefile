@@ -4,12 +4,12 @@ PYTHON ?= python
 # Worker processes for parallel-capable benchmarks: make bench WORKERS=4
 WORKERS ?= 1
 
-.PHONY: install test test-faults test-parallel docs-check bench examples quick-bench all clean
+.PHONY: install test test-faults test-parallel test-store docs-check bench examples quick-bench all clean
 
 install:
 	pip install -e .
 
-test: docs-check test-parallel
+test: docs-check test-parallel test-store
 	$(PYTHON) -m pytest tests/
 
 # Documentation referential integrity: fail on dangling repro.* symbol
@@ -25,6 +25,11 @@ test-faults:
 # processes (REPRO_TEST_WORKERS=2 makes the pool path non-optional).
 test-parallel:
 	REPRO_TEST_WORKERS=2 $(PYTHON) -m pytest tests/test_parallel.py
+
+# Durable storage plane: WAL framing/rotation, compaction, and the
+# crash-recovery equivalence contract (snapshot + WAL-tail replay).
+test-store:
+	$(PYTHON) -m pytest tests/test_store.py tests/test_store_recovery.py
 
 bench:
 	REPRO_BENCH_WORKERS=$(WORKERS) $(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -1,0 +1,159 @@
+"""Extension: durable-store write path and crash-recovery equivalence.
+
+The paper's controller learns from every call (§4); losing its state to a
+crash means relearning from scratch.  This bench measures what the
+durability plane costs and what it buys: WAL append throughput under each
+fsync policy, then a controller killed mid-run (no clean shutdown, no
+final snapshot) and rebuilt from snapshot + WAL-tail replay -- asserting
+the recovered state is *identical* to an uninterrupted twin's, down to
+its future assignment choices.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from _util import emit, once
+from repro.core.history import history_to_dict
+from repro.core.policy import ViaConfig
+from repro.deployment.controller import ViaController
+from repro.deployment.protocol import (
+    MeasurementMessage,
+    RequestMessage,
+    encode_option,
+)
+from repro.netmodel.options import RelayOption
+from repro.store import Store, StoreConfig, recover
+
+N_ROUNDS = 2_000  # each round = one measurement + one assignment request
+N_APPENDS = 20_000  # WAL throughput sweep, per fsync policy
+SNAPSHOT_AT = 1_200  # mid-run snapshot; the tail after it replays on recovery
+
+SITES = {0: "US", 1: "GB", 2: "IN", 3: "SG"}
+OPTIONS = [RelayOption.bounce(1), RelayOption.bounce(2), RelayOption.transit(1, 2)]
+
+
+def _make_controller(store_dir=None) -> ViaController:
+    config = ViaConfig(metric="rtt_ms", epsilon=0.1, min_direct_samples=1, seed=42)
+    return ViaController(config, store=store_dir)
+
+
+def _drive(controller: ViaController, n_rounds: int, *, seed: int = 7) -> None:
+    """The wire workload minus the sockets: interleaved measurements and
+    assignment requests across four sites."""
+    rng = np.random.default_rng(seed)
+    for cid, site in SITES.items():
+        controller._on_hello(cid, site)
+    encoded = [encode_option(o) for o in OPTIONS]
+    for i in range(n_rounds):
+        src, dst = int(rng.integers(0, 4)), int(rng.integers(0, 4))
+        if src == dst:
+            dst = (dst + 1) % 4
+        t_hours = 0.1 + i * 0.005
+        controller._on_measurement(MeasurementMessage(
+            src_id=src, dst_id=dst, t_hours=t_hours,
+            option=encode_option(OPTIONS[int(rng.integers(0, len(OPTIONS)))]),
+            rtt_ms=float(80 + rng.integers(0, 100)),
+            loss_rate=float(rng.uniform(0, 0.05)),
+            jitter_ms=float(rng.uniform(0, 20)),
+        ))
+        controller._on_request(RequestMessage(
+            src_id=src, dst_id=dst, t_hours=t_hours, options=list(encoded),
+        ))
+
+
+def _future_choices(controller: ViaController, n: int = 100) -> list[dict]:
+    encoded = [encode_option(o) for o in OPTIONS]
+    return [
+        controller._on_request(RequestMessage(
+            src_id=i % 3, dst_id=3, t_hours=20.0 + i * 0.01, options=list(encoded),
+        ), log=False).option
+        for i in range(n)
+    ]
+
+
+def _append_throughput(root: Path) -> list[tuple[str, float]]:
+    """records/s for each fsync policy over the same record stream."""
+    from repro.store.wal import WriteAheadLog
+
+    record = {
+        "kind": "measurement", "src_id": 1, "dst_id": 2, "t_hours": 0.5,
+        "option": encode_option(OPTIONS[0]),
+        "rtt_ms": 123.4, "loss_rate": 0.01, "jitter_ms": 5.0,
+        "src_site": "US", "dst_site": "GB",
+    }
+    rows = []
+    for policy in ("off", "batch", "always"):
+        n = N_APPENDS if policy != "always" else N_APPENDS // 10
+        wal = WriteAheadLog(root / policy, fsync=policy)
+        t0 = time.perf_counter()
+        for _ in range(n):
+            wal.append(record)
+        wal.close()
+        rows.append((policy, n / (time.perf_counter() - t0)))
+    return rows
+
+
+@pytest.mark.benchmark(group="ext-store-recovery")
+def test_ext_store_recovery(benchmark):
+    workdir = Path(tempfile.mkdtemp(prefix="via-store-bench-"))
+
+    def experiment():
+        throughput = _append_throughput(workdir / "wal-sweep")
+
+        # Live controller: snapshot mid-run, then killed (no stop/close).
+        store_dir = workdir / "store"
+        live = _make_controller(store_dir)
+        _drive(live, SNAPSHOT_AT, seed=7)
+        live.save_store_snapshot()
+        _drive(live, N_ROUNDS - SNAPSHOT_AT, seed=8)
+        wal_records = live.store.wal.last_seq
+
+        # The uninterrupted twin it must match.
+        twin = _make_controller()
+        _drive(twin, SNAPSHOT_AT, seed=7)
+        _drive(twin, N_ROUNDS - SNAPSHOT_AT, seed=8)
+
+        t0 = time.perf_counter()
+        recovered = _make_controller()
+        report = recover(Store(store_dir), recovered)
+        recovery_s = time.perf_counter() - t0
+        return throughput, wal_records, report, recovered, twin, recovery_s
+
+    throughput, wal_records, report, recovered, twin, recovery_s = once(
+        benchmark, experiment
+    )
+
+    identical_history = (
+        history_to_dict(recovered.policy.history) == history_to_dict(twin.policy.history)
+    )
+    identical_future = _future_choices(recovered) == _future_choices(twin)
+
+    lines = [
+        "Durable store: WAL throughput and crash-recovery equivalence",
+        "",
+        "WAL append throughput (one ~230 B measurement record per append):",
+    ]
+    lines += [f"  fsync={policy:<7} {rate:>12,.0f} records/s" for policy, rate in throughput]
+    lines += [
+        "",
+        f"workload: {N_ROUNDS} rounds (2 records each), snapshot at round {SNAPSHOT_AT}",
+        f"WAL records written: {wal_records}",
+        f"recovery: snapshot={report.snapshot_outcome} (seq {report.snapshot_seq}), "
+        f"replayed {report.n_replayed} records in {recovery_s * 1e3:.1f} ms",
+        f"state identical to uninterrupted twin: history={identical_history}, "
+        f"next 100 assignments={identical_future}",
+    ]
+    emit("ext_store_recovery", "\n".join(lines))
+    shutil.rmtree(workdir, ignore_errors=True)
+
+    assert report.clean
+    assert report.snapshot_outcome == "ok"
+    assert identical_history
+    assert identical_future

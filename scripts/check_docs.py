@@ -42,6 +42,7 @@ DOC_FILES = (
     "docs/deployment.md",
     "docs/observability.md",
     "docs/parallel.md",
+    "docs/persistence.md",
 )
 
 #: ``repro.foo.Bar`` style dotted references (call parens already stripped).

@@ -6,6 +6,7 @@ Subcommands:
 * ``trace``    -- generate a call trace and save it as JSON lines.
 * ``testbed``  -- run the §5.5 asyncio controller/client deployment.
 * ``quality``  -- E-model MOS / poor-call probability for a metric triple.
+* ``store``    -- inspect / verify / compact a controller's durable store.
 
 Examples::
 
@@ -13,6 +14,7 @@ Examples::
     python -m repro trace --calls 5000 --out /tmp/trace.jsonl
     python -m repro testbed --pairs 18 --via-rounds 30
     python -m repro quality --rtt 320 --loss 0.012 --jitter 12
+    python -m repro store verify /var/lib/via/store
 """
 
 from __future__ import annotations
@@ -72,6 +74,20 @@ def build_parser() -> argparse.ArgumentParser:
     quality.add_argument("--rtt", type=float, required=True, help="RTT in ms")
     quality.add_argument("--loss", type=float, required=True, help="loss rate [0,1]")
     quality.add_argument("--jitter", type=float, required=True, help="jitter in ms")
+
+    store = sub.add_parser(
+        "store", help="inspect/verify/compact a controller's durable store"
+    )
+    store.add_argument(
+        "action",
+        choices=("inspect", "verify", "compact"),
+        help="inspect: summarise segments/snapshot/archive; "
+             "verify: scan for corruption (exit 1 if any); "
+             "compact: fold snapshot-covered segments into the archive",
+    )
+    store.add_argument("dir", help="store root directory (the controller's store_dir)")
+    store.add_argument("--retention-windows", type=int, default=8,
+                       help="archive windows kept when compacting")
 
     return parser
 
@@ -198,11 +214,145 @@ def _cmd_quality(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_store(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.store import (
+        Store,
+        StoreConfig,
+        read_segment,
+        read_wal,
+    )
+
+    root = Path(args.dir)
+    if not root.is_dir():
+        print(f"error: {root} is not a directory", file=sys.stderr)
+        return 2
+    wal_dir = root / "wal"
+    snapshot_path = root / "snapshot.json"
+    compacted_path = root / "compacted.json"
+
+    if args.action == "compact":
+        store = Store(root, StoreConfig(retention_windows=args.retention_windows))
+        try:
+            result = store.compact()
+        finally:
+            store.close()
+        print(format_table(
+            ["statistic", "value"],
+            [
+                ["segments folded", result.n_segments],
+                ["measurements archived", result.n_measurements],
+                ["non-measurement records", result.n_skipped],
+                ["corrupt records", result.n_corrupt],
+                ["windows pruned", result.n_windows_pruned],
+                ["bytes reclaimed", result.bytes_reclaimed],
+            ],
+            title=f"Compaction of {root}",
+        ))
+        return 0
+
+    # inspect / verify share the read-only scan.
+    from repro.store.wal import segment_paths
+
+    snapshot_seq = 0
+    snapshot_state = "missing"
+    if snapshot_path.exists():
+        try:
+            payload = json.loads(snapshot_path.read_text(encoding="utf-8"))
+            from repro.store import SNAPSHOT_FORMAT
+
+            if payload.get("format") != SNAPSHOT_FORMAT:
+                raise ValueError(payload.get("format"))
+            snapshot_seq = int(payload["last_seq"])
+            snapshot_state = "ok"
+        except (ValueError, KeyError, TypeError, json.JSONDecodeError):
+            snapshot_state = "corrupt"
+
+    archive_state = "missing"
+    archive_calls = 0
+    if compacted_path.exists():
+        try:
+            from repro.store import COMPACTED_FORMAT
+
+            payload = json.loads(compacted_path.read_text(encoding="utf-8"))
+            if payload.get("format") != COMPACTED_FORMAT:
+                raise ValueError(payload.get("format"))
+            archive_calls = int(payload.get("n_calls", 0))
+            archive_state = "ok"
+        except (ValueError, KeyError, TypeError, json.JSONDecodeError):
+            archive_state = "corrupt"
+
+    if args.action == "inspect":
+        rows = []
+        for path in segment_paths(wal_dir) if wal_dir.is_dir() else []:
+            seg = read_segment(path)
+            seqs = [r["seq"] for r in seg.records]
+            health = "torn" if seg.torn else ("corrupt" if seg.n_corrupt else "ok")
+            rows.append([
+                path.name,
+                f"{min(seqs)}-{max(seqs)}" if seqs else "-",
+                len(seg.records),
+                path.stat().st_size,
+                health,
+            ])
+        if rows:
+            print(format_table(
+                ["segment", "seq range", "records", "bytes", "health"],
+                rows, title=f"WAL segments under {wal_dir}",
+            ))
+        else:
+            print(f"no WAL segments under {wal_dir}")
+        print(format_table(
+            ["statistic", "value"],
+            [
+                ["snapshot", f"{snapshot_state} (covers seq {snapshot_seq})"],
+                ["compacted archive", f"{archive_state} ({archive_calls} calls)"],
+            ],
+        ))
+        return 0
+
+    # verify: exit 1 on any damage anywhere in the store.
+    result = read_wal(wal_dir) if wal_dir.is_dir() else None
+    n_corrupt = result.n_corrupt if result else 0
+    n_torn = result.n_torn_segments if result else 0
+    n_records = len(result.records) if result else 0
+    seqs = set(r["seq"] for r in result.records) if result else set()
+    missing: set[int] = set()
+    if seqs:
+        missing = set(range(min(seqs), max(seqs) + 1)) - seqs
+    gaps = len(missing)
+    damaged = (
+        n_corrupt > 0
+        or n_torn > 0
+        or snapshot_state == "corrupt"
+        or archive_state == "corrupt"
+        # A seq gap below the snapshot horizon is fine (compacted away);
+        # one above it means records recovery needs are gone.
+        or any(s > snapshot_seq for s in missing)
+    )
+    print(format_table(
+        ["check", "result"],
+        [
+            ["WAL records readable", n_records],
+            ["corrupt frames", n_corrupt],
+            ["torn segments", n_torn],
+            ["seq gaps", gaps],
+            ["snapshot", snapshot_state],
+            ["compacted archive", archive_state],
+        ],
+        title=f"Verification of {root}: {'DAMAGED' if damaged else 'clean'}",
+    ))
+    return 1 if damaged else 0
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "trace": _cmd_trace,
     "testbed": _cmd_testbed,
     "quality": _cmd_quality,
+    "store": _cmd_store,
 }
 
 

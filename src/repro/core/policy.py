@@ -524,6 +524,13 @@ class ViaPolicy:
             "metric": self.config.metric,
             "period": self._period,
             "n_refreshes": self.n_refreshes,
+            # The RNG position matters for exact crash recovery: epsilon
+            # exploration draws from it per assignment, so a restored
+            # policy with a fresh RNG would diverge from its uninterrupted
+            # twin on the very next call.  (Optional key: v2 checkpoints
+            # without it still load, with a reseeded RNG.)
+            "rng": self._rng.bit_generator.state,
+            "n_epsilon_explorations": self.n_epsilon_explorations,
             "history": history_to_dict(self.history),
             "pair_states": pair_states,
         }
@@ -550,6 +557,11 @@ class ViaPolicy:
         self._period = -1  # force a refresh on the next call
         self._pair_state = {}
         self._predictor = None
+        rng_state = payload.get("rng")
+        if rng_state is not None:
+            self._rng.bit_generator.state = rng_state
+        if "n_epsilon_explorations" in payload:
+            self.n_epsilon_explorations = int(payload["n_epsilon_explorations"])
         if fmt == "via-policy-state-v1":
             return
         period = int(payload.get("period", -1))

@@ -18,7 +18,11 @@ Robustness (§7 operational concerns):
   controller into its own chaos monkey (dropped connections, delayed or
   blackholed replies) for fault experiments;
 * learned state can be checkpointed to disk and is reloaded on start, so
-  a controller crash recovers instead of relearning from scratch.
+  a controller crash recovers instead of relearning from scratch;
+* with a :class:`~repro.store.Store` attached, every state-changing
+  message is appended to a write-ahead log *before* the policy acts on
+  it, and startup recovery replays the WAL tail on top of the latest
+  snapshot -- a crash loses nothing, not just "since the last snapshot".
 """
 
 from __future__ import annotations
@@ -53,6 +57,7 @@ from repro.deployment.protocol import (
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profiling import timed
 from repro.obs.tracing import trace
+from repro.store import Store, atomic_write_bytes, recover
 from repro.telephony.call import Call
 
 __all__ = ["ViaController"]
@@ -108,6 +113,7 @@ class ViaController:
         faults: FaultPlan | None = None,
         snapshot_path: str | Path | None = None,
         registry: MetricsRegistry | None = None,
+        store: Store | str | Path | None = None,
     ) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.policy = ViaPolicy(
@@ -124,6 +130,11 @@ class ViaController:
         self._conn_writers: set[asyncio.StreamWriter] = set()
         self.faults = FaultInjector(faults) if faults is not None else None
         self.snapshot_path = Path(snapshot_path) if snapshot_path is not None else None
+        # Durable storage plane: a path builds a Store sharing this
+        # controller's registry, so one scrape shows via_store_* too.
+        if store is not None and not isinstance(store, Store):
+            store = Store(store, registry=self.registry)
+        self.store = store
         # Registry-backed operational counters (PR 1 kept these as ad-hoc
         # ints; the wire-visible StatsMessage shape is unchanged).
         messages = self.registry.counter(
@@ -153,6 +164,15 @@ class ViaController:
             "via_controller_clients",
             "Currently connected clients (hello seen, not yet disconnected).",
         )
+        # Silent state loss is an operator's nightmare: every startup
+        # restore attempt lands here, so "corrupt" can page someone.
+        self._obs_snapshot_restores = self.registry.counter(
+            "via_controller_snapshot_restores_total",
+            "Startup state-restore attempts, by outcome.",
+            ("outcome",),
+        )
+        for outcome in ("ok", "corrupt", "missing"):
+            self._obs_snapshot_restores.labels(outcome=outcome)
 
     # ------------------------------------------------------------------
     # Registry-backed counter views (the StatsMessage observables)
@@ -197,17 +217,28 @@ class ViaController:
     async def start(self) -> None:
         if self._server is not None:
             raise RuntimeError("controller already started")
-        if self.snapshot_path is not None and self.snapshot_path.exists():
-            # Auto-restore is best-effort: a corrupt checkpoint (e.g. a
-            # crash mid-write) must not prevent the controller from
-            # starting fresh.  Explicit load_snapshot() still raises.
-            try:
-                self.load_snapshot(self.snapshot_path)
-            except (ValueError, KeyError, OSError, json.JSONDecodeError):
-                logger.exception(
-                    "ignoring unreadable snapshot %s; starting fresh",
-                    self.snapshot_path,
-                )
+        if self.store is not None:
+            # Durable-store recovery: snapshot + WAL-tail replay.  Never
+            # raises; damage downgrades to a counted outcome instead.
+            report = recover(self.store, self)
+            self._obs_snapshot_restores.labels(outcome=report.snapshot_outcome).inc()
+        elif self.snapshot_path is not None:
+            if not self.snapshot_path.exists():
+                self._obs_snapshot_restores.labels(outcome="missing").inc()
+            else:
+                # Auto-restore is best-effort: a corrupt checkpoint (e.g. a
+                # crash mid-write) must not prevent the controller from
+                # starting fresh.  Explicit load_snapshot() still raises.
+                try:
+                    self.load_snapshot(self.snapshot_path)
+                except (ValueError, KeyError, OSError, json.JSONDecodeError):
+                    self._obs_snapshot_restores.labels(outcome="corrupt").inc()
+                    logger.exception(
+                        "ignoring unreadable snapshot %s; starting fresh",
+                        self.snapshot_path,
+                    )
+                else:
+                    self._obs_snapshot_restores.labels(outcome="ok").inc()
         self._server = await asyncio.start_server(
             self._handle_connection, host=self.host, port=self._requested_port
         )
@@ -223,6 +254,14 @@ class ViaController:
                 await asyncio.gather(*self._conn_tasks, return_exceptions=True)
             await self._server.wait_closed()
             self._server = None
+            if self.store is not None:
+                # Clean shutdown folds the log down: final snapshot,
+                # compaction of the now-covered segments, handles closed.
+                try:
+                    self.save_store_snapshot()
+                except Exception:
+                    logger.exception("final store snapshot failed; WAL retains state")
+                self.store.close()
 
     async def __aenter__(self) -> "ViaController":
         await self.start()
@@ -271,12 +310,12 @@ class ViaController:
         target = Path(path) if path is not None else self.snapshot_path
         if target is None:
             raise ValueError("no snapshot path given and none configured")
-        # Write-then-rename so a crash mid-write never corrupts the
-        # previous good checkpoint.
-        tmp = target.with_suffix(target.suffix + ".tmp")
-        tmp.write_text(json.dumps(self.snapshot_dict()), encoding="utf-8")
-        tmp.replace(target)
-        return target
+        # Write + fsync + rename + directory fsync: without the fsyncs a
+        # power loss after the rename can still surface a zero-length
+        # "good" checkpoint (the rename survives, the data doesn't).
+        return atomic_write_bytes(
+            target, json.dumps(self.snapshot_dict()).encode("utf-8")
+        )
 
     def load_snapshot(self, path: str | Path) -> None:
         """Restore the checkpoint at ``path``."""
@@ -371,11 +410,7 @@ class ViaController:
     ) -> None:
         """Handle one decoded message; policy errors are isolated here."""
         if isinstance(message, HelloMessage):
-            if message.client_id in self.site_labels:
-                self._obs_reconnects.inc()
-            self.client_sites[message.client_id] = message.site
-            self.site_labels[message.client_id] = message.site
-            self._obs_clients.set(len(self.client_sites))
+            self._on_hello(message.client_id, message.site)
         elif isinstance(message, MeasurementMessage):
             try:
                 self._on_measurement(message)
@@ -403,6 +438,11 @@ class ViaController:
             self._client_resilience[message.client_id] = message
         else:  # AssignMessage arriving at the server is a client bug
             logger.warning("unexpected %s from %s", type(message).__name__, peer)
+        if self.store is not None and self.store.should_snapshot():
+            try:
+                self.save_store_snapshot()
+            except Exception:
+                logger.exception("auto-snapshot failed; WAL still covers state")
 
     async def _send_reply(self, writer: asyncio.StreamWriter, reply: Any) -> None:
         if self.faults is not None:
@@ -430,15 +470,100 @@ class ViaController:
             dst_user=dst_id,
         )
 
-    def _on_measurement(self, message: MeasurementMessage) -> None:
+    def _on_hello(self, client_id: int, site: str, *, live: bool = True) -> None:
+        """Register a client introduction (``live=False`` during replay:
+        site labels are state, live connections are not)."""
+        if live and self.store is not None:
+            self.store.log_hello(client_id, site)
+        if client_id in self.site_labels:
+            self._obs_reconnects.inc()
+        self.site_labels[client_id] = site
+        if live:
+            self.client_sites[client_id] = site
+            self._obs_clients.set(len(self.client_sites))
+
+    def _on_measurement(self, message: MeasurementMessage, *, log: bool = True) -> None:
+        if log and self.store is not None:
+            # Log-before-act: the WAL holds the record before the policy
+            # learns from it, so a crash after this line loses nothing.
+            self.store.log_measurement(
+                message.src_id,
+                message.dst_id,
+                message.t_hours,
+                message.option,
+                message.rtt_ms,
+                message.loss_rate,
+                message.jitter_ms,
+                src_site=self.site_labels.get(message.src_id, "?"),
+                dst_site=self.site_labels.get(message.dst_id, "?"),
+            )
         call = self._call_from(message.src_id, message.dst_id, message.t_hours)
         self.policy.observe(call, decode_option(message.option), message.metrics())
 
-    def _on_request(self, message: RequestMessage) -> AssignMessage:
+    def _on_request(self, message: RequestMessage, *, log: bool = True) -> AssignMessage:
+        if log and self.store is not None:
+            # Requests are logged too: assignment consumes policy RNG and
+            # builds bandit state, so recovery must replay them to keep a
+            # restored controller's future choices identical.
+            self.store.log_request(
+                message.src_id, message.dst_id, message.t_hours, message.options
+            )
         call = self._call_from(message.src_id, message.dst_id, message.t_hours)
         options = [decode_option(o) for o in message.options]
         choice = self.policy.assign(call, options)
         return AssignMessage(option=encode_option(choice))
+
+    # ------------------------------------------------------------------
+    # Durable store bridging (WAL replay + snapshots)
+    # ------------------------------------------------------------------
+
+    def apply_record(self, record: dict) -> None:
+        """Re-apply one WAL record during recovery.
+
+        Mirrors the live handlers exactly -- same counters, same policy
+        error isolation -- minus store logging (the record is already on
+        disk) and minus replies (there is no peer).  Unknown kinds are
+        ignored for forward compatibility.
+        """
+        kind = record.get("kind")
+        if kind == "hello":
+            self._count_message("hello")
+            self._on_hello(int(record["client_id"]), str(record["site"]), live=False)
+        elif kind == "measurement":
+            self._count_message("measurement")
+            message = MeasurementMessage(
+                src_id=int(record["src_id"]),
+                dst_id=int(record["dst_id"]),
+                t_hours=float(record["t_hours"]),
+                option=record["option"],
+                rtt_ms=float(record["rtt_ms"]),
+                loss_rate=float(record["loss_rate"]),
+                jitter_ms=float(record["jitter_ms"]),
+            )
+            try:
+                self._on_measurement(message, log=False)
+            except Exception:
+                self._obs_policy_errors.inc()
+                logger.exception("replayed policy.observe failed (seq=%s)", record.get("seq"))
+        elif kind == "request":
+            self._count_message("request")
+            request = RequestMessage(
+                src_id=int(record["src_id"]),
+                dst_id=int(record["dst_id"]),
+                t_hours=float(record["t_hours"]),
+                options=list(record["options"]),
+            )
+            try:
+                self._on_request(request, log=False)
+            except Exception:
+                self._obs_policy_errors.inc()
+                logger.exception("replayed policy.assign failed (seq=%s)", record.get("seq"))
+
+    def save_store_snapshot(self) -> Path:
+        """Snapshot into the durable store and fold the covered WAL down."""
+        if self.store is None:
+            raise ValueError("no store configured")
+        return self.store.snapshot(self)
 
     @staticmethod
     def _default_reply(message: RequestMessage) -> AssignMessage | None:

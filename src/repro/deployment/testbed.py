@@ -72,6 +72,10 @@ class TestbedConfig:
     #: Observability: enable span tracing + gated histograms for the run
     #: and scrape the controller over the wire into ``report.metrics_text``.
     observe: bool = False
+    #: Durable storage: when set, the controller write-ahead-logs every
+    #: state-changing message under this directory, snapshots on stop,
+    #: and recovers from snapshot + WAL replay on start.
+    store_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.n_clients < 2 or self.n_pairs < 1:
@@ -103,6 +107,8 @@ class TestbedReport:
     n_outage_calls: int = 0
     #: VIA-phase calls whose assigned option rode a down relay anyway.
     n_dead_assignments: int = 0
+    #: WAL records the controller's durable store appended (0 without one).
+    n_wal_records: int = 0
     #: Prometheus text exposition scraped from the controller at the end
     #: of the run (always captured; richest with ``observe=True``).
     metrics_text: str = ""
@@ -204,7 +210,9 @@ async def _run_async(config: TestbedConfig) -> TestbedReport:
     )
     report = TestbedReport(n_pairs=len(pairs))
 
-    async with ViaController(policy_config, faults=chaos) as controller:
+    async with ViaController(
+        policy_config, faults=chaos, store=config.store_dir
+    ) as controller:
         clients = [
             TestbedClient(
                 client_id=i,
@@ -285,6 +293,8 @@ async def _run_async(config: TestbedConfig) -> TestbedReport:
             report.n_policy_errors = controller.n_policy_errors
             if controller.faults is not None:
                 report.n_faults_injected = controller.faults.n_faults_injected
+            if controller.store is not None:
+                report.n_wal_records = controller.store.wal.last_seq
     return report
 
 

@@ -1,0 +1,201 @@
+"""Segment compaction: fold sealed WAL segments into window aggregates.
+
+Raw measurement records grow with call volume; the controller's learning
+state only ever needs per-(pair, option, window) aggregates (§4: the
+predictor reads one 24 h window of :class:`~repro.core.history.CallHistory`).
+Compaction closes that gap: sealed segments already covered by a snapshot
+are folded into a single on-disk :func:`~repro.core.history.history_to_dict`
+archive (``compacted.json``) and then deleted, so disk use is bounded by
+*windows retained*, never by calls handled.
+
+The fold reuses the exact keying the live policy uses
+(:class:`~repro.core.keys.PairKeyer` + option normalisation), so the
+archive is :meth:`CallHistory.merge`-compatible with any policy history at
+the same granularity -- the same map-reduce contract the parallel replay
+engine relies on.  A retention horizon (``retention_windows``) prunes the
+archive's oldest windows on every compaction, mirroring
+:meth:`CallHistory.prune_before` in the live policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.history import (
+    CallHistory,
+    history_from_dict,
+    history_to_dict,
+    option_from_dict,
+)
+from repro.core.keys import Granularity, PairKeyer
+from repro.netmodel.metrics import PathMetrics
+from repro.obs.metrics import MetricsRegistry
+from repro.store.io import atomic_write_json
+from repro.store.wal import WriteAheadLog, read_segment
+from repro.telephony.call import Call
+
+__all__ = ["COMPACTED_FORMAT", "CompactionResult", "Compactor"]
+
+COMPACTED_FORMAT = "via-store-compacted-v1"
+
+
+@dataclass(frozen=True, slots=True)
+class CompactionResult:
+    """What one compaction pass did."""
+
+    n_segments: int
+    n_measurements: int
+    #: Non-measurement records (hello, request) -- folded away, not archived.
+    n_skipped: int
+    n_corrupt: int
+    n_windows_pruned: int
+    bytes_reclaimed: int
+
+
+class Compactor:
+    """Folds sealed segments into the store's compacted history archive."""
+
+    def __init__(
+        self,
+        root: str | Path,
+        *,
+        window_hours: float = 24.0,
+        granularity: Granularity = "as",
+        retention_windows: int = 8,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        if retention_windows < 1:
+            raise ValueError("retention_windows must be >= 1")
+        self.root = Path(root)
+        self.window_hours = window_hours
+        self.retention_windows = retention_windows
+        self._keyer = PairKeyer(granularity)
+        self._registry = registry if registry is not None else MetricsRegistry()
+        self._obs_compactions = self._registry.counter(
+            "via_store_compactions_total",
+            "Compaction passes that folded at least one segment.",
+        )
+        self._obs_folded = self._registry.counter(
+            "via_store_compacted_records_total",
+            "Measurement records folded into the window archive.",
+        )
+        self._obs_read_errors = self._registry.counter(
+            "via_store_read_errors_total",
+            "Damaged WAL records skipped while reading, by reader.",
+            ("reader",),
+        )
+
+    @property
+    def compacted_path(self) -> Path:
+        return self.root / "compacted.json"
+
+    # ------------------------------------------------------------------
+    # Archive I/O
+    # ------------------------------------------------------------------
+
+    def load_history(self) -> CallHistory:
+        """The archive's :class:`CallHistory` (empty when none exists yet).
+
+        Raises :class:`ValueError` on an unrecognised or corrupt archive --
+        silently merging garbage into the long-term aggregates would
+        poison every later prediction, so the operator must decide.
+        """
+        if not self.compacted_path.exists():
+            return CallHistory(window_hours=self.window_hours)
+        import json
+
+        payload = json.loads(self.compacted_path.read_text(encoding="utf-8"))
+        if payload.get("format") != COMPACTED_FORMAT:
+            raise ValueError(
+                f"unrecognised compacted archive format: {payload.get('format')!r}"
+            )
+        return history_from_dict(payload["history"])
+
+    def _write_history(self, history: CallHistory, last_seq: int) -> None:
+        atomic_write_json(
+            self.compacted_path,
+            {
+                "format": COMPACTED_FORMAT,
+                "granularity": self._keyer.granularity,
+                "last_seq": last_seq,
+                "n_calls": history.total_calls(),
+                "history": history_to_dict(history),
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # The fold
+    # ------------------------------------------------------------------
+
+    def compact(self, wal: WriteAheadLog, *, cover_seq: int | None = None) -> CompactionResult:
+        """Fold sealed segments into the archive, then delete them.
+
+        Only segments whose every record is covered by ``cover_seq`` are
+        touched (pass the latest snapshot's seq): compacting a segment
+        that recovery still needs would trade exact crash recovery for
+        disk space, which is never the right trade silently.
+        """
+        eligible = [
+            s
+            for s in wal.sealed_segments()
+            if cover_seq is None or s.last_seq <= cover_seq
+        ]
+        if not eligible:
+            return CompactionResult(0, 0, 0, 0, 0, 0)
+        history = self.load_history()
+        n_measurements = n_skipped = n_corrupt = 0
+        max_seq = 0
+        for info in eligible:
+            seg = read_segment(info.path)
+            n_corrupt += seg.n_corrupt
+            for record in seg.records:
+                max_seq = max(max_seq, record["seq"])
+                if record.get("kind") != "measurement":
+                    n_skipped += 1
+                    continue
+                try:
+                    self._fold(record, history)
+                except (KeyError, TypeError, ValueError):
+                    n_corrupt += 1
+                    continue
+                n_measurements += 1
+        n_pruned = 0
+        windows = history.windows()
+        if windows:
+            n_pruned = history.prune_before(windows[-1] - self.retention_windows + 1)
+        self._write_history(history, max_seq)
+        bytes_reclaimed = wal.drop_segments(eligible)
+        self._obs_compactions.inc()
+        self._obs_folded.inc(n_measurements)
+        if n_corrupt:
+            self._obs_read_errors.labels(reader="compaction").inc(n_corrupt)
+        return CompactionResult(
+            n_segments=len(eligible),
+            n_measurements=n_measurements,
+            n_skipped=n_skipped,
+            n_corrupt=n_corrupt,
+            n_windows_pruned=n_pruned,
+            bytes_reclaimed=bytes_reclaimed,
+        )
+
+    def _fold(self, record: dict, history: CallHistory) -> None:
+        """Fold one measurement record exactly as the live policy keys it."""
+        call = Call(
+            call_id=0,
+            t_hours=float(record["t_hours"]),
+            src_asn=int(record["src_id"]),
+            dst_asn=int(record["dst_id"]),
+            src_country=str(record.get("src_site", "?")),
+            dst_country=str(record.get("dst_site", "?")),
+            src_user=int(record["src_id"]),
+            dst_user=int(record["dst_id"]),
+        )
+        option = option_from_dict(record["option"])
+        metrics = PathMetrics(
+            rtt_ms=float(record["rtt_ms"]),
+            loss_rate=float(record["loss_rate"]),
+            jitter_ms=float(record["jitter_ms"]),
+        )
+        view = self._keyer.view(call)
+        history.add(view.pair_key, view.normalize(option), call.t_hours, metrics)

@@ -1,0 +1,262 @@
+"""The durable-store facade the controller talks to.
+
+One :class:`Store` owns one on-disk layout::
+
+    <root>/
+      wal/wal-00000001.seg ...   append-only record log (repro.store.wal)
+      snapshot.json              latest full snapshot + the seq it covers
+      compacted.json             long-horizon window aggregates (compaction)
+
+The write path is *log-before-act*: the controller appends a record for
+every state-changing message before the policy sees it, so a crashed
+controller is exactly reconstructible as snapshot + WAL-tail replay
+(:mod:`repro.store.recovery`).  Snapshots fold the log down: taking one
+rotates the active segment, compacts every now-covered sealed segment
+into the window archive, and deletes them -- after which disk holds one
+snapshot, one bounded archive, and only the records since.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Protocol
+
+from repro.core.keys import Granularity
+from repro.obs.metrics import MetricsRegistry
+from repro.store.compaction import CompactionResult, Compactor
+from repro.store.io import atomic_write_json
+from repro.store.wal import FSYNC_POLICIES, WalReadResult, WriteAheadLog, read_wal
+
+__all__ = ["SNAPSHOT_FORMAT", "StoreConfig", "Store", "SnapshotSource"]
+
+SNAPSHOT_FORMAT = "via-store-snapshot-v1"
+
+
+class SnapshotSource(Protocol):
+    """Anything whose full state can be captured as a JSON dict."""
+
+    def snapshot_dict(self) -> dict: ...
+
+
+@dataclass(frozen=True, slots=True)
+class StoreConfig:
+    """Durability and retention knobs for one :class:`Store`."""
+
+    #: WAL fsync policy: ``always`` / ``batch`` / ``off``.
+    fsync: str = "batch"
+    #: Appends between fsyncs under the ``batch`` policy.
+    batch_every: int = 64
+    #: Size-based segment rotation threshold.
+    max_segment_bytes: int = 1 << 20
+    #: Record-count rotation threshold (None = size/age only).
+    max_segment_records: int | None = None
+    #: Age-based rotation threshold in seconds (None = off).
+    max_segment_age_s: float | None = None
+    #: Auto-snapshot after this many appended records (0 = only on stop).
+    snapshot_every_records: int = 0
+    #: Window width of the compacted archive (match the policy's T).
+    window_hours: float = 24.0
+    #: Keying granularity of the compacted archive.
+    granularity: Granularity = "as"
+    #: Windows the compacted archive retains (older ones are pruned).
+    retention_windows: int = 8
+
+    def __post_init__(self) -> None:
+        if self.fsync not in FSYNC_POLICIES:
+            raise ValueError(
+                f"unknown fsync policy {self.fsync!r}; expected {FSYNC_POLICIES}"
+            )
+        if self.snapshot_every_records < 0:
+            raise ValueError("snapshot_every_records must be >= 0")
+        if self.window_hours <= 0.0:
+            raise ValueError("window_hours must be > 0")
+        if self.retention_windows < 1:
+            raise ValueError("retention_windows must be >= 1")
+
+
+class Store:
+    """Write-ahead log + snapshot + compacted archive under one root."""
+
+    def __init__(
+        self,
+        root: str | Path,
+        config: StoreConfig | None = None,
+        *,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        self.root = Path(root)
+        self.config = config or StoreConfig()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.wal = WriteAheadLog(
+            self.root / "wal",
+            fsync=self.config.fsync,
+            batch_every=self.config.batch_every,
+            max_segment_bytes=self.config.max_segment_bytes,
+            max_segment_records=self.config.max_segment_records,
+            max_segment_age_s=self.config.max_segment_age_s,
+            registry=self.registry,
+        )
+        self.compactor = Compactor(
+            self.root,
+            window_hours=self.config.window_hours,
+            granularity=self.config.granularity,
+            retention_windows=self.config.retention_windows,
+            registry=self.registry,
+        )
+        self._obs_snapshots = self.registry.counter(
+            "via_store_snapshots_total",
+            "Snapshots written into the store.",
+        )
+        # Seq numbering must survive compaction: after a clean shutdown
+        # every segment is folded away, so a reopened WAL's directory scan
+        # finds nothing and would restart at 0 -- while the snapshot still
+        # covers a higher seq, hiding every new record from recovery.
+        self.wal.last_seq = max(self.wal.last_seq, self.snapshot_seq())
+        self._records_since_snapshot = max(0, self.wal.last_seq - self.snapshot_seq())
+
+    @property
+    def snapshot_path(self) -> Path:
+        return self.root / "snapshot.json"
+
+    # ------------------------------------------------------------------
+    # Logging (the controller's log-before-act hooks)
+    # ------------------------------------------------------------------
+
+    def _append(self, record: dict) -> int:
+        seq = self.wal.append(record)
+        self._records_since_snapshot += 1
+        return seq
+
+    def log_hello(self, client_id: int, site: str) -> int:
+        """Record a client introduction (site labels survive crashes)."""
+        return self._append({"kind": "hello", "client_id": client_id, "site": site})
+
+    def log_measurement(
+        self,
+        src_id: int,
+        dst_id: int,
+        t_hours: float,
+        option: dict[str, Any],
+        rtt_ms: float,
+        loss_rate: float,
+        jitter_ms: float,
+        *,
+        src_site: str = "?",
+        dst_site: str = "?",
+    ) -> int:
+        """Record one completed call's measurement before the policy learns it."""
+        return self._append(
+            {
+                "kind": "measurement",
+                "src_id": src_id,
+                "dst_id": dst_id,
+                "t_hours": t_hours,
+                "option": option,
+                "rtt_ms": rtt_ms,
+                "loss_rate": loss_rate,
+                "jitter_ms": jitter_ms,
+                "src_site": src_site,
+                "dst_site": dst_site,
+            }
+        )
+
+    def log_request(
+        self,
+        src_id: int,
+        dst_id: int,
+        t_hours: float,
+        options: list[dict[str, Any]],
+    ) -> int:
+        """Record an assignment request before answering it.
+
+        Requests must be logged too: assignment consumes the policy's RNG
+        and builds per-pair bandit state, so replaying only measurements
+        would leave a recovered controller making *different* choices
+        than its uninterrupted twin.
+        """
+        return self._append(
+            {
+                "kind": "request",
+                "src_id": src_id,
+                "dst_id": dst_id,
+                "t_hours": t_hours,
+                "options": options,
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Snapshots and compaction
+    # ------------------------------------------------------------------
+
+    def should_snapshot(self) -> bool:
+        """Is the auto-snapshot threshold reached?"""
+        return (
+            self.config.snapshot_every_records > 0
+            and self._records_since_snapshot >= self.config.snapshot_every_records
+        )
+
+    def snapshot(self, source: SnapshotSource) -> Path:
+        """Capture ``source`` and fold the now-covered log down.
+
+        Writes the snapshot atomically (fsynced), rotates the active
+        segment, compacts every sealed segment the snapshot covers into
+        the window archive, and deletes them.
+        """
+        last_seq = self.wal.last_seq
+        atomic_write_json(
+            self.snapshot_path,
+            {
+                "format": SNAPSHOT_FORMAT,
+                "last_seq": last_seq,
+                "controller": source.snapshot_dict(),
+            },
+        )
+        self._obs_snapshots.inc()
+        self.wal.rotate()
+        self.compactor.compact(self.wal, cover_seq=last_seq)
+        self._records_since_snapshot = self.wal.last_seq - last_seq
+        return self.snapshot_path
+
+    def compact(self) -> CompactionResult:
+        """Standalone compaction of snapshot-covered sealed segments.
+
+        Without a snapshot nothing is eligible: every record would still
+        be needed for exact recovery.
+        """
+        return self.compactor.compact(self.wal, cover_seq=self.snapshot_seq())
+
+    # ------------------------------------------------------------------
+    # Reading (recovery and tooling)
+    # ------------------------------------------------------------------
+
+    def read_snapshot(self) -> tuple[dict | None, int]:
+        """(snapshot payload, covered seq); (None, 0) when none exists.
+
+        Raises on a corrupt snapshot file -- recovery downgrades that to
+        a counted outcome, tooling surfaces it.
+        """
+        if not self.snapshot_path.exists():
+            return None, 0
+        payload = json.loads(self.snapshot_path.read_text(encoding="utf-8"))
+        if payload.get("format") != SNAPSHOT_FORMAT:
+            raise ValueError(f"unrecognised snapshot format: {payload.get('format')!r}")
+        return payload, int(payload["last_seq"])
+
+    def snapshot_seq(self) -> int:
+        """The seq covered by the latest snapshot (0 when none/corrupt)."""
+        try:
+            _payload, seq = self.read_snapshot()
+        except (ValueError, KeyError, OSError, json.JSONDecodeError):
+            return 0
+        return seq
+
+    def records_after(self, seq: int) -> WalReadResult:
+        """Every salvageable WAL record with ``record_seq > seq``."""
+        self.wal.sync()
+        return read_wal(self.wal.directory, after_seq=seq)
+
+    def close(self) -> None:
+        """Seal the active segment and release file handles."""
+        self.wal.close()

@@ -1,0 +1,70 @@
+"""Crash-safe filesystem primitives shared by the storage plane.
+
+Durability on POSIX is a three-step contract: the *data* must reach the
+disk (``fsync`` on the file), the *name* must reach the disk (``fsync``
+on the containing directory after a create/rename/unlink), and replacing
+a file must be atomic (``os.replace``).  Skipping any step leaves a
+window where a power loss produces a zero-length or half-written "good"
+file -- exactly the failure mode the write-ahead log exists to prevent.
+These helpers centralise the dance so every writer in :mod:`repro.store`
+(and the controller's JSON snapshots) gets it right.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+__all__ = ["fsync_file", "fsync_dir", "atomic_write_bytes", "atomic_write_json"]
+
+
+def fsync_file(fileno: int) -> None:
+    """Flush one open file's data and metadata to stable storage."""
+    os.fsync(fileno)
+
+
+def fsync_dir(path: str | Path) -> None:
+    """Persist directory entries (created/renamed/deleted names) to disk.
+
+    Best-effort on platforms whose directories cannot be opened (the
+    data-fsync already happened; only the *name* durability is weakened).
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - non-POSIX directory semantics
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - e.g. directories on some FS
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: str | Path, data: bytes, *, sync: bool = True) -> Path:
+    """Write ``data`` to ``path`` atomically (tmp + fsync + rename + dir fsync).
+
+    A reader (or a post-crash recovery) sees either the complete old file
+    or the complete new file, never a prefix of either.  With
+    ``sync=False`` the rename is still atomic but durability is left to
+    the OS writeback (for tests and throwaway artifacts).
+    """
+    target = Path(path)
+    tmp = target.with_suffix(target.suffix + ".tmp")
+    with open(tmp, "wb") as fh:
+        fh.write(data)
+        fh.flush()
+        if sync:
+            fsync_file(fh.fileno())
+    os.replace(tmp, target)
+    if sync:
+        fsync_dir(target.parent)
+    return target
+
+
+def atomic_write_json(path: str | Path, payload: Any, *, sync: bool = True) -> Path:
+    """JSON-serialise ``payload`` and :func:`atomic_write_bytes` it."""
+    data = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    return atomic_write_bytes(path, data, sync=sync)

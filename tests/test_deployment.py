@@ -172,3 +172,95 @@ class TestTestbed:
         r1 = run_testbed(config)
         r2 = run_testbed(config)
         assert r1.suboptimalities == pytest.approx(r2.suboptimalities)
+
+
+class TestMetricsReplyTruncation:
+    """The exposition must fit the protocol's 64 KB line limit, and must be
+    cut at an exact metric-line boundary when it doesn't."""
+
+    def _bloated_controller(self, n_series: int) -> ViaController:
+        controller = ViaController(ViaConfig(seed=1))
+        big = controller.registry.counter(
+            "via_test_bloat_total", "Filler series to overflow the wire limit.",
+            ("key",),
+        )
+        for i in range(n_series):
+            big.labels(key=f"series-{i:06d}-{'x' * 80}").inc()
+        return controller
+
+    def test_small_exposition_is_untruncated(self):
+        controller = ViaController(ViaConfig(seed=1))
+        reply = controller._metrics_reply()
+        assert reply.text == controller.metrics_text()
+        assert "TRUNCATED" not in reply.text
+
+    def test_huge_exposition_truncates_and_fits_the_wire(self):
+        from repro.deployment.protocol import (
+            MAX_LINE_BYTES,
+            decode_message,
+            encode_message,
+        )
+
+        controller = self._bloated_controller(900)
+        assert len(controller.metrics_text().encode()) > MAX_LINE_BYTES
+        reply = controller._metrics_reply()
+        wire = encode_message(reply)  # would raise ProtocolError if too big
+        assert len(wire) <= MAX_LINE_BYTES
+        decoded = decode_message(wire)
+        assert decoded.text == reply.text
+        assert reply.text.splitlines()[-1].startswith("# TRUNCATED")
+
+    def test_truncation_cuts_at_a_line_boundary(self):
+        controller = self._bloated_controller(900)
+        full_lines = controller.metrics_text().splitlines()
+        kept = controller._metrics_reply().text.splitlines()
+        assert kept[-1].startswith("# TRUNCATED")
+        body = kept[:-1]
+        # Every kept line is a whole line of the original exposition, in
+        # order from the top -- nothing was cut mid-line.
+        assert body == full_lines[: len(body)]
+        assert len(body) < len(full_lines)
+
+    def test_truncation_boundary_is_exact(self):
+        """Adding one more line would overflow the budget; the kept set is
+        the longest prefix that fits."""
+        from repro.deployment.protocol import MAX_LINE_BYTES
+
+        budget = MAX_LINE_BYTES - 4096
+        controller = self._bloated_controller(900)
+        full_lines = controller.metrics_text().splitlines()
+        body = controller._metrics_reply().text.splitlines()[:-1]
+
+        def cost(lines):
+            return sum(len(line.encode()) + 1 for line in lines)
+
+        assert 2 * cost(body + [full_lines[len(body)]]) > budget
+
+    def test_scrape_over_the_wire_despite_bloat(self):
+        async def scenario():
+            controller = self._bloated_controller(900)
+            async with controller:
+                async with AgentClient(0, "US", "127.0.0.1", controller.port) as client:
+                    text = await client.fetch_metrics()
+            assert "# TRUNCATED" in text
+            assert "via_controller_messages_total" in text
+
+        run(scenario())
+
+
+class TestTestbedWithStore:
+    def test_testbed_reports_wal_records(self, tmp_path):
+        config = DeploymentConfig(
+            n_clients=6, n_pairs=3, measurement_rounds=2, via_rounds=4, seed=5,
+            store_dir=str(tmp_path / "store"),
+        )
+        report = run_testbed(config)
+        # Every hello, measurement, and assignment request was logged.
+        assert report.n_wal_records >= report.n_measurements + report.n_calls
+        assert (tmp_path / "store" / "snapshot.json").exists()
+
+    def test_testbed_without_store_reports_zero(self):
+        config = DeploymentConfig(
+            n_clients=6, n_pairs=3, measurement_rounds=2, via_rounds=4, seed=5
+        )
+        assert run_testbed(config).n_wal_records == 0

@@ -9,7 +9,12 @@ from hypothesis import assume, given, settings, strategies as st
 from repro.analysis.stats import binned_quantile_bands
 from repro.core.bandit import UCB1Explorer
 from repro.core.budget import BudgetGate
-from repro.core.history import RunningStat
+from repro.core.history import (
+    CallHistory,
+    RunningStat,
+    history_from_dict,
+    history_to_dict,
+)
 from repro.netmodel.metrics import PathMetrics
 from repro.netmodel.options import RelayOption
 from repro.telephony.quality import mos_from_network, poor_call_probability
@@ -150,3 +155,71 @@ class TestQuantileBands:
         bands = binned_quantile_bands([3.0] * 50, list(range(50)), min_samples=10)
         assert len(bands) == 1
         assert bands[0].n_samples == 50
+
+
+class TestHistorySerialisationInvariants:
+    """history_to_dict / history_from_dict must be lossless under JSON,
+    and transparent to the map-reduce merge contract."""
+
+    sides = st.one_of(
+        st.integers(min_value=0, max_value=40),
+        st.sampled_from(["US", "GB", "IN", "SG", "LK"]),
+        st.tuples(st.integers(0, 10), st.integers(0, 10)),
+    )
+    relay_options = st.one_of(
+        st.just(RelayOption.direct()),
+        st.builds(RelayOption.bounce, st.integers(0, 5)),
+        st.tuples(st.integers(0, 5), st.integers(0, 5))
+        .filter(lambda t: t[0] != t[1])
+        .map(lambda t: RelayOption.transit(*t)),
+    )
+    events = st.lists(
+        st.tuples(
+            st.tuples(sides, sides),
+            relay_options,
+            st.floats(min_value=0.0, max_value=480.0, allow_nan=False),
+            finite_metrics,
+        ),
+        min_size=1,
+        max_size=60,
+    )
+
+    @staticmethod
+    def _build(events):
+        history = CallHistory(window_hours=24.0)
+        for pair_key, option, t_hours, metrics in events:
+            history.add(pair_key, option, t_hours, metrics)
+        return history
+
+    @given(events)
+    @settings(max_examples=100)
+    def test_roundtrip_through_json_is_exact(self, evts):
+        import json
+
+        history = self._build(evts)
+        payload = json.loads(json.dumps(history_to_dict(history)))
+        restored = history_from_dict(payload)
+        assert history_to_dict(restored) == history_to_dict(history)
+        assert restored.window_hours == history.window_hours
+        assert restored.windows() == history.windows()
+        assert restored.total_calls() == history.total_calls()
+
+    @given(events, events)
+    @settings(max_examples=50)
+    def test_decode_is_transparent_to_merge(self, a, b):
+        """merge(decode(encode(x)), decode(encode(y))) == merge(x, y):
+        shards can round-trip through disk before the reduce step."""
+        direct = self._build(a).merge(self._build(b))
+        via_disk = history_from_dict(history_to_dict(self._build(a))).merge(
+            history_from_dict(history_to_dict(self._build(b)))
+        )
+        assert history_to_dict(via_disk) == history_to_dict(direct)
+
+    @given(events)
+    @settings(max_examples=50)
+    def test_merge_into_empty_equals_original(self, evts):
+        history = self._build(evts)
+        merged = CallHistory(window_hours=24.0).merge(
+            history_from_dict(history_to_dict(history))
+        )
+        assert history_to_dict(merged) == history_to_dict(history)

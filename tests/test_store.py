@@ -1,0 +1,619 @@
+"""Unit tests for the durable storage plane: WAL, compaction, facade, CLI."""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+
+import pytest
+
+from repro.cli import main
+from repro.core.history import CallHistory, history_to_dict, option_to_dict
+from repro.core.keys import PairKeyer
+from repro.netmodel.metrics import PathMetrics
+from repro.netmodel.options import RelayOption
+from repro.obs.metrics import MetricsRegistry
+from repro.store import (
+    COMPACTED_FORMAT,
+    MAX_RECORD_BYTES,
+    SEGMENT_MAGIC,
+    Compactor,
+    Store,
+    StoreConfig,
+    WriteAheadLog,
+    atomic_write_bytes,
+    encode_frame,
+    read_segment,
+    read_wal,
+)
+from repro.telephony.call import Call
+
+HEADER = struct.Struct("<II")
+
+
+def measurement_record(i: int, *, src: int = 1, dst: int = 2) -> dict:
+    return {
+        "kind": "measurement",
+        "src_id": src,
+        "dst_id": dst,
+        "t_hours": 0.1 + i * 0.01,
+        "option": option_to_dict(RelayOption.bounce(3)),
+        "rtt_ms": 100.0 + i,
+        "loss_rate": 0.01,
+        "jitter_ms": 5.0,
+        "src_site": "US",
+        "dst_site": "GB",
+    }
+
+
+class FakeSource:
+    """A SnapshotSource whose state is one counter."""
+
+    def __init__(self, n: int = 0) -> None:
+        self.n = n
+
+    def snapshot_dict(self) -> dict:
+        return {"n": self.n}
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+
+
+class TestFraming:
+    def test_frame_roundtrip(self, tmp_path):
+        path = tmp_path / "wal-00000001.seg"
+        records = [dict(measurement_record(i), seq=i + 1) for i in range(5)]
+        path.write_bytes(SEGMENT_MAGIC + b"".join(encode_frame(r) for r in records))
+        result = read_segment(path)
+        assert result.records == records
+        assert result.n_corrupt == 0
+        assert not result.torn
+
+    def test_frame_header_is_length_then_crc(self):
+        record = {"kind": "hello", "seq": 1}
+        frame = encode_frame(record)
+        length, crc = HEADER.unpack_from(frame)
+        payload = frame[HEADER.size :]
+        assert length == len(payload)
+        assert crc == zlib.crc32(payload)
+        assert json.loads(payload) == record
+
+    def test_oversized_record_rejected(self):
+        with pytest.raises(ValueError):
+            encode_frame({"kind": "blob", "seq": 1, "x": "a" * (MAX_RECORD_BYTES + 1)})
+
+    def test_missing_magic_is_one_corruption(self, tmp_path):
+        path = tmp_path / "wal-00000001.seg"
+        path.write_bytes(b"not a segment at all")
+        result = read_segment(path)
+        assert result.records == []
+        assert result.n_corrupt == 1
+
+    def test_empty_file_is_clean(self, tmp_path):
+        path = tmp_path / "wal-00000001.seg"
+        path.write_bytes(b"")
+        result = read_segment(path)
+        assert result.records == [] and result.n_corrupt == 0 and not result.torn
+
+
+class TestDamageTolerance:
+    def _write_segment(self, path, records):
+        path.write_bytes(SEGMENT_MAGIC + b"".join(encode_frame(r) for r in records))
+
+    def test_torn_final_frame_dropped(self, tmp_path):
+        path = tmp_path / "wal-00000001.seg"
+        records = [dict(measurement_record(i), seq=i + 1) for i in range(4)]
+        self._write_segment(path, records)
+        data = path.read_bytes()
+        path.write_bytes(data[:-7])  # crash mid-append: final frame incomplete
+        result = read_segment(path)
+        assert result.torn
+        assert [r["seq"] for r in result.records] == [1, 2, 3]
+        assert result.n_corrupt == 0
+
+    def test_torn_header_only_tail(self, tmp_path):
+        path = tmp_path / "wal-00000001.seg"
+        self._write_segment(path, [{"kind": "hello", "seq": 1}])
+        with open(path, "ab") as fh:
+            fh.write(b"\x05")  # 1 byte of a next header
+        result = read_segment(path)
+        assert result.torn and [r["seq"] for r in result.records] == [1]
+
+    def test_mid_segment_crc_mismatch_skipped(self, tmp_path):
+        path = tmp_path / "wal-00000001.seg"
+        records = [dict(measurement_record(i), seq=i + 1) for i in range(3)]
+        self._write_segment(path, records)
+        data = bytearray(path.read_bytes())
+        # Flip a payload byte of the *middle* frame without touching framing.
+        offset = len(SEGMENT_MAGIC) + len(encode_frame(records[0])) + HEADER.size + 4
+        data[offset] ^= 0xFF
+        path.write_bytes(bytes(data))
+        result = read_segment(path)
+        assert result.n_corrupt == 1
+        assert [r["seq"] for r in result.records] == [1, 3]
+        assert not result.torn
+
+    def test_implausible_length_abandons_segment(self, tmp_path):
+        path = tmp_path / "wal-00000001.seg"
+        self._write_segment(path, [{"kind": "hello", "seq": 1}])
+        with open(path, "ab") as fh:
+            fh.write(HEADER.pack(MAX_RECORD_BYTES + 1, 0) + b"garbage")
+        result = read_segment(path)
+        assert result.n_corrupt == 1
+        assert [r["seq"] for r in result.records] == [1]
+
+    def test_payload_without_seq_or_kind_counted(self, tmp_path):
+        path = tmp_path / "wal-00000001.seg"
+        self._write_segment(path, [{"kind": "hello"}, {"seq": 2}, [1, 2, 3]])
+        result = read_segment(path)
+        assert result.records == []
+        assert result.n_corrupt == 3
+
+
+# ----------------------------------------------------------------------
+# WriteAheadLog
+# ----------------------------------------------------------------------
+
+
+class TestWriteAheadLog:
+    def test_append_stamps_monotone_seq_without_mutating_caller(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        record = {"kind": "hello", "client_id": 1, "site": "US"}
+        assert wal.append(record) == 1
+        assert wal.append(record) == 2
+        assert "seq" not in record
+        wal.close()
+        result = read_wal(tmp_path)
+        assert [r["seq"] for r in result.records] == [1, 2]
+
+    def test_rotation_by_record_count(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, max_segment_records=3)
+        for i in range(7):
+            wal.append(measurement_record(i))
+        assert len(wal.sealed_segments()) == 2
+        assert [s.n_records for s in wal.sealed_segments()] == [3, 3]
+        wal.close()
+        assert len(wal.sealed_segments()) == 3
+
+    def test_rotation_by_size(self, tmp_path):
+        frame_len = len(encode_frame(dict(measurement_record(0), seq=1)))
+        wal = WriteAheadLog(tmp_path, max_segment_bytes=2 * frame_len)
+        for i in range(6):
+            wal.append(measurement_record(i))
+        wal.close()
+        assert len(wal.sealed_segments()) >= 3
+
+    def test_rotation_by_age_with_injected_clock(self, tmp_path):
+        now = [0.0]
+        wal = WriteAheadLog(tmp_path, max_segment_age_s=10.0, clock=lambda: now[0])
+        wal.append({"kind": "hello"})
+        wal.append({"kind": "hello"})
+        assert len(wal.sealed_segments()) == 0
+        now[0] = 11.0
+        wal.append({"kind": "hello"})  # age check runs after this append
+        assert len(wal.sealed_segments()) == 1
+        wal.close()
+
+    def test_reopen_resumes_seq_and_never_appends_to_old_files(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        for i in range(5):
+            wal.append(measurement_record(i))
+        wal.close()
+        first_paths = set(p.name for p in tmp_path.glob("wal-*.seg"))
+
+        wal2 = WriteAheadLog(tmp_path)
+        assert wal2.last_seq == 5
+        assert wal2.append({"kind": "hello"}) == 6
+        wal2.close()
+        new_paths = set(p.name for p in tmp_path.glob("wal-*.seg")) - first_paths
+        assert len(new_paths) == 1  # a fresh segment, old ones untouched
+        result = read_wal(tmp_path)
+        assert [r["seq"] for r in result.records] == [1, 2, 3, 4, 5, 6]
+
+    def test_reopen_after_torn_tail_keeps_writing(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        for i in range(3):
+            wal.append(measurement_record(i))
+        wal.close()
+        seg = wal.sealed_segments()[0].path
+        seg.write_bytes(seg.read_bytes()[:-5])
+
+        wal2 = WriteAheadLog(tmp_path)
+        assert wal2.last_seq == 2  # record 3 was torn away
+        assert wal2.append({"kind": "hello"}) == 3
+        wal2.close()
+
+    def test_fsync_always_counts_one_per_append(self, tmp_path):
+        registry = MetricsRegistry()
+        wal = WriteAheadLog(tmp_path, fsync="always", registry=registry)
+        for i in range(5):
+            wal.append({"kind": "hello"})
+        assert registry.get("via_store_fsyncs_total").value == 5
+        wal.close()
+
+    def test_fsync_batch_counts_every_n(self, tmp_path):
+        registry = MetricsRegistry()
+        wal = WriteAheadLog(tmp_path, fsync="batch", batch_every=4, registry=registry)
+        for i in range(9):
+            wal.append({"kind": "hello"})
+        assert registry.get("via_store_fsyncs_total").value == 2
+        wal.close()  # flushes the final pending record
+        assert registry.get("via_store_fsyncs_total").value == 3
+
+    def test_fsync_off_never_syncs(self, tmp_path):
+        registry = MetricsRegistry()
+        wal = WriteAheadLog(tmp_path, fsync="off", registry=registry)
+        for i in range(10):
+            wal.append({"kind": "hello"})
+        wal.close()
+        assert registry.get("via_store_fsyncs_total").value == 0
+        # Unbuffered writes mean the records are still readable.
+        assert len(read_wal(tmp_path).records) == 10
+
+    def test_rejects_unknown_fsync_policy(self, tmp_path):
+        with pytest.raises(ValueError):
+            WriteAheadLog(tmp_path, fsync="sometimes")
+
+    def test_rotate_empty_active_leaves_no_file(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        wal.append({"kind": "hello"})
+        wal.rotate()
+        wal.rotate()  # nothing appended since: no new file should appear
+        wal.close()
+        assert len(list(tmp_path.glob("wal-*.seg"))) == 1
+
+    def test_truncate_through_deletes_only_covered_segments(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, max_segment_records=2)
+        for i in range(7):  # segments: [1,2] [3,4] [5,6] + active [7]
+            wal.append(measurement_record(i))
+        assert wal.truncate_through(4) == 2
+        wal.close()
+        result = read_wal(tmp_path)
+        assert [r["seq"] for r in result.records] == [5, 6, 7]
+
+    def test_metrics_appends_and_segments(self, tmp_path):
+        registry = MetricsRegistry()
+        wal = WriteAheadLog(tmp_path, max_segment_records=2, registry=registry)
+        for i in range(4):
+            wal.append(measurement_record(i))
+        wal.append({"kind": "hello"})
+        appended = registry.get("via_store_records_appended_total")
+        assert appended.value_for(kind="measurement") == 4
+        assert appended.value_for(kind="hello") == 1
+        assert registry.get("via_store_segments").value == 3  # 2 sealed + active
+        assert registry.get("via_store_bytes_appended_total").value > 0
+        wal.close()
+
+    def test_read_wal_after_seq(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, max_segment_records=2)
+        for i in range(6):
+            wal.append(measurement_record(i))
+        wal.close()
+        result = read_wal(tmp_path, after_seq=4)
+        assert [r["seq"] for r in result.records] == [5, 6]
+        assert result.n_segments == 3
+
+
+# ----------------------------------------------------------------------
+# Compaction
+# ----------------------------------------------------------------------
+
+
+class TestCompaction:
+    def test_fold_matches_live_history(self, tmp_path):
+        """Archive aggregates equal a CallHistory fed the same calls."""
+        wal = WriteAheadLog(tmp_path / "wal", max_segment_records=5)
+        expected = CallHistory(window_hours=24.0)
+        keyer = PairKeyer("as")
+        for i in range(20):
+            record = measurement_record(i, src=1 + i % 3, dst=10)
+            wal.append(record)
+            call = Call(
+                call_id=0, t_hours=record["t_hours"],
+                src_asn=record["src_id"], dst_asn=record["dst_id"],
+                src_country=record["src_site"], dst_country=record["dst_site"],
+                src_user=record["src_id"], dst_user=record["dst_id"],
+            )
+            view = keyer.view(call)
+            expected.add(
+                view.pair_key,
+                view.normalize(RelayOption.bounce(3)),
+                record["t_hours"],
+                PathMetrics(
+                    rtt_ms=record["rtt_ms"],
+                    loss_rate=record["loss_rate"],
+                    jitter_ms=record["jitter_ms"],
+                ),
+            )
+        wal.rotate()
+
+        compactor = Compactor(tmp_path)
+        result = compactor.compact(wal)
+        wal.close()
+        assert result.n_measurements == 20
+        assert result.n_corrupt == 0
+        assert history_to_dict(compactor.load_history()) == history_to_dict(expected)
+
+    def test_compaction_is_cumulative_across_passes(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal")
+        for i in range(4):
+            wal.append(measurement_record(i))
+        wal.rotate()
+        compactor = Compactor(tmp_path)
+        compactor.compact(wal)
+        for i in range(4, 7):
+            wal.append(measurement_record(i))
+        wal.rotate()
+        result = compactor.compact(wal)
+        wal.close()
+        assert result.n_measurements == 3
+        assert compactor.load_history().total_calls() == 7
+
+    def test_only_cover_seq_segments_folded(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal", max_segment_records=2)
+        for i in range(6):  # sealed: [1,2] [3,4] [5,6]
+            wal.append(measurement_record(i))
+        wal.rotate()
+        compactor = Compactor(tmp_path)
+        result = compactor.compact(wal, cover_seq=4)
+        assert result.n_segments == 2
+        assert result.n_measurements == 4
+        # Uncovered records survive on disk for recovery.
+        remaining = read_wal(tmp_path / "wal")
+        assert [r["seq"] for r in remaining.records] == [5, 6]
+        wal.close()
+
+    def test_retention_prunes_old_windows(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal")
+        for day in range(6):
+            record = measurement_record(0)
+            record["t_hours"] = day * 24.0 + 1.0
+            wal.append(record)
+        wal.rotate()
+        compactor = Compactor(tmp_path, retention_windows=2)
+        result = compactor.compact(wal)
+        wal.close()
+        assert result.n_windows_pruned == 4
+        assert compactor.load_history().windows() == [4, 5]
+
+    def test_non_measurement_records_skipped_not_corrupt(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal")
+        wal.append({"kind": "hello", "client_id": 1, "site": "US"})
+        wal.append({"kind": "request", "src_id": 1, "dst_id": 2, "t_hours": 0.1,
+                    "options": []})
+        wal.append(measurement_record(0))
+        wal.rotate()
+        result = Compactor(tmp_path).compact(wal)
+        wal.close()
+        assert result.n_skipped == 2
+        assert result.n_measurements == 1
+        assert result.n_corrupt == 0
+
+    def test_unparseable_measurement_counted_corrupt(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal")
+        bad = measurement_record(0)
+        bad["option"] = {"kind": "warp-drive"}
+        wal.append(bad)
+        wal.rotate()
+        registry = MetricsRegistry()
+        result = Compactor(tmp_path, registry=registry).compact(wal)
+        wal.close()
+        assert result.n_corrupt == 1
+        errors = registry.get("via_store_read_errors_total")
+        assert errors.value_for(reader="compaction") == 1
+
+    def test_corrupt_archive_raises(self, tmp_path):
+        compactor = Compactor(tmp_path)
+        compactor.compacted_path.write_text('{"format": "something-else"}')
+        with pytest.raises(ValueError):
+            compactor.load_history()
+
+    def test_archive_format_field(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal")
+        wal.append(measurement_record(0))
+        wal.rotate()
+        Compactor(tmp_path).compact(wal)
+        wal.close()
+        payload = json.loads((tmp_path / "compacted.json").read_text())
+        assert payload["format"] == COMPACTED_FORMAT
+        assert payload["n_calls"] == 1
+
+
+# ----------------------------------------------------------------------
+# Store facade
+# ----------------------------------------------------------------------
+
+
+class TestStoreConfig:
+    def test_defaults_valid(self):
+        StoreConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"fsync": "never"},
+            {"snapshot_every_records": -1},
+            {"window_hours": 0.0},
+            {"retention_windows": 0},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            StoreConfig(**kwargs)
+
+
+class TestStore:
+    def test_layout_under_one_root(self, tmp_path):
+        store = Store(tmp_path / "s")
+        store.log_hello(1, "US")
+        store.snapshot(FakeSource(1))
+        store.close()
+        assert (tmp_path / "s" / "wal").is_dir()
+        assert (tmp_path / "s" / "snapshot.json").exists()
+        assert (tmp_path / "s" / "compacted.json").exists()
+
+    def test_snapshot_truncates_covered_log(self, tmp_path):
+        store = Store(tmp_path, StoreConfig(max_segment_records=4))
+        for i in range(10):
+            store.log_measurement(1, 2, 0.1 + i * 0.01,
+                                  option_to_dict(RelayOption.bounce(3)),
+                                  100.0, 0.01, 5.0)
+        store.snapshot(FakeSource(10))
+        assert store.records_after(store.snapshot_seq()).records == []
+        store.log_hello(5, "IN")
+        tail = store.records_after(store.snapshot_seq())
+        assert [r["seq"] for r in tail.records] == [11]
+        assert store.compactor.load_history().total_calls() == 10
+        store.close()
+
+    def test_snapshot_roundtrip_payload(self, tmp_path):
+        store = Store(tmp_path)
+        store.log_hello(1, "US")
+        store.snapshot(FakeSource(42))
+        payload, seq = store.read_snapshot()
+        assert payload["controller"] == {"n": 42}
+        assert seq == 1
+        store.close()
+
+    def test_corrupt_snapshot_raises_on_read_and_zero_seq(self, tmp_path):
+        store = Store(tmp_path)
+        store.snapshot_path.write_text("{ not json")
+        with pytest.raises(json.JSONDecodeError):
+            store.read_snapshot()
+        assert store.snapshot_seq() == 0
+        store.close()
+
+    def test_should_snapshot_threshold(self, tmp_path):
+        store = Store(tmp_path, StoreConfig(snapshot_every_records=3))
+        assert not store.should_snapshot()
+        for _ in range(3):
+            store.log_hello(1, "US")
+        assert store.should_snapshot()
+        store.snapshot(FakeSource())
+        assert not store.should_snapshot()
+        store.close()
+
+    def test_reopen_after_full_compaction_resumes_seq_past_snapshot(self, tmp_path):
+        """A clean shutdown folds every segment away; the reopened store
+        must keep numbering past the snapshot's seq, or new records would
+        hide below the recovery horizon."""
+        store = Store(tmp_path)
+        for _ in range(5):
+            store.log_hello(1, "US")
+        store.snapshot(FakeSource())  # covers seq 5, deletes all segments
+        store.close()
+        assert list((tmp_path / "wal").glob("wal-*.seg")) == []
+
+        reopened = Store(tmp_path)
+        assert reopened.wal.last_seq == 5
+        seq = reopened.log_hello(2, "GB")
+        assert seq == 6
+        tail = reopened.records_after(reopened.snapshot_seq())
+        assert [r["seq"] for r in tail.records] == [6]
+        reopened.close()
+
+    def test_reopen_counts_unsnapshotted_backlog(self, tmp_path):
+        store = Store(tmp_path, StoreConfig(snapshot_every_records=3))
+        for _ in range(5):
+            store.log_hello(1, "US")
+        store.close()
+        reopened = Store(tmp_path, StoreConfig(snapshot_every_records=3))
+        assert reopened.should_snapshot()
+        reopened.close()
+
+    def test_compact_without_snapshot_is_noop(self, tmp_path):
+        store = Store(tmp_path, StoreConfig(max_segment_records=2))
+        for i in range(6):
+            store.log_hello(1, "US")
+        result = store.compact()
+        assert result.n_segments == 0
+        assert len(store.records_after(0).records) == 6
+        store.close()
+
+    def test_snapshot_metric(self, tmp_path):
+        registry = MetricsRegistry()
+        store = Store(tmp_path, registry=registry)
+        store.log_hello(1, "US")
+        store.snapshot(FakeSource())
+        assert registry.get("via_store_snapshots_total").value == 1
+        store.close()
+
+
+class TestAtomicWrite:
+    def test_replaces_existing_content(self, tmp_path):
+        target = tmp_path / "out.json"
+        target.write_text("old")
+        atomic_write_bytes(target, b"new")
+        assert target.read_bytes() == b"new"
+        assert list(tmp_path.iterdir()) == [target]  # no tmp file left behind
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+
+class TestStoreCli:
+    def _build_store(self, root, n=10):
+        store = Store(root, StoreConfig(max_segment_records=4))
+        for i in range(n):
+            store.log_measurement(1, 2, 0.1 + i * 0.01,
+                                  option_to_dict(RelayOption.bounce(3)),
+                                  100.0, 0.01, 5.0, src_site="US", dst_site="GB")
+        store.close()
+        return store
+
+    def test_inspect(self, tmp_path, capsys):
+        self._build_store(tmp_path)
+        assert main(["store", "inspect", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "wal-00000001.seg" in out
+        assert "snapshot" in out
+
+    def test_verify_clean_store(self, tmp_path, capsys):
+        self._build_store(tmp_path)
+        assert main(["store", "verify", str(tmp_path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_verify_flags_corruption(self, tmp_path, capsys):
+        self._build_store(tmp_path)
+        seg = sorted((tmp_path / "wal").glob("wal-*.seg"))[0]
+        data = bytearray(seg.read_bytes())
+        data[len(SEGMENT_MAGIC) + HEADER.size + 4] ^= 0xFF
+        seg.write_bytes(bytes(data))
+        assert main(["store", "verify", str(tmp_path)]) == 1
+        assert "DAMAGED" in capsys.readouterr().out
+
+    def test_verify_flags_corrupt_snapshot(self, tmp_path, capsys):
+        self._build_store(tmp_path)
+        (tmp_path / "snapshot.json").write_text("{ nope")
+        assert main(["store", "verify", str(tmp_path)]) == 1
+
+    def test_compact_subcommand(self, tmp_path, capsys):
+        store = Store(tmp_path, StoreConfig(max_segment_records=4))
+        for i in range(10):
+            store.log_measurement(1, 2, 0.1 + i * 0.01,
+                                  option_to_dict(RelayOption.bounce(3)),
+                                  100.0, 0.01, 5.0)
+        # Snapshot but keep segments: bypass the facade's auto-compaction
+        # by writing the snapshot file directly, so the CLI has work to do.
+        from repro.store import SNAPSHOT_FORMAT
+
+        (tmp_path / "snapshot.json").write_text(json.dumps({
+            "format": SNAPSHOT_FORMAT,
+            "last_seq": store.wal.last_seq,
+            "controller": {},
+        }))
+        store.close()
+        assert main(["store", "compact", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "segments folded" in out
+        archive = json.loads((tmp_path / "compacted.json").read_text())
+        assert archive["n_calls"] == 10
+
+    def test_missing_dir_is_usage_error(self, tmp_path, capsys):
+        assert main(["store", "inspect", str(tmp_path / "nope")]) == 2
+        assert "error" in capsys.readouterr().err
