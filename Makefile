@@ -4,13 +4,13 @@ PYTHON ?= python
 # Worker processes for parallel-capable benchmarks: make bench WORKERS=4
 WORKERS ?= 1
 
-.PHONY: install test test-faults test-parallel test-store docs-check bench examples quick-bench all clean
+.PHONY: install test test-faults test-parallel test-store test-verify check docs-check bench examples quick-bench all clean
 
 install:
 	pip install -e .
 
 test: docs-check test-parallel test-store
-	$(PYTHON) -m pytest tests/
+	PYTHONPATH=src $(PYTHON) -m pytest tests/
 
 # Documentation referential integrity: fail on dangling repro.* symbol
 # refs, file paths, markdown links or pytest node ids in the docs.
@@ -19,17 +19,29 @@ docs-check:
 
 # Fault-injection and resilience suite only (chaos mode, outages, recovery).
 test-faults:
-	$(PYTHON) -m pytest tests/ -m faults
+	PYTHONPATH=src $(PYTHON) -m pytest tests/ -m faults
 
 # Serial-vs-parallel replay equivalence suite, forced through real worker
 # processes (REPRO_TEST_WORKERS=2 makes the pool path non-optional).
 test-parallel:
-	REPRO_TEST_WORKERS=2 $(PYTHON) -m pytest tests/test_parallel.py
+	REPRO_TEST_WORKERS=2 PYTHONPATH=src $(PYTHON) -m pytest tests/test_parallel.py
 
 # Durable storage plane: WAL framing/rotation, compaction, and the
 # crash-recovery equivalence contract (snapshot + WAL-tail replay).
 test-store:
-	$(PYTHON) -m pytest tests/test_store.py tests/test_store_recovery.py
+	PYTHONPATH=src $(PYTHON) -m pytest tests/test_store.py tests/test_store_recovery.py
+
+# Conformance verification plane: the verify-marked unit tests plus the
+# acceptance-sized `repro verify` run (differential + crash sweep +
+# lifecycle state machine), reproducible from the printed seed.
+test-verify:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/test_verify.py tests/test_verify_statemachine.py
+	PYTHONPATH=src $(PYTHON) -m repro verify --budget full
+
+# One-shot CI gate: docs integrity, the tier-1 suite, and a small-budget
+# verification run with a line-coverage floor on the verify plane itself.
+check:
+	PYTHONPATH=src $(PYTHON) scripts/ci_check.py
 
 bench:
 	REPRO_BENCH_WORKERS=$(WORKERS) $(PYTHON) -m pytest benchmarks/ --benchmark-only

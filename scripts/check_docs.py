@@ -43,6 +43,7 @@ DOC_FILES = (
     "docs/observability.md",
     "docs/parallel.md",
     "docs/persistence.md",
+    "docs/verification.md",
 )
 
 #: ``repro.foo.Bar`` style dotted references (call parens already stripped).

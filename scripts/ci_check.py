@@ -1,0 +1,155 @@
+"""One-shot CI gate (``make check``): docs, tests, and verified verification.
+
+Runs, in order, failing fast:
+
+1. ``scripts/check_docs.py`` — documentation referential integrity;
+2. the tier-1 test suite (``pytest tests/``) under the ``ci`` hypothesis
+   profile;
+3. a small-budget :func:`repro.verify.runner.run_verify` executed under
+   the stdlib :mod:`trace` module, asserting both that the run passes
+   *and* that it actually exercises the verification plane: aggregate
+   line coverage over ``src/repro/verify/`` must clear
+   :data:`COVERAGE_FLOOR`.  A verification gate whose own code stops
+   running is worse than none — it green-lights silently.
+
+The coverage leg uses :mod:`trace` (stdlib) rather than ``coverage.py``
+deliberately: the reproduction environment is offline and must not grow
+dependencies.  Denominators come from each file's compiled code objects
+(``co_lines``), so docstrings and blank lines don't dilute the ratio.
+
+    PYTHONPATH=src python scripts/ci_check.py
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import tempfile
+import trace
+import types
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+VERIFY_SRC = REPO_ROOT / "src" / "repro" / "verify"
+
+#: Minimum fraction of executable lines in ``src/repro/verify`` that the
+#: small-budget run must execute.  Error/failure branches legitimately
+#: stay cold on a passing run; everything else must be warm.
+COVERAGE_FLOOR = 0.65
+
+
+def _run(step: str, argv: list[str], env: dict[str, str]) -> bool:
+    print(f"== {step}: {' '.join(argv)}", flush=True)
+    result = subprocess.run(argv, cwd=REPO_ROOT, env=env)
+    if result.returncode != 0:
+        print(f"ci-check: FAILED at {step} (exit {result.returncode})")
+        return False
+    return True
+
+
+def _executable_lines(path: Path) -> set[int]:
+    """Line numbers the compiler says can execute in ``path``."""
+    code = compile(path.read_text(encoding="utf-8"), str(path), "exec")
+    lines: set[int] = set()
+    stack = [code]
+    while stack:
+        obj = stack.pop()
+        for _start, _end, lineno in obj.co_lines():
+            if lineno is not None:
+                lines.add(lineno)
+        stack.extend(c for c in obj.co_consts if isinstance(c, types.CodeType))
+    return lines
+
+
+def _verify_with_coverage() -> bool:
+    print("== verify: small-budget run_verify under stdlib trace", flush=True)
+
+    def traced(tmp: Path):
+        # Imports happen *inside* the traced call so the plane's
+        # module-level lines (defs, dataclass fields) count as executed;
+        # nothing under repro.verify may be imported before this point.
+        from repro.obs.metrics import MetricsRegistry
+        from repro.verify import VerifyBudget, run_verify
+
+        budget = VerifyBudget(
+            differential_streams=2,
+            differential_steps=120,
+            crash_rounds=4,
+            corrupt_samples=16,
+            statemachine_examples=3,
+            statemachine_steps=15,
+            seed=0,
+        )
+        return run_verify(
+            budget,
+            workdir=tmp / "work",
+            registry=MetricsRegistry(),
+            artifacts_dir=tmp / "artifacts",
+        )
+
+    assert not any(name.startswith("repro.verify") for name in sys.modules), (
+        "repro.verify imported before the coverage tracer started"
+    )
+    # trace._Ignore caches its per-module ignore decision keyed on the
+    # *basename* (`_modname`), so once any site-packages `__init__.py` or
+    # `runner.py` is ignored, ours would be too.  Key the cache on the
+    # full path instead; results().counts is unaffected.
+    trace._modname = lambda path: path
+    tracer = trace.Trace(
+        count=1, trace=0, ignoredirs=[sys.prefix, sys.exec_prefix]
+    )
+    with tempfile.TemporaryDirectory(prefix="ci-check-") as tmp:
+        report = tracer.runfunc(traced, Path(tmp))
+    print(report.summary())
+    if not report.ok or report.truncated:
+        print("ci-check: FAILED at verify (run did not pass cleanly)")
+        return False
+
+    executed: dict[str, set[int]] = {}
+    for (filename, lineno), hits in tracer.results().counts.items():
+        if hits > 0:
+            executed.setdefault(os.path.abspath(filename), set()).add(lineno)
+    total_lines = 0
+    total_hit = 0
+    print(f"coverage of {VERIFY_SRC.relative_to(REPO_ROOT)}:")
+    for path in sorted(VERIFY_SRC.glob("*.py")):
+        lines = _executable_lines(path)
+        hit = lines & executed.get(str(path.resolve()), set())
+        total_lines += len(lines)
+        total_hit += len(hit)
+        print(f"  {path.name:<18} {len(hit):>4}/{len(lines):<4} "
+              f"({len(hit) / max(1, len(lines)):.0%})")
+    ratio = total_hit / max(1, total_lines)
+    print(f"  {'TOTAL':<18} {total_hit:>4}/{total_lines:<4} ({ratio:.0%}) "
+          f"[floor {COVERAGE_FLOOR:.0%}]")
+    if ratio < COVERAGE_FLOOR:
+        print("ci-check: FAILED at verify-coverage "
+              f"({ratio:.1%} < {COVERAGE_FLOOR:.0%}: the gate is not "
+              "actually exercising the verification plane)")
+        return False
+    return True
+
+
+def main() -> int:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    env.setdefault("REPRO_HYPOTHESIS_PROFILE", "ci")
+    steps = (
+        ("docs-check", [sys.executable, "scripts/check_docs.py"]),
+        ("tier-1 tests", [sys.executable, "-m", "pytest", "tests/"]),
+    )
+    for step, argv in steps:
+        if not _run(step, argv, env):
+            return 1
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    if not _verify_with_coverage():
+        return 1
+    print("ci-check: OK (docs, tier-1, verify + coverage floor)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

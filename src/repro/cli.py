@@ -7,6 +7,8 @@ Subcommands:
 * ``testbed``  -- run the §5.5 asyncio controller/client deployment.
 * ``quality``  -- E-model MOS / poor-call probability for a metric triple.
 * ``store``    -- inspect / verify / compact a controller's durable store.
+* ``verify``   -- run the conformance verification plane (oracle
+  differential, WAL crash-point sweep, lifecycle fuzz).
 
 Examples::
 
@@ -15,6 +17,7 @@ Examples::
     python -m repro testbed --pairs 18 --via-rounds 30
     python -m repro quality --rtt 320 --loss 0.012 --jitter 12
     python -m repro store verify /var/lib/via/store
+    python -m repro verify --budget full --seed 0
 """
 
 from __future__ import annotations
@@ -88,6 +91,26 @@ def build_parser() -> argparse.ArgumentParser:
     store.add_argument("dir", help="store root directory (the controller's store_dir)")
     store.add_argument("--retention-windows", type=int, default=8,
                        help="archive windows kept when compacting")
+
+    verify = sub.add_parser(
+        "verify", help="run the conformance verification plane"
+    )
+    verify.add_argument("--budget", choices=("small", "full"), default="small",
+                        help="preset check volume (small: quick gate; "
+                             "full: acceptance-sized sweep)")
+    verify.add_argument("--seed", type=int, default=0,
+                        help="master seed; reproduces a failure artifact")
+    verify.add_argument("--streams", type=int, default=None,
+                        help="override: differential call streams")
+    verify.add_argument("--steps", type=int, default=None,
+                        help="override: policy steps per differential stream")
+    verify.add_argument("--crash-rounds", type=int, default=None,
+                        help="override: rounds in the crash-sweep workload")
+    verify.add_argument("--time-budget", type=float, default=None,
+                        help="wall-clock cap in seconds (legs past the cap "
+                             "are skipped and reported as truncated)")
+    verify.add_argument("--artifacts-dir", default=".verify-failures",
+                        help="where failure artifacts are written")
 
     return parser
 
@@ -347,12 +370,36 @@ def _cmd_store(args: argparse.Namespace) -> int:
     return 1 if damaged else 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from repro.verify import VerifyBudget, run_verify
+
+    preset = VerifyBudget.full if args.budget == "full" else VerifyBudget.small
+    budget = preset(seed=args.seed)
+    overrides = {}
+    if args.streams is not None:
+        overrides["differential_streams"] = args.streams
+    if args.steps is not None:
+        overrides["differential_steps"] = args.steps
+    if args.crash_rounds is not None:
+        overrides["crash_rounds"] = args.crash_rounds
+    if args.time_budget is not None:
+        overrides["time_budget_s"] = args.time_budget
+    if overrides:
+        budget = dataclasses.replace(budget, **overrides)
+    report = run_verify(budget, artifacts_dir=args.artifacts_dir)
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "trace": _cmd_trace,
     "testbed": _cmd_testbed,
     "quality": _cmd_quality,
     "store": _cmd_store,
+    "verify": _cmd_verify,
 }
 
 

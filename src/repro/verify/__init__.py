@@ -1,0 +1,67 @@
+"""Conformance verification plane: oracles, fuzzing, differential testing.
+
+The repo's headline guarantees are *equivalence claims* -- the pruned and
+bandit-driven fast paths must match Algorithms 2/3 of the paper, a
+recovered controller must match its uninterrupted twin, path-stitching
+must match Figure 11.  This package turns those claims into automated,
+seed-reproducible checks:
+
+* :mod:`repro.verify.oracles` -- straightforward, obviously-correct
+  reference implementations of dynamic top-k pruning (Algorithm 2),
+  modified UCB1 (Algorithm 3, including the top-k-mean normalisation),
+  and Figure-11 path stitching;
+* :mod:`repro.verify.differential` -- replays randomized call streams
+  through an oracle policy and the production
+  :class:`~repro.core.policy.ViaPolicy` side by side, reporting the
+  first divergence with full state context;
+* :mod:`repro.verify.crashpoints` -- truncates or corrupts a recorded
+  write-ahead log at every byte boundary and asserts
+  :func:`repro.store.recovery.recover` never raises and never
+  resurrects unlogged state;
+* :mod:`repro.verify.statemachine` -- a hypothesis rule-based state
+  machine over the full controller lifecycle (hello / measurement /
+  request / snapshot / crash / recover / compact / outage) whose
+  invariants are the existing equivalence contracts;
+* :mod:`repro.verify.runner` -- the time-boxed fuzz budget behind
+  ``repro verify`` and ``make test-verify``, with failure artifacts
+  under ``.verify-failures/`` and ``via_verify_*`` metrics.
+"""
+
+from repro.verify.crashpoints import (
+    CrashSweepReport,
+    RecordedLog,
+    crash_point_sweep,
+    record_workload,
+)
+from repro.verify.differential import (
+    DifferentialReport,
+    DivergenceError,
+    OracleViaPolicy,
+    random_config,
+    run_differential,
+)
+from repro.verify.oracles import (
+    OracleBandit,
+    oracle_dynamic_top_k,
+    oracle_stitch,
+    oracle_topk_normalizer,
+)
+from repro.verify.runner import VerifyBudget, VerifyReport, run_verify
+
+__all__ = [
+    "CrashSweepReport",
+    "DifferentialReport",
+    "DivergenceError",
+    "OracleBandit",
+    "OracleViaPolicy",
+    "RecordedLog",
+    "VerifyBudget",
+    "VerifyReport",
+    "crash_point_sweep",
+    "oracle_dynamic_top_k",
+    "oracle_stitch",
+    "oracle_topk_normalizer",
+    "random_config",
+    "record_workload",
+    "run_verify",
+]

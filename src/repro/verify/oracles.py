@@ -1,0 +1,237 @@
+"""Reference implementations of the paper's algorithms, for conformance.
+
+These are the *specs*, written to be obviously correct rather than fast:
+plain loops, explicit quantifiers, no incremental state, no numpy beyond
+what the inputs force.  The production implementations in
+:mod:`repro.core.topk`, :mod:`repro.core.bandit` and
+:mod:`repro.core.tomography` are checked against them by the unit tests
+in ``tests/test_verify.py`` and by the differential harness
+(:mod:`repro.verify.differential`).
+
+A mismatch between an oracle and production is *always* a bug in one of
+the two -- the oracles deliberately restate the paper's definitions
+(§4.4-§4.5, Figure 11), so they should only ever change when the paper
+reading changes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Callable, Hashable
+
+import numpy as np
+
+from repro.core.predictor import Prediction
+from repro.netmodel.metrics import PathMetrics, linear_to_loss, loss_to_linear
+from repro.netmodel.options import OptionKind, RelayOption
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.costs import CostModel
+
+__all__ = [
+    "OracleBandit",
+    "oracle_dynamic_top_k",
+    "oracle_stitch",
+    "oracle_topk_normalizer",
+]
+
+
+def oracle_dynamic_top_k(
+    predictions: dict[RelayOption, Prediction],
+    cost_model: "CostModel",
+    *,
+    max_k: int | None = None,
+) -> list[RelayOption]:
+    """Algorithm 2, as a literal restatement of its definition.
+
+    The top-k set is the *minimal* prefix S of the options ranked by
+    ascending lower confidence bound such that every option outside S
+    has a lower bound strictly above the maximum upper bound inside S
+    -- i.e. everything excluded is, with 95% confidence, worse than
+    everything kept.  The kept set is returned best-predicted-first and
+    optionally capped at ``max_k``.
+
+    Unlike the production single-pass walk in
+    :func:`repro.core.topk.dynamic_top_k_cost`, this checks the defining
+    property with explicit quantifiers over every candidate prefix size.
+    """
+    if not predictions:
+        return []
+    ranked = sorted(
+        predictions.items(), key=lambda item: cost_model.predicted_lower(item[1])
+    )
+    n = len(ranked)
+    k = n
+    for size in range(1, n + 1):
+        max_upper = max(
+            cost_model.predicted_upper(pred) for _opt, pred in ranked[:size]
+        )
+        if all(
+            cost_model.predicted_lower(pred) > max_upper
+            for _opt, pred in ranked[size:]
+        ):
+            k = size
+            break
+    kept = [option for option, _pred in ranked[:k]]
+    kept.sort(key=lambda option: cost_model.predicted(predictions[option]))
+    if max_k is not None and len(kept) > max_k:
+        kept = kept[:max_k]
+    return kept
+
+
+def oracle_topk_normalizer(
+    arms: list[RelayOption],
+    predictions: dict[RelayOption, Prediction],
+    cost_model: "CostModel",
+) -> float:
+    """Algorithm 3's reward normaliser: mean upper bound of the top-k.
+
+    Costs are divided by the average pessimistic (95% upper) predicted
+    cost of the candidate arms, so one outlier observation cannot
+    compress the common case into indistinguishability (§4.5).  Arms
+    without a prediction contribute nothing; with no predicted arm at
+    all the normaliser is 1.0 (raw costs).
+    """
+    uppers = [
+        cost_model.predicted_upper(predictions[arm])
+        for arm in arms
+        if arm in predictions
+    ]
+    if not uppers:
+        return 1.0
+    return max(1e-9, sum(uppers) / len(uppers))
+
+
+class OracleBandit:
+    """Algorithm 3 (modified UCB1), recomputed from scratch every choice.
+
+    Matches :class:`repro.core.bandit.UCB1Explorer` decision-for-decision:
+    untried arms are played in the given (best-predicted-first) order,
+    then the arm minimising ``mean_cost / w - sqrt(coef * log T / n)`` is
+    selected, ties broken by arm order.  ``mode='via'`` uses the fixed
+    top-k-mean normaliser; ``mode='classic'`` normalises by the observed
+    cost range (the Figure 15 ablation).
+    """
+
+    def __init__(
+        self,
+        arms: list[RelayOption],
+        *,
+        normalizer: float,
+        exploration_coef: float = 0.1,
+        mode: str = "via",
+    ) -> None:
+        if not arms:
+            raise ValueError("bandit needs at least one arm")
+        if normalizer <= 0.0:
+            raise ValueError(f"normalizer must be positive: {normalizer}")
+        if mode not in ("via", "classic"):
+            raise ValueError(f"mode must be 'via' or 'classic': {mode!r}")
+        self.arms = list(arms)
+        self.mode = mode
+        self.exploration_coef = exploration_coef
+        self.normalizer = normalizer
+        self.counts: dict[RelayOption, int] = {arm: 0 for arm in arms}
+        self.cost_sums: dict[RelayOption, float] = {arm: 0.0 for arm in arms}
+        self.total_plays = 0
+        self.max_seen_cost = 0.0
+
+    def choose(self) -> RelayOption:
+        for arm in self.arms:
+            if self.counts[arm] == 0:
+                return arm
+        if self.mode == "via":
+            w = self.normalizer
+        else:
+            w = max(self.max_seen_cost, 1e-9)
+        log_t = math.log(self.total_plays + 1)
+        best = self.arms[0]
+        best_index = math.inf
+        for arm in self.arms:
+            n = self.counts[arm]
+            index = (self.cost_sums[arm] / n) / w - math.sqrt(
+                self.exploration_coef * log_t / n
+            )
+            if index < best_index:
+                best_index = index
+                best = arm
+        return best
+
+    def update(self, arm: RelayOption, cost: float) -> None:
+        if arm not in self.counts:
+            raise KeyError(f"unknown arm {arm}")
+        self.counts[arm] += 1
+        self.cost_sums[arm] += cost
+        self.total_plays += 1
+        self.max_seen_cost = max(self.max_seen_cost, cost)
+
+    def snapshot(self) -> dict[str, dict[str, float]]:
+        """Per-arm diagnostic view, shape-compatible with the production
+        :meth:`repro.core.bandit.UCB1Explorer.snapshot`."""
+        return {
+            str(arm): {
+                "count": float(self.counts[arm]),
+                "mean_cost": (
+                    self.cost_sums[arm] / self.counts[arm]
+                    if self.counts[arm]
+                    else float("nan")
+                ),
+            }
+            for arm in self.arms
+        }
+
+
+def oracle_stitch(
+    estimates: dict[tuple[Hashable, int], np.ndarray],
+    sems: dict[tuple[Hashable, int], np.ndarray],
+    inter_relay: Callable[[int, int], PathMetrics],
+    side_s: Hashable,
+    side_d: Hashable,
+    option: RelayOption,
+) -> tuple[np.ndarray, np.ndarray] | None:
+    """Figure-11 path stitching, restated with explicit per-metric sums.
+
+    Given per-(side, relay) segment estimates in the linearised metric
+    space -- (rtt_ms, -log(1-loss), jitter_ms) -- stitch a relay path:
+
+    * bounce via ``r``:       ``caller<->r  +  callee<->r``
+    * transit ``r1 -> r2``:   ``caller<->r1 + inter(r1, r2) + callee<->r2``
+
+    Loss is summed in the linear domain and converted back; the standard
+    error combines the two independent segment errors in quadrature.
+    Returns ``None`` for direct paths and when either segment is
+    unestimated, exactly like
+    :meth:`repro.core.tomography.TomographyModel.predict`.
+    """
+    if option.kind is OptionKind.DIRECT:
+        return None
+    if option.kind is OptionKind.BOUNCE:
+        relay = option.ingress
+        assert relay is not None
+        seg_s, sem_s = estimates.get((side_s, relay)), sems.get((side_s, relay))
+        seg_d, sem_d = estimates.get((side_d, relay)), sems.get((side_d, relay))
+        inter_rtt, inter_linear_loss, inter_jitter = 0.0, 0.0, 0.0
+    else:
+        assert option.ingress is not None and option.egress is not None
+        seg_s = estimates.get((side_s, option.ingress))
+        sem_s = sems.get((side_s, option.ingress))
+        seg_d = estimates.get((side_d, option.egress))
+        sem_d = sems.get((side_d, option.egress))
+        inter = inter_relay(option.ingress, option.egress)
+        inter_rtt = inter.rtt_ms
+        inter_linear_loss = loss_to_linear(inter.loss_rate)
+        inter_jitter = inter.jitter_ms
+    if seg_s is None or seg_d is None:
+        return None
+    assert sem_s is not None and sem_d is not None
+    rtt = float(seg_s[0]) + float(seg_d[0]) + inter_rtt
+    linear_loss = float(seg_s[1]) + float(seg_d[1]) + inter_linear_loss
+    jitter = float(seg_s[2]) + float(seg_d[2]) + inter_jitter
+    mean = np.array([rtt, linear_to_loss(linear_loss), jitter])
+    sem = np.array(
+        [
+            math.sqrt(float(sem_s[m]) ** 2 + float(sem_d[m]) ** 2)
+            for m in range(3)
+        ]
+    )
+    return mean, sem

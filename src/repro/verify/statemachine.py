@@ -1,0 +1,194 @@
+"""Stateful lifecycle fuzzing: a durable controller vs its storeless twin.
+
+:func:`build_controller_machine` returns a hypothesis
+``RuleBasedStateMachine`` whose rules are the controller's whole
+lifecycle -- hello, measurement, request, snapshot, crash + recover,
+compact, relay outages -- applied in lockstep to two controllers: one
+backed by a durable :class:`~repro.store.Store`, one with no store at
+all.  The invariants are the existing equivalence contracts:
+
+* every assignment reply must be identical between the two (the store is
+  an implementation detail, never a behaviour change);
+* after a crash (the WAL file handle is dropped mid-stream, a fresh
+  controller is rebuilt via :func:`repro.store.recovery.recover`), the
+  recovered controller must be state-identical to the twin that never
+  crashed -- history, bandit counts, RNG position, counters, labels;
+* snapshots and compaction may reshape the disk layout at any point in
+  the interleaving without affecting any of the above.
+
+Relay outage state is deliberately *not* durable: which relays an
+operator marked down is runtime configuration, not learned state, so the
+machine reapplies it after recovery exactly as an operator (or the fault
+plan) would.  The policy's down-relay rerouting consumes no RNG, so
+learned state stays equal either way.
+
+hypothesis is imported lazily inside the factory: the verify plane is
+importable (and the rest of its legs usable) on deployments without it.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from pathlib import Path
+
+from repro.core.policy import ViaConfig
+from repro.deployment.controller import ViaController
+from repro.deployment.protocol import MeasurementMessage, RequestMessage, encode_option
+from repro.netmodel.options import RelayOption
+from repro.store.facade import Store
+from repro.store.recovery import recover
+from repro.verify.crashpoints import _controller_fingerprint
+
+__all__ = ["MACHINE_CONFIG", "build_controller_machine"]
+
+#: Tight refresh period + hot epsilon: runs cross predictor refreshes and
+#: draw from the RNG constantly, so recovery has real state to get wrong.
+MACHINE_CONFIG = ViaConfig(
+    metric="rtt_ms", refresh_hours=1.0, epsilon=0.25, min_direct_samples=1, seed=42
+)
+
+_SITES = ("US", "GB", "IN", "SG")
+_OPTIONS = [
+    RelayOption.bounce(1),
+    RelayOption.bounce(2),
+    RelayOption.bounce(3),
+    RelayOption.transit(1, 2),
+    RelayOption.transit(2, 3),
+]
+
+
+def build_controller_machine(workdir: str | Path | None = None):
+    """The machine class, built lazily so hypothesis stays optional."""
+    import hypothesis.strategies as st
+    from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+    base_dir = Path(workdir) if workdir is not None else None
+
+    class ControllerLifecycleMachine(RuleBasedStateMachine):
+        def __init__(self) -> None:
+            super().__init__()
+            if base_dir is not None:
+                base_dir.mkdir(parents=True, exist_ok=True)
+            self.root = Path(tempfile.mkdtemp(dir=base_dir, prefix="verify-sm-"))
+            self.durable = ViaController(MACHINE_CONFIG, store=Store(self.root / "store"))
+            self.twin = ViaController(MACHINE_CONFIG)
+            self.t_hours = 0.0
+            self.down: frozenset[int] = frozenset()
+
+        def _both(self):
+            return (self.durable, self.twin)
+
+        # -- lifecycle rules ------------------------------------------
+
+        @rule(cid=st.integers(0, 3), site=st.sampled_from(_SITES))
+        def hello(self, cid: int, site: str) -> None:
+            for controller in self._both():
+                controller._count_message("hello")
+                controller._on_hello(cid, site)
+
+        @rule(
+            src=st.integers(0, 3),
+            dst=st.integers(0, 3),
+            dt=st.floats(0.0, 0.4, allow_nan=False),
+            option=st.sampled_from(_OPTIONS),
+            rtt=st.floats(1.0, 500.0, allow_nan=False),
+            loss=st.floats(0.0, 0.2, allow_nan=False),
+            jitter=st.floats(0.0, 40.0, allow_nan=False),
+        )
+        def measurement(self, src, dst, dt, option, rtt, loss, jitter) -> None:
+            if src == dst:
+                dst = (dst + 1) % 4
+            self.t_hours += dt
+            message = MeasurementMessage(
+                src_id=src,
+                dst_id=dst,
+                t_hours=self.t_hours,
+                option=encode_option(option),
+                rtt_ms=rtt,
+                loss_rate=loss,
+                jitter_ms=jitter,
+            )
+            for controller in self._both():
+                controller._count_message("measurement")
+                controller._on_measurement(message)
+
+        @rule(
+            src=st.integers(0, 3),
+            dst=st.integers(0, 3),
+            dt=st.floats(0.0, 0.4, allow_nan=False),
+        )
+        def request(self, src, dst, dt) -> None:
+            if src == dst:
+                dst = (dst + 1) % 4
+            self.t_hours += dt
+            message = RequestMessage(
+                src_id=src,
+                dst_id=dst,
+                t_hours=self.t_hours,
+                options=[encode_option(o) for o in _OPTIONS],
+            )
+            replies = []
+            for controller in self._both():
+                controller._count_message("request")
+                replies.append(controller._on_request(message))
+            assert replies[0].option == replies[1].option, (
+                f"durable and storeless controllers disagreed on a reply: "
+                f"{replies[0].option} != {replies[1].option}"
+            )
+
+        @rule(down=st.frozensets(st.integers(1, 3), max_size=2))
+        def outage(self, down: frozenset[int]) -> None:
+            self.down = down
+            for controller in self._both():
+                controller.set_down_relays(down)
+
+        # -- storage rules --------------------------------------------
+
+        @rule()
+        def snapshot(self) -> None:
+            self.durable.save_store_snapshot()
+
+        @rule()
+        def compact(self) -> None:
+            self.durable.store.compact()
+
+        @rule()
+        def crash_recover(self) -> None:
+            # Kill the process mid-stream: drop the raw WAL handle with no
+            # seal, no snapshot, no goodbye.
+            wal = self.durable.store.wal
+            if wal._fh is not None:
+                wal._fh.close()
+                wal._fh = None
+            recovered = ViaController(MACHINE_CONFIG, store=Store(self.root / "store"))
+            report = recover(recovered.store, recovered)
+            assert report.n_corrupt == 0, f"clean log reported damage: {report}"
+            assert _controller_fingerprint(recovered) == _controller_fingerprint(
+                self.twin
+            ), "recovered controller diverged from its uninterrupted twin"
+            # Outage state is operator configuration, not learned state:
+            # reapply it, as the operator's runtime config push would.
+            recovered.set_down_relays(self.down)
+            self.durable = recovered
+
+        # -- standing invariants --------------------------------------
+
+        @invariant()
+        def counters_in_lockstep(self) -> None:
+            assert self.durable.n_measurements == self.twin.n_measurements
+            assert self.durable.n_requests == self.twin.n_requests
+            assert self.durable.site_labels == self.twin.site_labels
+
+        @invariant()
+        def histories_in_lockstep(self) -> None:
+            assert (
+                self.durable.policy.history.total_calls()
+                == self.twin.policy.history.total_calls()
+            )
+
+        def teardown(self) -> None:
+            self.durable.store.close()
+            shutil.rmtree(self.root, ignore_errors=True)
+
+    return ControllerLifecycleMachine

@@ -1,12 +1,41 @@
-"""Shared fixtures: tiny deterministic worlds and traces for fast tests."""
+"""Shared fixtures: tiny deterministic worlds and traces for fast tests.
+
+Also registers the repo-wide hypothesis settings profiles so no test
+carries its own ``@settings`` tuning:
+
+* ``dev`` (default) -- 25 examples per property, the quick inner loop;
+* ``ci`` -- 150 examples, what the gate runs.
+
+Select with ``REPRO_HYPOTHESIS_PROFILE=ci pytest tests/``.  Both disable
+deadlines (CI containers stall unpredictably) and tolerate slow or
+filter-heavy strategies rather than turning throughput into failures.
+"""
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 import pytest
 
 from repro.netmodel import TopologyConfig, WorldConfig, build_world
 from repro.workload import WorkloadConfig, generate_trace
+
+try:
+    from hypothesis import HealthCheck, settings as _hyp_settings
+except ImportError:  # pragma: no cover - hypothesis-less environments
+    pass
+else:
+    _COMMON = dict(
+        deadline=None,
+        suppress_health_check=(
+            HealthCheck.too_slow,
+            HealthCheck.filter_too_much,
+        ),
+    )
+    _hyp_settings.register_profile("dev", max_examples=25, **_COMMON)
+    _hyp_settings.register_profile("ci", max_examples=150, **_COMMON)
+    _hyp_settings.load_profile(os.environ.get("REPRO_HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture(scope="session")

@@ -113,3 +113,62 @@ class TestFullReport:
         assert "PNR by strategy" in out
         assert "Relay mix" in out
         assert "±" in out
+
+
+class TestStoreCommand:
+    """`repro store inspect|verify|compact` exit-code contract:
+    0 = clean, 1 = damage found (verify), 2 = not a store directory."""
+
+    @pytest.fixture()
+    def healthy_store(self, tmp_path):
+        from repro.verify.crashpoints import record_workload
+
+        root = tmp_path / "store"
+        record_workload(root, n_rounds=6, seed=3)
+        return root
+
+    @pytest.mark.parametrize("action", ["inspect", "verify", "compact"])
+    def test_missing_directory_exits_2(self, tmp_path, action, capsys):
+        assert main(["store", action, str(tmp_path / "nope")]) == 2
+        assert "not a directory" in capsys.readouterr().err
+
+    def test_empty_directory_is_clean(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main(["store", "inspect", str(empty)]) == 0
+        assert "no WAL segments" in capsys.readouterr().out
+        assert main(["store", "verify", str(empty)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_healthy_store_verifies_clean(self, healthy_store, capsys):
+        assert main(["store", "inspect", str(healthy_store)]) == 0
+        out = capsys.readouterr().out
+        assert "wal-00000001.seg" in out
+        assert "ok" in out
+        assert main(["store", "verify", str(healthy_store)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_corrupt_frame_fails_verify_but_not_inspect(self, healthy_store, capsys):
+        from repro.store.wal import segment_paths
+
+        segment = segment_paths(healthy_store / "wal")[0]
+        data = bytearray(segment.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        segment.write_bytes(bytes(data))
+        # inspect is a read-only listing: it reports damage, exit 0.
+        assert main(["store", "inspect", str(healthy_store)]) == 0
+        capsys.readouterr()
+        assert main(["store", "verify", str(healthy_store)]) == 1
+        assert "DAMAGED" in capsys.readouterr().out
+
+    def test_corrupt_snapshot_fails_verify(self, healthy_store, capsys):
+        (healthy_store / "snapshot.json").write_text("{not json", encoding="utf-8")
+        assert main(["store", "verify", str(healthy_store)]) == 1
+        out = capsys.readouterr().out
+        assert "DAMAGED" in out and "corrupt" in out
+
+    def test_compact_then_verify_stays_clean(self, healthy_store, capsys):
+        assert main(["store", "compact", str(healthy_store)]) == 0
+        assert "Compaction" in capsys.readouterr().out
+        assert main(["store", "verify", str(healthy_store)]) == 0
+        assert "clean" in capsys.readouterr().out

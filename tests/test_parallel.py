@@ -37,6 +37,8 @@ from repro.telephony.quality import QualityModel
 from repro.workload import WorkloadConfig
 from repro.workload.trace import TraceDataset
 
+pytestmark = pytest.mark.slow
+
 #: Pool size for the fan-out side of every equivalence test.  The issue
 #: contract is workers=1 vs workers=4; ``make test-parallel`` narrows it
 #: to 2 for cheap CI containers.

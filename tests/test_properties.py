@@ -1,10 +1,14 @@
-"""Cross-cutting property-based tests on core invariants (hypothesis)."""
+"""Cross-cutting property-based tests on core invariants (hypothesis).
+
+Example budgets come from the shared profiles in ``conftest.py``
+(``REPRO_HYPOTHESIS_PROFILE=dev|ci``), not per-test ``@settings``.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
-from hypothesis import assume, given, settings, strategies as st
+from hypothesis import assume, given, strategies as st
 
 from repro.analysis.stats import binned_quantile_bands
 from repro.core.bandit import UCB1Explorer
@@ -29,7 +33,6 @@ finite_metrics = st.builds(
 
 class TestQualityInvariants:
     @given(finite_metrics, finite_metrics)
-    @settings(max_examples=200)
     def test_strictly_worse_network_never_scores_better(self, a, b):
         """If every metric of `worse` dominates `better`, MOS must not rise."""
         better = PathMetrics(
@@ -48,7 +51,6 @@ class TestQualityInvariants:
 
 class TestRunningStatInvariants:
     @given(st.lists(finite_metrics, min_size=1, max_size=40))
-    @settings(max_examples=100)
     def test_mean_within_sample_range(self, samples):
         stat = RunningStat()
         for m in samples:
@@ -59,7 +61,6 @@ class TestRunningStatInvariants:
         assert (stat.variance() >= -1e-12).all()
 
     @given(st.lists(finite_metrics, min_size=2, max_size=40))
-    @settings(max_examples=100)
     def test_sem_shrinks_with_duplicated_data(self, samples):
         """Doubling the sample (same values) must not raise the SEM."""
         stat1 = RunningStat()
@@ -81,7 +82,6 @@ class TestBanditInvariants:
         ),
         st.integers(min_value=30, max_value=80),
     )
-    @settings(max_examples=50)
     def test_deterministic_costs_converge_to_best_arm(self, costs, plays):
         # UCB can only separate arms whose normalised cost gap exceeds the
         # exploration bonus within the play budget; require that here.
@@ -99,7 +99,6 @@ class TestBanditInvariants:
         assert most_played == best
 
     @given(st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=50))
-    @settings(max_examples=50)
     def test_total_plays_accounting(self, costs):
         arm = RelayOption.bounce(0)
         bandit = UCB1Explorer([arm], normalizer=1.0)
@@ -114,7 +113,6 @@ class TestBudgetInvariants:
         st.floats(min_value=0.05, max_value=0.9),
         st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=200, max_size=600),
     )
-    @settings(max_examples=30)
     def test_hard_cap_never_materially_exceeded(self, budget, benefits):
         gate = BudgetGate(budget, aware=True, min_history=20)
         for benefit in benefits:
@@ -135,7 +133,6 @@ class TestQuantileBands:
             max_size=200,
         )
     )
-    @settings(max_examples=50)
     def test_band_quantiles_ordered(self, points):
         x = [p[0] for p in points]
         y = [p[1] for p in points]
@@ -192,7 +189,6 @@ class TestHistorySerialisationInvariants:
         return history
 
     @given(events)
-    @settings(max_examples=100)
     def test_roundtrip_through_json_is_exact(self, evts):
         import json
 
@@ -205,7 +201,6 @@ class TestHistorySerialisationInvariants:
         assert restored.total_calls() == history.total_calls()
 
     @given(events, events)
-    @settings(max_examples=50)
     def test_decode_is_transparent_to_merge(self, a, b):
         """merge(decode(encode(x)), decode(encode(y))) == merge(x, y):
         shards can round-trip through disk before the reduce step."""
@@ -216,7 +211,6 @@ class TestHistorySerialisationInvariants:
         assert history_to_dict(via_disk) == history_to_dict(direct)
 
     @given(events)
-    @settings(max_examples=50)
     def test_merge_into_empty_equals_original(self, evts):
         history = self._build(evts)
         merged = CallHistory(window_hours=24.0).merge(

@@ -29,6 +29,8 @@ from repro.store import (
 )
 from repro.telephony.call import Call
 
+pytestmark = pytest.mark.store
+
 HEADER = struct.Struct("<II")
 
 

@@ -26,6 +26,10 @@ from repro.deployment.protocol import (
 from repro.netmodel.options import RelayOption
 from repro.store import SEGMENT_MAGIC, Store, recover
 
+import pytest
+
+pytestmark = [pytest.mark.store, pytest.mark.slow]
+
 _HEADER = struct.Struct("<II")
 
 SITES = {0: "US", 1: "GB", 2: "IN", 3: "SG"}

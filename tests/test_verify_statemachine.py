@@ -1,0 +1,30 @@
+"""Stateful lifecycle fuzzing, run under pytest's collection.
+
+``make test-verify`` runs a bigger budget of the same machine through
+``repro verify``; this keeps a small always-on slice in the normal suite
+so a lifecycle regression fails ``pytest`` directly with hypothesis's
+shrunk falsifying rule sequence.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import settings  # noqa: E402
+
+from repro.verify.statemachine import build_controller_machine  # noqa: E402
+
+pytestmark = [pytest.mark.verify, pytest.mark.slow]
+
+Machine = build_controller_machine()
+
+
+class TestControllerLifecycle(Machine.TestCase):
+    settings = settings(
+        max_examples=10,
+        stateful_step_count=25,
+        deadline=None,
+        database=None,
+    )
