@@ -4,18 +4,24 @@ PYTHON ?= python
 # Worker processes for parallel-capable benchmarks: make bench WORKERS=4
 WORKERS ?= 1
 
-.PHONY: install test test-faults test-parallel test-store test-verify check docs-check bench examples quick-bench all clean
+.PHONY: install test test-async test-faults test-parallel test-store test-verify check docs-check bench bench-record examples quick-bench all clean
 
 install:
 	pip install -e .
 
-test: docs-check test-parallel test-store
+test: docs-check test-parallel test-store test-async
 	PYTHONPATH=src $(PYTHON) -m pytest tests/
 
 # Documentation referential integrity: fail on dangling repro.* symbol
 # refs, file paths, markdown links or pytest node ids in the docs.
 docs-check:
 	PYTHONPATH=src $(PYTHON) scripts/check_docs.py
+
+# Asyncio controller frontend: protocol v2 pipelining, admission ladder,
+# hostile-client hardening (slow loris, oversized lines, mid-request
+# disconnects) and the v1 back-compat conformance checks.
+test-async:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/test_async_controller.py -m asyncio
 
 # Fault-injection and resilience suite only (chaos mode, outages, recovery).
 test-faults:
@@ -45,6 +51,13 @@ check:
 
 bench:
 	REPRO_BENCH_WORKERS=$(WORKERS) $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Record the perf-trajectory baseline: runs the overload benchmark with
+# recording on, committing its summary to BENCH_deployment.json at the
+# repo root (diffable across PRs; see ROADMAP "perf trajectory").
+bench-record:
+	REPRO_BENCH_RECORD=1 PYTHONPATH=src $(PYTHON) -m pytest \
+	    benchmarks/bench_ext_overload.py --benchmark-only
 
 # A fast subset: the headline figure plus the live deployment.
 quick-bench:

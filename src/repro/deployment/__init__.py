@@ -14,14 +14,21 @@ synthetic world.
 """
 
 from repro.deployment.protocol import (
+    LATEST_PROTOCOL,
+    PROTOCOL_V1,
+    PROTOCOL_V2,
     AssignMessage,
     ByeMessage,
+    ErrorMessage,
+    HelloAckMessage,
     HelloMessage,
     MeasurementMessage,
     MetricsMessage,
     MetricsRequestMessage,
+    ProtocolError,
     RequestMessage,
     ResilienceMessage,
+    ShedMessage,
     StatsMessage,
     StatsRequestMessage,
     decode_message,
@@ -31,12 +38,28 @@ from repro.deployment.protocol import (
 )
 from repro.deployment.resilience import CircuitBreaker, ResilienceStats, RetryPolicy
 from repro.deployment.faults import FaultInjector, FaultPlan, RelayOutage
+from repro.deployment.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionDecision,
+)
+from repro.deployment.aserver import ViaServer
 from repro.deployment.controller import ViaController
-from repro.deployment.client import TestbedClient
+from repro.deployment.client import (
+    AssignmentResult,
+    AsyncViaClient,
+    ServerError,
+    ShedError,
+    TestbedClient,
+)
 from repro.deployment.testbed import TestbedConfig, TestbedReport, run_testbed
 
 __all__ = [
+    "PROTOCOL_V1",
+    "PROTOCOL_V2",
+    "LATEST_PROTOCOL",
     "HelloMessage",
+    "HelloAckMessage",
     "MeasurementMessage",
     "RequestMessage",
     "AssignMessage",
@@ -45,7 +68,10 @@ __all__ = [
     "MetricsRequestMessage",
     "MetricsMessage",
     "ResilienceMessage",
+    "ErrorMessage",
+    "ShedMessage",
     "ByeMessage",
+    "ProtocolError",
     "encode_message",
     "decode_message",
     "encode_option",
@@ -56,8 +82,16 @@ __all__ = [
     "FaultPlan",
     "FaultInjector",
     "RelayOutage",
+    "AdmissionConfig",
+    "AdmissionController",
+    "AdmissionDecision",
+    "ViaServer",
     "ViaController",
     "TestbedClient",
+    "AsyncViaClient",
+    "AssignmentResult",
+    "ServerError",
+    "ShedError",
     "TestbedConfig",
     "TestbedReport",
     "run_testbed",

@@ -4,19 +4,26 @@ Wraps a :class:`~repro.core.policy.ViaPolicy` behind the wire protocol:
 clients push per-call measurements (stage 1 of Figure 10) and query for
 relay assignments (stage 4).  One controller serves many concurrent
 clients; all policy state lives in-process, exactly like the paper's
-central controller on Azure.
+central controller on Azure.  The network face itself -- protocol
+negotiation, pipelining, the admission ladder -- lives in
+:class:`~repro.deployment.aserver.ViaServer`; this class owns the state.
 
 Robustness (§7 operational concerns):
 
 * a policy exception while handling one message is logged and isolated --
   it never kills the client's connection, and a request still gets a
   best-effort default-path reply;
+* an :class:`~repro.deployment.admission.AdmissionController` guards the
+  request path: under overload the controller degrades to cached
+  assignments, then sheds explicitly -- p99 latency stays bounded and no
+  request ever times out silently;
 * disconnected clients are dropped from the live-client set, so
   ``n_clients`` reflects reality (site labels stay sticky for call
   records);
 * an optional :class:`~repro.deployment.faults.FaultPlan` turns the
   controller into its own chaos monkey (dropped connections, delayed or
-  blackholed replies) for fault experiments;
+  blackholed replies, stalled or force-shed request windows) for fault
+  experiments;
 * learned state can be checkpointed to disk and is reloaded on start, so
   a controller crash recovers instead of relearning from scratch;
 * with a :class:`~repro.store.Store` attached, every state-changing
@@ -27,36 +34,28 @@ Robustness (§7 operational concerns):
 
 from __future__ import annotations
 
-import asyncio
 import json
 import logging
 from pathlib import Path
-from time import perf_counter
 from typing import Any
 
 from repro.core.policy import ViaConfig, ViaPolicy
+from repro.deployment.admission import AdmissionConfig, AdmissionController
+from repro.deployment.aserver import ViaServer
 from repro.deployment.faults import FaultInjector, FaultPlan
 from repro.deployment.protocol import (
     MAX_LINE_BYTES,
     AssignMessage,
-    ByeMessage,
-    HelloMessage,
     MeasurementMessage,
     MetricsMessage,
-    MetricsRequestMessage,
-    ProtocolError,
     RequestMessage,
     ResilienceMessage,
     StatsMessage,
-    StatsRequestMessage,
-    decode_message,
     decode_option,
-    encode_message,
     encode_option,
 )
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profiling import timed
-from repro.obs.tracing import trace
 from repro.store import Store, atomic_write_bytes, recover
 from repro.telephony.call import Call
 
@@ -81,7 +80,10 @@ class ViaController:
 
     ``faults`` injects controller-side chaos; ``snapshot_path`` makes
     :meth:`start` restore a previous checkpoint when one exists (write one
-    with :meth:`save_snapshot`).
+    with :meth:`save_snapshot`).  ``admission`` tunes the overload ladder
+    (the default config admits everything); ``n_workers`` sizes the
+    policy worker pool serving pipelined v2 requests; ``idle_timeout_s``
+    disconnects slow-loris/idle peers (None disables).
 
     Every controller owns a private :class:`MetricsRegistry` (pass one in
     to share): message counters and per-message-type latency histograms
@@ -114,6 +116,9 @@ class ViaController:
         snapshot_path: str | Path | None = None,
         registry: MetricsRegistry | None = None,
         store: Store | str | Path | None = None,
+        admission: AdmissionConfig | None = None,
+        n_workers: int = 4,
+        idle_timeout_s: float | None = None,
     ) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.policy = ViaPolicy(
@@ -121,14 +126,18 @@ class ViaController:
         )
         self.host = host
         self._requested_port = port
-        self._server: asyncio.Server | None = None
+        self._n_workers = n_workers
+        self._idle_timeout_s = idle_timeout_s
         self.client_sites: dict[int, str] = {}
         self.site_labels: dict[int, str] = {}
         self._call_counter = 0
         self._client_resilience: dict[int, ResilienceMessage] = {}
-        self._conn_tasks: set[asyncio.Task] = set()
-        self._conn_writers: set[asyncio.StreamWriter] = set()
+        #: Last served assignment per (src, dst): the stale-but-instant
+        #: state the degrade rung of the admission ladder answers from.
+        self._assign_cache: dict[tuple[int, int], dict[str, Any]] = {}
         self.faults = FaultInjector(faults) if faults is not None else None
+        self.admission = AdmissionController(admission, registry=self.registry)
+        self._frontend: ViaServer | None = None
         self.snapshot_path = Path(snapshot_path) if snapshot_path is not None else None
         # Durable storage plane: a path builds a Store sharing this
         # controller's registry, so one scrape shows via_store_* too.
@@ -158,7 +167,7 @@ class ViaController:
         )
         self._obs_protocol_errors = self.registry.counter(
             "via_controller_protocol_errors_total",
-            "Malformed wire lines dropped.",
+            "Malformed or oversized wire lines rejected.",
         )
         self._obs_clients = self.registry.gauge(
             "via_controller_clients",
@@ -215,7 +224,7 @@ class ViaController:
     # ------------------------------------------------------------------
 
     async def start(self) -> None:
-        if self._server is not None:
+        if self._frontend is not None:
             raise RuntimeError("controller already started")
         if self.store is not None:
             # Durable-store recovery: snapshot + WAL-tail replay.  Never
@@ -239,21 +248,23 @@ class ViaController:
                     )
                 else:
                     self._obs_snapshot_restores.labels(outcome="ok").inc()
-        self._server = await asyncio.start_server(
-            self._handle_connection, host=self.host, port=self._requested_port
+        frontend = ViaServer(
+            self,
+            self.admission,
+            host=self.host,
+            port=self._requested_port,
+            n_workers=self._n_workers,
+            idle_timeout_s=self._idle_timeout_s,
         )
+        await frontend.start()
+        self._frontend = frontend
 
     async def stop(self) -> None:
         """Stop serving and sever live connections (a crash, as clients
         see it: their next request must reconnect or fall back)."""
-        if self._server is not None:
-            self._server.close()
-            for writer in list(self._conn_writers):
-                writer.close()
-            if self._conn_tasks:
-                await asyncio.gather(*self._conn_tasks, return_exceptions=True)
-            await self._server.wait_closed()
-            self._server = None
+        if self._frontend is not None:
+            await self._frontend.stop()
+            self._frontend = None
             if self.store is not None:
                 # Clean shutdown folds the log down: final snapshot,
                 # compaction of the now-covered segments, handles closed.
@@ -273,9 +284,9 @@ class ViaController:
     @property
     def port(self) -> int:
         """The bound TCP port (after :meth:`start`)."""
-        if self._server is None:
+        if self._frontend is None:
             raise RuntimeError("controller not started")
-        return self._server.sockets[0].getsockname()[1]
+        return self._frontend.port
 
     # ------------------------------------------------------------------
     # Crash recovery: snapshot / restore
@@ -336,60 +347,8 @@ class ViaController:
         self.policy.set_down_relays(relay_ids)
 
     # ------------------------------------------------------------------
-    # Connection handling
+    # Message accounting (shared by the frontend and WAL replay)
     # ------------------------------------------------------------------
-
-    async def _handle_connection(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
-    ) -> None:
-        peer = writer.get_extra_info("peername")
-        conn_client_id: int | None = None
-        task = asyncio.current_task()
-        if task is not None:
-            self._conn_tasks.add(task)
-        self._conn_writers.add(writer)
-        try:
-            while True:
-                line = await reader.readline()
-                if not line:
-                    break
-                try:
-                    message = decode_message(line)
-                except ProtocolError as exc:
-                    self._obs_protocol_errors.inc()
-                    logger.warning("dropping bad message from %s: %s", peer, exc)
-                    continue
-                self._count_message(message.type)
-                if isinstance(message, ByeMessage):
-                    break
-                conn_client_id = self._dispatch_client_id(message, conn_client_id)
-                t0 = perf_counter()
-                with trace("handle_message", type=message.type):
-                    await self._handle_message(message, writer, peer)
-                self._msg_seconds.labels(type=message.type).observe(
-                    perf_counter() - t0
-                )
-                if self.faults is not None and self.faults.should_drop_connection():
-                    logger.info("fault injection: dropping connection to %s", peer)
-                    break
-        finally:
-            if task is not None:
-                self._conn_tasks.discard(task)
-            self._conn_writers.discard(writer)
-            if conn_client_id is not None:
-                self.client_sites.pop(conn_client_id, None)
-                self._obs_clients.set(len(self.client_sites))
-            writer.close()
-            try:
-                await writer.wait_closed()
-            except (ConnectionError, OSError):  # pragma: no cover - teardown race
-                pass
-
-    def _dispatch_client_id(self, message: Any, current: int | None) -> int | None:
-        """Track which client this connection belongs to (via hello)."""
-        if isinstance(message, HelloMessage):
-            return message.client_id
-        return current
 
     def _count_message(self, msg_type: str) -> None:
         series = self._msg_counts.get(msg_type)
@@ -405,52 +364,12 @@ class ViaController:
             )
         series.inc()
 
-    async def _handle_message(
-        self, message: Any, writer: asyncio.StreamWriter, peer: Any
-    ) -> None:
-        """Handle one decoded message; policy errors are isolated here."""
-        if isinstance(message, HelloMessage):
-            self._on_hello(message.client_id, message.site)
-        elif isinstance(message, MeasurementMessage):
-            try:
-                self._on_measurement(message)
-            except Exception:
-                self._obs_policy_errors.inc()
-                logger.exception("policy.observe failed for %s", peer)
-        elif isinstance(message, RequestMessage):
-            if self.faults is not None and self.faults.should_blackhole(message.t_hours):
-                logger.info("fault injection: blackholing request from %s", peer)
-                return
-            try:
-                reply = self._on_request(message)
-            except Exception:
-                self._obs_policy_errors.inc()
-                logger.exception("policy.assign failed for %s", peer)
-                reply = self._default_reply(message)
-            if reply is None:
-                return
-            await self._send_reply(writer, reply)
-        elif isinstance(message, StatsRequestMessage):
-            await self._send_reply(writer, self._stats())
-        elif isinstance(message, MetricsRequestMessage):
-            await self._send_reply(writer, self._metrics_reply())
-        elif isinstance(message, ResilienceMessage):
-            self._client_resilience[message.client_id] = message
-        else:  # AssignMessage arriving at the server is a client bug
-            logger.warning("unexpected %s from %s", type(message).__name__, peer)
+    def _maybe_store_snapshot(self) -> None:
         if self.store is not None and self.store.should_snapshot():
             try:
                 self.save_store_snapshot()
             except Exception:
                 logger.exception("auto-snapshot failed; WAL still covers state")
-
-    async def _send_reply(self, writer: asyncio.StreamWriter, reply: Any) -> None:
-        if self.faults is not None:
-            delay = self.faults.reply_delay_s()
-            if delay > 0.0:
-                await asyncio.sleep(delay)
-        writer.write(encode_message(reply))
-        await writer.drain()
 
     # ------------------------------------------------------------------
     # Policy bridging
@@ -482,6 +401,11 @@ class ViaController:
             self.client_sites[client_id] = site
             self._obs_clients.set(len(self.client_sites))
 
+    def _on_disconnect(self, client_id: int) -> None:
+        """Drop a client from the live set (bye or connection loss)."""
+        self.client_sites.pop(client_id, None)
+        self._obs_clients.set(len(self.client_sites))
+
     def _on_measurement(self, message: MeasurementMessage, *, log: bool = True) -> None:
         if log and self.store is not None:
             # Log-before-act: the WAL holds the record before the policy
@@ -511,7 +435,19 @@ class ViaController:
         call = self._call_from(message.src_id, message.dst_id, message.t_hours)
         options = [decode_option(o) for o in message.options]
         choice = self.policy.assign(call, options)
-        return AssignMessage(option=encode_option(choice))
+        encoded = encode_option(choice)
+        self._assign_cache[(message.src_id, message.dst_id)] = encoded
+        return AssignMessage(option=encoded)
+
+    def cached_assignment(self, message: RequestMessage) -> AssignMessage | None:
+        """The degrade rung: the pair's last assignment, if it is still
+        among the offered options.  Touches no policy state and consumes
+        no policy RNG, so degraded serving never perturbs the admitted
+        stream's determinism."""
+        cached = self._assign_cache.get((message.src_id, message.dst_id))
+        if cached is None or cached not in message.options:
+            return None
+        return AssignMessage(option=cached)
 
     # ------------------------------------------------------------------
     # Durable store bridging (WAL replay + snapshots)
@@ -567,9 +503,10 @@ class ViaController:
 
     @staticmethod
     def _default_reply(message: RequestMessage) -> AssignMessage | None:
-        """Best-effort reply when the policy blew up: the default path if
-        offered, else the first candidate; None when nothing was offered
-        (the client's own timeout/fallback machinery takes over)."""
+        """Best-effort reply when the policy blew up or the request was
+        shed for a v1 peer: the default path if offered, else the first
+        candidate; None when nothing was offered (the client's own
+        timeout/fallback machinery takes over)."""
         if not message.options:
             return None
         for option_data in message.options:
@@ -579,8 +516,9 @@ class ViaController:
 
     def metrics_text(self) -> str:
         """The controller's full Prometheus text exposition: message
-        counters, per-type latency histograms, and the policy's assign-path
-        instruments (fed while observability is enabled)."""
+        counters, per-type latency histograms, admission-plane gauges,
+        and the policy's assign-path instruments (fed while observability
+        is enabled)."""
         return self.registry.render_text()
 
     def _metrics_reply(self) -> MetricsMessage:
@@ -604,8 +542,8 @@ class ViaController:
 
     def _stats(self) -> StatsMessage:
         """Operator-facing counters (the §7 scalability discussion's
-        observables: per-call control load, client population, and the
-        resilience events seen so far)."""
+        observables: per-call control load, client population, resilience
+        events, and the admission plane's shed/degraded totals)."""
         reports = self._client_resilience.values()
         return StatsMessage(
             n_measurements=self.n_measurements,
@@ -619,4 +557,6 @@ class ViaController:
             n_faults_injected=(
                 self.faults.n_faults_injected if self.faults is not None else 0
             ),
+            n_shed=self.admission.n_shed,
+            n_degraded=self.admission.n_degraded,
         )

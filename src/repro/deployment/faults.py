@@ -40,6 +40,15 @@ class FaultPlan:
     delay_reply_s: float = 0.02
     #: ``t_hours`` windows during which requests get no reply at all.
     blackhole_windows: tuple[tuple[float, float], ...] = ()
+    #: ``t_hours`` windows during which every request's policy service
+    #: stalls for ``stall_s`` wall seconds (a slow/overloaded policy; the
+    #: deterministic way to drive out-of-order v2 completion and
+    #: deadline sheds in tests).
+    stall_windows: tuple[tuple[float, float], ...] = ()
+    stall_s: float = 0.05
+    #: ``t_hours`` windows during which the admission plane force-sheds
+    #: every request (simulated controller overload).
+    overload_windows: tuple[tuple[float, float], ...] = ()
     #: Relays down for ``t_hours`` windows (kill-relay schedule).
     relay_outages: tuple[RelayOutage, ...] = ()
 
@@ -50,9 +59,12 @@ class FaultPlan:
                 raise ValueError(f"{name} must be in [0, 1]: {rate}")
         if self.delay_reply_s < 0.0:
             raise ValueError(f"delay_reply_s must be >= 0: {self.delay_reply_s}")
-        for start, end in self.blackhole_windows:
-            if end <= start:
-                raise ValueError(f"empty blackhole window: [{start}, {end})")
+        if self.stall_s < 0.0:
+            raise ValueError(f"stall_s must be >= 0: {self.stall_s}")
+        for field in ("blackhole_windows", "stall_windows", "overload_windows"):
+            for start, end in getattr(self, field):
+                if end <= start:
+                    raise ValueError(f"empty {field} window: [{start}, {end})")
 
     @property
     def any_faults(self) -> bool:
@@ -60,12 +72,22 @@ class FaultPlan:
             self.drop_connection_rate
             or self.delay_reply_rate
             or self.blackhole_windows
+            or self.stall_windows
+            or self.overload_windows
             or self.relay_outages
         )
 
     def blackholed_at(self, t_hours: float) -> bool:
         """Is the controller blackholing requests at ``t_hours``?"""
         return any(start <= t_hours < end for start, end in self.blackhole_windows)
+
+    def stalled_at(self, t_hours: float) -> bool:
+        """Is the policy stalling request service at ``t_hours``?"""
+        return any(start <= t_hours < end for start, end in self.stall_windows)
+
+    def overloaded_at(self, t_hours: float) -> bool:
+        """Is the controller force-shedding (simulated overload)?"""
+        return any(start <= t_hours < end for start, end in self.overload_windows)
 
     def relays_down_at(self, t_hours: float) -> frozenset[int]:
         """Relay ids with an active scheduled outage at ``t_hours``."""
@@ -87,6 +109,8 @@ class FaultInjector:
         self.n_dropped_connections = 0
         self.n_delayed_replies = 0
         self.n_blackholed_requests = 0
+        self.n_stalled_requests = 0
+        self.n_forced_overloads = 0
 
     @property
     def n_faults_injected(self) -> int:
@@ -94,6 +118,8 @@ class FaultInjector:
             self.n_dropped_connections
             + self.n_delayed_replies
             + self.n_blackholed_requests
+            + self.n_stalled_requests
+            + self.n_forced_overloads
         )
 
     def should_drop_connection(self) -> bool:
@@ -116,5 +142,19 @@ class FaultInjector:
     def should_blackhole(self, t_hours: float) -> bool:
         if self.plan.blackholed_at(t_hours):
             self.n_blackholed_requests += 1
+            return True
+        return False
+
+    def request_stall_s(self, t_hours: float) -> float:
+        """Wall seconds to stall this request's policy service (0 = none)."""
+        if self.plan.stalled_at(t_hours):
+            self.n_stalled_requests += 1
+            return self.plan.stall_s
+        return 0.0
+
+    def overloaded_at(self, t_hours: float) -> bool:
+        """Force the admission plane into overload for this request?"""
+        if self.plan.overloaded_at(t_hours):
+            self.n_forced_overloads += 1
             return True
         return False

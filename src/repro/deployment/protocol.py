@@ -2,14 +2,32 @@
 
 One JSON object per line (newline-delimited), UTF-8.  Client->server
 messages (hello, measurement, request, stats_request, metrics_request,
-resilience, bye) and server->client replies (assign, stats, metrics).
-The paper notes the per-call overhead is exactly the first pair: "one
-measurement update and one control message exchange per call" (§7); the
-operator-facing stats/metrics exchanges are off the call path.
+resilience, bye) and server->client replies (hello_ack, assign, stats,
+metrics, error, shed).  The paper notes the per-call overhead is exactly
+the first pair: "one measurement update and one control message exchange
+per call" (§7); the operator-facing stats/metrics exchanges are off the
+call path.
+
+Two protocol versions share this wire format:
+
+* **v1** (the PR 1 original): no correlation ids, replies arrive in
+  request order, one failed request costs the connection.  Still spoken
+  by default when a ``hello`` carries no ``protocol`` field.
+* **v2**: negotiated by sending ``hello`` with ``protocol: 2`` (the
+  server answers with ``hello_ack``).  Every message may carry a
+  ``corr_id``; replies echo it, so any number of requests can be in
+  flight on one connection and complete out of order.  Failures become
+  per-request :class:`ErrorMessage` replies instead of connection
+  teardown, and an overloaded controller answers :class:`ShedMessage`
+  (an explicit "use your default path") rather than timing out silently.
+
+``corr_id`` is encoded only when set, so a v2 peer talking to v1 code
+produces byte-identical v1 wire lines for id-less messages.
 """
 
 from __future__ import annotations
 
+import asyncio
 import json
 from dataclasses import asdict, dataclass
 from typing import Any, Union
@@ -19,6 +37,7 @@ from repro.netmodel.options import OptionKind, RelayOption
 
 __all__ = [
     "HelloMessage",
+    "HelloAckMessage",
     "MeasurementMessage",
     "RequestMessage",
     "AssignMessage",
@@ -27,20 +46,41 @@ __all__ = [
     "MetricsRequestMessage",
     "MetricsMessage",
     "ResilienceMessage",
+    "ErrorMessage",
+    "ShedMessage",
     "ByeMessage",
     "Message",
     "encode_message",
     "decode_message",
     "encode_option",
     "decode_option",
+    "read_wire_line",
     "ProtocolError",
+    "OversizedLineError",
+    "PROTOCOL_V1",
+    "PROTOCOL_V2",
+    "LATEST_PROTOCOL",
 ]
 
 MAX_LINE_BYTES = 64 * 1024
 
+PROTOCOL_V1 = 1
+PROTOCOL_V2 = 2
+LATEST_PROTOCOL = PROTOCOL_V2
+
 
 class ProtocolError(ValueError):
     """Raised on malformed or unknown wire messages."""
+
+
+class OversizedLineError(ProtocolError):
+    """A wire line exceeded :data:`MAX_LINE_BYTES`.
+
+    Raised by :func:`read_wire_line` *after* the stream has been
+    resynchronised to the next newline, so the caller may answer with a
+    per-message error and keep reading (v2) or close cleanly (v1) --
+    never an unhandled exception in the reader loop.
+    """
 
 
 def encode_option(option: RelayOption) -> dict[str, Any]:
@@ -59,12 +99,31 @@ def decode_option(data: dict[str, Any]) -> RelayOption:
 
 @dataclass(frozen=True, slots=True)
 class HelloMessage:
-    """Client introduction: who and where."""
+    """Client introduction: who, where, and which protocol it speaks.
+
+    ``protocol`` is the highest version the client understands; v1
+    clients omit it (the field defaults to 1) and see exactly the PR 1
+    behaviour.  A server speaking v2 answers any ``protocol >= 2`` hello
+    with a :class:`HelloAckMessage` carrying the negotiated version."""
 
     client_id: int
     site: str
+    protocol: int = PROTOCOL_V1
 
     type: str = "hello"
+    corr_id: int | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class HelloAckMessage:
+    """Server's v2 greeting: the negotiated protocol version and the
+    server's wire limits (so clients can cap their own frames)."""
+
+    protocol: int
+    max_line_bytes: int = MAX_LINE_BYTES
+
+    type: str = "hello_ack"
+    corr_id: int | None = None
 
 
 @dataclass(frozen=True, slots=True)
@@ -80,6 +139,7 @@ class MeasurementMessage:
     jitter_ms: float
 
     type: str = "measurement"
+    corr_id: int | None = None
 
     def metrics(self) -> PathMetrics:
         return PathMetrics(
@@ -97,6 +157,7 @@ class RequestMessage:
     options: list[dict[str, Any]]
 
     type: str = "request"
+    corr_id: int | None = None
 
 
 @dataclass(frozen=True, slots=True)
@@ -106,6 +167,7 @@ class AssignMessage:
     option: dict[str, Any]
 
     type: str = "assign"
+    corr_id: int | None = None
 
 
 @dataclass(frozen=True, slots=True)
@@ -113,15 +175,16 @@ class StatsRequestMessage:
     """Operator query: ask the controller for its counters."""
 
     type: str = "stats_request"
+    corr_id: int | None = None
 
 
 @dataclass(frozen=True, slots=True)
 class StatsMessage:
     """Controller counters (measurements, requests, clients, refreshes)
     plus the resilience observables: client-reported fallbacks/retries,
-    reconnects seen server-side, per-message policy errors, and faults the
-    chaos harness injected.  The resilience fields default to zero so v1
-    peers interoperate."""
+    reconnects seen server-side, per-message policy errors, faults the
+    chaos harness injected, and the admission plane's shed/degraded
+    totals.  Added fields default to zero so v1 peers interoperate."""
 
     n_measurements: int
     n_requests: int
@@ -132,8 +195,11 @@ class StatsMessage:
     n_reconnects: int = 0
     n_policy_errors: int = 0
     n_faults_injected: int = 0
+    n_shed: int = 0
+    n_degraded: int = 0
 
     type: str = "stats"
+    corr_id: int | None = None
 
 
 @dataclass(frozen=True, slots=True)
@@ -141,6 +207,7 @@ class MetricsRequestMessage:
     """Operator query: scrape the controller's metrics registry."""
 
     type: str = "metrics_request"
+    corr_id: int | None = None
 
 
 @dataclass(frozen=True, slots=True)
@@ -155,6 +222,7 @@ class MetricsMessage:
     format: str = "prometheus"
 
     type: str = "metrics"
+    corr_id: int | None = None
 
 
 @dataclass(frozen=True, slots=True)
@@ -170,8 +238,43 @@ class ResilienceMessage:
     n_fallbacks: int = 0
     n_reconnects: int = 0
     n_timeouts: int = 0
+    n_sheds: int = 0
 
     type: str = "resilience"
+    corr_id: int | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class ErrorMessage:
+    """Per-request failure report (v2): the request named by ``corr_id``
+    failed, the connection is still good.
+
+    ``code`` is machine-readable (``malformed``, ``oversized``,
+    ``unknown_type``, ``overloaded``, ``shutdown``); ``detail`` is for
+    humans and logs."""
+
+    code: str
+    detail: str = ""
+
+    type: str = "error"
+    corr_id: int | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class ShedMessage:
+    """Explicit load-shed reply (v2): the controller declines this
+    request so the client should place the call on its default path now.
+
+    An overloaded controller must degrade the *optimisation*, never the
+    call: shedding is always an explicit reply, so clients fall back
+    immediately instead of burning their timeout budget.
+    ``retry_after_s`` hints when control-plane pressure may have eased."""
+
+    reason: str = "overload"
+    retry_after_s: float = 0.0
+
+    type: str = "shed"
+    corr_id: int | None = None
 
 
 @dataclass(frozen=True, slots=True)
@@ -181,10 +284,12 @@ class ByeMessage:
     client_id: int
 
     type: str = "bye"
+    corr_id: int | None = None
 
 
 Message = Union[
     HelloMessage,
+    HelloAckMessage,
     MeasurementMessage,
     RequestMessage,
     AssignMessage,
@@ -193,11 +298,14 @@ Message = Union[
     MetricsRequestMessage,
     MetricsMessage,
     ResilienceMessage,
+    ErrorMessage,
+    ShedMessage,
     ByeMessage,
 ]
 
 _MESSAGE_TYPES: dict[str, type] = {
     "hello": HelloMessage,
+    "hello_ack": HelloAckMessage,
     "measurement": MeasurementMessage,
     "request": RequestMessage,
     "assign": AssignMessage,
@@ -206,13 +314,20 @@ _MESSAGE_TYPES: dict[str, type] = {
     "metrics_request": MetricsRequestMessage,
     "metrics": MetricsMessage,
     "resilience": ResilienceMessage,
+    "error": ErrorMessage,
+    "shed": ShedMessage,
     "bye": ByeMessage,
 }
 
 
 def encode_message(message: Message) -> bytes:
-    """Serialise a message to one newline-terminated JSON line."""
+    """Serialise a message to one newline-terminated JSON line.
+
+    An unset ``corr_id`` is omitted from the wire entirely, so id-less
+    messages stay byte-identical to protocol v1."""
     payload = asdict(message)
+    if payload.get("corr_id") is None:
+        payload.pop("corr_id", None)
     line = json.dumps(payload, separators=(",", ":")) + "\n"
     encoded = line.encode("utf-8")
     if len(encoded) > MAX_LINE_BYTES:
@@ -224,7 +339,7 @@ def decode_message(line: bytes | str) -> Message:
     """Parse one wire line into its message dataclass."""
     if isinstance(line, bytes):
         if len(line) > MAX_LINE_BYTES:
-            raise ProtocolError(f"line exceeds {MAX_LINE_BYTES} bytes")
+            raise OversizedLineError(f"line exceeds {MAX_LINE_BYTES} bytes")
         line = line.decode("utf-8", errors="strict")
     try:
         payload = json.loads(line)
@@ -240,3 +355,36 @@ def decode_message(line: bytes | str) -> Message:
         return cls(**payload)
     except TypeError as exc:
         raise ProtocolError(f"bad fields for {msg_type!r}: {exc}") from exc
+
+
+async def read_wire_line(
+    reader: asyncio.StreamReader, *, max_bytes: int = MAX_LINE_BYTES
+) -> bytes:
+    """Read one newline-terminated line, hardened against hostile framing.
+
+    Returns ``b""`` at EOF, the partial tail when the peer disconnects
+    mid-line, and otherwise one complete line of at most ``max_bytes``.
+    A longer line raises :class:`OversizedLineError` -- but only after
+    discarding input through the next newline, so the stream stays in
+    sync and the connection remains usable.  The reader's own buffer
+    limit must exceed ``max_bytes`` for the size check to be exact
+    (servers pass ``limit=2 * MAX_LINE_BYTES`` to ``start_server``).
+    """
+    try:
+        line = await reader.readline()
+    except ValueError:
+        # The stream-limit overflow path: readline() dropped its buffer.
+        # Discard until the terminating newline (or EOF) to resync.
+        while True:
+            try:
+                tail = await reader.readline()
+            except ValueError:
+                continue
+            if not tail or tail.endswith(b"\n"):
+                break
+        raise OversizedLineError(f"line exceeds {max_bytes} bytes") from None
+    if len(line) > max_bytes:
+        # Framed (a newline arrived) but over the protocol cap.  The
+        # stream is already in sync; reject just this message.
+        raise OversizedLineError(f"line exceeds {max_bytes} bytes")
+    return line

@@ -52,9 +52,16 @@ class RetryPolicy:
     base_delay_s: float = 0.05
     max_delay_s: float = 1.0
     backoff_factor: float = 2.0
-    #: Relative jitter amplitude: each delay is scaled by ``1 + j*u`` with
-    #: ``u`` deterministic in [-1, 1].
+    #: Relative jitter amplitude in ``scaled`` mode: each delay is scaled
+    #: by ``1 + j*u`` with ``u`` deterministic in [-1, 1].  ``0`` disables
+    #: jitter in either mode.
     jitter: float = 0.25
+    #: ``scaled`` keeps delays near the exponential schedule (good for
+    #: tests asserting timing); ``full`` is AWS-style full jitter --
+    #: ``uniform(0, raw)`` -- which decorrelates a thundering herd of
+    #: clients all retrying into the same overloaded controller, at the
+    #: cost of occasionally near-zero sleeps.
+    jitter_mode: str = "scaled"
     deadline_s: float = 10.0
     seed: int = 0
 
@@ -69,9 +76,16 @@ class RetryPolicy:
             raise ValueError(f"backoff_factor must be >= 1: {self.backoff_factor}")
         if not 0.0 <= self.jitter < 1.0:
             raise ValueError(f"jitter must be in [0, 1): {self.jitter}")
+        if self.jitter_mode not in ("scaled", "full"):
+            raise ValueError(
+                f"jitter_mode must be 'scaled' or 'full': {self.jitter_mode!r}"
+            )
 
     def delay_for(self, attempt: int) -> float:
-        """Backoff sleep before retry ``attempt`` (1-based), jittered."""
+        """Backoff sleep before retry ``attempt`` (1-based), jittered.
+
+        Deterministic in ``(seed, attempt)`` in both modes, so two runs
+        with the same seed retry on the same schedule."""
         if attempt < 1:
             raise ValueError(f"attempt must be >= 1: {attempt}")
         raw = min(
@@ -79,8 +93,10 @@ class RetryPolicy:
         )
         if self.jitter == 0.0:
             return raw
-        u = random.Random((self.seed << 32) ^ attempt).uniform(-1.0, 1.0)
-        return raw * (1.0 + self.jitter * u)
+        rng = random.Random((self.seed << 32) ^ attempt)
+        if self.jitter_mode == "full":
+            return rng.uniform(0.0, raw)
+        return raw * (1.0 + self.jitter * rng.uniform(-1.0, 1.0))
 
     def delays(self) -> list[float]:
         """The full backoff schedule (one sleep per retry attempt)."""
@@ -174,6 +190,7 @@ class ResilienceStats:
     n_timeouts: int = 0
     n_dropped_measurements: int = 0
     n_breaker_fastfails: int = 0
+    n_sheds: int = 0
 
     #: Event name -> counter field, the vocabulary :meth:`record` accepts.
     EVENT_FIELDS = {
@@ -183,6 +200,7 @@ class ResilienceStats:
         "timeout": "n_timeouts",
         "dropped_measurement": "n_dropped_measurements",
         "breaker_fastfail": "n_breaker_fastfails",
+        "shed": "n_sheds",
     }
 
     def record(self, event: str) -> None:
@@ -205,6 +223,7 @@ class ResilienceStats:
             "n_timeouts": self.n_timeouts,
             "n_dropped_measurements": self.n_dropped_measurements,
             "n_breaker_fastfails": self.n_breaker_fastfails,
+            "n_sheds": self.n_sheds,
         }
 
     def total_events(self) -> int:

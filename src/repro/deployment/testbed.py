@@ -24,9 +24,11 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.policy import ViaConfig
+from repro.deployment.admission import AdmissionConfig
 from repro.deployment.client import TestbedClient
 from repro.deployment.controller import ViaController
 from repro.deployment.faults import FaultPlan
+from repro.deployment.protocol import LATEST_PROTOCOL
 from repro.deployment.resilience import RetryPolicy
 from repro.netmodel.options import RelayOption
 from repro.netmodel.topology import TopologyConfig
@@ -37,13 +39,15 @@ __all__ = ["TestbedConfig", "TestbedReport", "run_testbed"]
 
 #: Retry policy used in chaos mode when the config does not supply one:
 #: tight timeouts so blackholed/delayed replies fall back quickly instead
-#: of stretching the experiment's wall-clock.
+#: of stretching the experiment's wall-clock; full jitter so a fleet of
+#: clients retrying into the same fault decorrelates instead of herding.
 CHAOS_RETRY = RetryPolicy(
     max_attempts=3,
     request_timeout_s=0.25,
     base_delay_s=0.01,
     max_delay_s=0.05,
     deadline_s=2.0,
+    jitter_mode="full",
 )
 
 #: The five deployment countries of the paper's testbed.
@@ -76,6 +80,12 @@ class TestbedConfig:
     #: state-changing message under this directory, snapshots on stop,
     #: and recovers from snapshot + WAL replay on start.
     store_dir: str | None = None
+    #: Wire protocol the clients speak (1 = PR 1 dialect, 2 = pipelined
+    #: correlation-id dialect); the controller always accepts both.
+    protocol: int = LATEST_PROTOCOL
+    #: Admission-ladder tuning for the controller; None admits everything
+    #: (the pre-admission behaviour).
+    admission: AdmissionConfig | None = None
 
     def __post_init__(self) -> None:
         if self.n_clients < 2 or self.n_pairs < 1:
@@ -101,6 +111,11 @@ class TestbedReport:
     n_reconnects: int = 0
     n_timeouts: int = 0
     n_dropped_measurements: int = 0
+    #: Requests the controller explicitly shed (client-observed; the
+    #: paired call proceeded on the client-side default path).
+    n_sheds: int = 0
+    #: Requests the controller answered from its stale assignment cache.
+    n_degraded: int = 0
     n_faults_injected: int = 0
     n_policy_errors: int = 0
     #: VIA-phase calls placed while a relay outage window was active.
@@ -211,7 +226,7 @@ async def _run_async(config: TestbedConfig) -> TestbedReport:
     report = TestbedReport(n_pairs=len(pairs))
 
     async with ViaController(
-        policy_config, faults=chaos, store=config.store_dir
+        policy_config, faults=chaos, store=config.store_dir, admission=config.admission
     ) as controller:
         clients = [
             TestbedClient(
@@ -220,6 +235,7 @@ async def _run_async(config: TestbedConfig) -> TestbedReport:
                 host="127.0.0.1",
                 port=controller.port,
                 retry=retry,
+                protocol=config.protocol,
             )
             for i, (_asn, site) in enumerate(clients_spec)
         ]
@@ -290,6 +306,8 @@ async def _run_async(config: TestbedConfig) -> TestbedReport:
                 report.n_reconnects += client.stats.n_reconnects
                 report.n_timeouts += client.stats.n_timeouts
                 report.n_dropped_measurements += client.stats.n_dropped_measurements
+                report.n_sheds += client.stats.n_sheds
+            report.n_degraded = controller.admission.n_degraded
             report.n_policy_errors = controller.n_policy_errors
             if controller.faults is not None:
                 report.n_faults_injected = controller.faults.n_faults_injected

@@ -1,0 +1,504 @@
+"""Asyncio frontend tests: protocol v2, admission ladder, hostile clients.
+
+Covers the overload-resilience contract end to end over real localhost
+TCP: correlation-id pipelining with out-of-order completion, v1
+back-compat conformance (the PR 1 dialect against the v2 server),
+hardened line framing (oversized and malformed input, slow-loris
+peers, mid-request disconnects), the admission ladder
+(admit -> degrade-to-cache -> explicit shed, deadline sheds), and the
+differential check that v2-served assignments match v1 for the same
+seed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.core.policy import ViaConfig
+from repro.deployment import (
+    AdmissionConfig,
+    AdmissionController,
+    AsyncViaClient,
+    FaultPlan,
+    RetryPolicy,
+    ViaController,
+)
+from repro.deployment import TestbedClient as AgentClient
+from repro.netmodel.metrics import PathMetrics
+from repro.netmodel.options import RelayOption
+
+pytestmark = pytest.mark.asyncio
+
+OPTIONS = [RelayOption.bounce(0), RelayOption.bounce(1), RelayOption.transit(0, 1)]
+
+FAST_RETRY = RetryPolicy(
+    max_attempts=2,
+    request_timeout_s=0.25,
+    base_delay_s=0.01,
+    max_delay_s=0.02,
+    deadline_s=2.0,
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def wire(obj: dict) -> bytes:
+    return (json.dumps(obj) + "\n").encode("utf-8")
+
+
+async def raw_connect(port: int):
+    return await asyncio.open_connection("127.0.0.1", port)
+
+
+async def read_json(reader: asyncio.StreamReader) -> dict:
+    line = await asyncio.wait_for(reader.readline(), timeout=5.0)
+    assert line, "server closed the connection unexpectedly"
+    return json.loads(line)
+
+
+def request_payload(corr_id: int | None, t_hours: float = 0.1) -> dict:
+    payload = {
+        "type": "request",
+        "src_id": 0,
+        "dst_id": 1,
+        "t_hours": t_hours,
+        "options": [
+            {"kind": o.kind.value, "ingress": o.ingress, "egress": o.egress}
+            for o in OPTIONS
+        ],
+    }
+    if corr_id is not None:
+        payload["corr_id"] = corr_id
+    return payload
+
+
+class TestProtocolNegotiation:
+    def test_v2_hello_is_acked_with_corr_id(self):
+        async def scenario():
+            async with ViaController() as controller:
+                reader, writer = await raw_connect(controller.port)
+                writer.write(
+                    wire({"type": "hello", "client_id": 0, "site": "US",
+                          "protocol": 2, "corr_id": 7})
+                )
+                await writer.drain()
+                ack = await read_json(reader)
+                assert ack["type"] == "hello_ack"
+                assert ack["protocol"] == 2
+                assert ack["corr_id"] == 7
+                assert ack["max_line_bytes"] > 0
+                writer.close()
+
+        run(scenario())
+
+    def test_v1_hello_gets_no_ack_and_idless_replies(self):
+        async def scenario():
+            async with ViaController() as controller:
+                reader, writer = await raw_connect(controller.port)
+                # The PR 1 dialect: no protocol field, no corr ids.
+                writer.write(wire({"type": "hello", "client_id": 0, "site": "US"}))
+                writer.write(wire(request_payload(None)))
+                await writer.drain()
+                reply = await read_json(reader)
+                # First reply is the assign itself -- no ack interleaved,
+                # and no corr_id key on the wire (byte-compatible v1).
+                assert reply["type"] == "assign"
+                assert "corr_id" not in reply
+                writer.close()
+
+        run(scenario())
+
+    def test_v1_testbed_client_round_trips(self):
+        async def scenario():
+            async with ViaController(ViaConfig(seed=3)) as controller:
+                async with AgentClient(
+                    0, "US", "127.0.0.1", controller.port, protocol=1
+                ) as client:
+                    choice = await client.request_assignment(1, OPTIONS, t_hours=0.5)
+                    assert choice in OPTIONS
+                    assert client.protocol == 1
+                    stats = await client.fetch_stats()
+                    assert stats.n_requests == 1
+
+        run(scenario())
+
+    def test_v2_client_negotiates(self):
+        async def scenario():
+            async with ViaController(ViaConfig(seed=3)) as controller:
+                async with AgentClient(
+                    0, "US", "127.0.0.1", controller.port
+                ) as client:
+                    assert await client.request_assignment(1, OPTIONS, 0.5) in OPTIONS
+                    assert client.protocol == 2
+
+        run(scenario())
+
+
+class TestPipelining:
+    def test_burst_completes_out_of_order(self):
+        async def scenario():
+            faults = FaultPlan(stall_windows=((4.9, 5.1),), stall_s=0.2)
+            async with ViaController(faults=faults) as controller:
+                reader, writer = await raw_connect(controller.port)
+                writer.write(
+                    wire({"type": "hello", "client_id": 0, "site": "US", "protocol": 2})
+                )
+                await writer.drain()
+                assert (await read_json(reader))["type"] == "hello_ack"
+                # Request 1 lands in the stall window (0.2 s of policy
+                # time); request 2 does not.  Both pipeline on the one
+                # connection; the later request must finish first.
+                writer.write(wire(request_payload(1, t_hours=5.0)))
+                writer.write(wire(request_payload(2, t_hours=8.0)))
+                await writer.drain()
+                first = await read_json(reader)
+                second = await read_json(reader)
+                assert [first["corr_id"], second["corr_id"]] == [2, 1]
+                assert {first["type"], second["type"]} == {"assign"}
+                writer.close()
+
+        run(scenario())
+
+    def test_concurrent_assigns_on_one_client(self):
+        async def scenario():
+            async with ViaController(ViaConfig(seed=5)) as controller:
+                async with AsyncViaClient(
+                    0, "US", "127.0.0.1", controller.port
+                ) as client:
+                    results = await asyncio.gather(
+                        *(
+                            client.assign(1, OPTIONS, 0.1 + i * 0.01, src_id=i)
+                            for i in range(20)
+                        )
+                    )
+                    assert len(results) == 20
+                    assert all(r.option in OPTIONS for r in results)
+                    assert controller.n_requests == 20
+
+        run(scenario())
+
+
+class TestHostileClients:
+    def test_oversized_line_v2_gets_error_and_connection_survives(self):
+        async def scenario():
+            async with ViaController() as controller:
+                reader, writer = await raw_connect(controller.port)
+                writer.write(
+                    wire({"type": "hello", "client_id": 0, "site": "US", "protocol": 2})
+                )
+                await writer.drain()
+                assert (await read_json(reader))["type"] == "hello_ack"
+                writer.write(b"x" * (80 * 1024) + b"\n")
+                await writer.drain()
+                error = await read_json(reader)
+                assert error["type"] == "error"
+                assert error["code"] == "oversized"
+                # The stream resynchronised: the same connection still
+                # serves real requests.
+                writer.write(wire(request_payload(9)))
+                await writer.drain()
+                reply = await read_json(reader)
+                assert reply["type"] == "assign" and reply["corr_id"] == 9
+                writer.close()
+
+        run(scenario())
+
+    def test_oversized_line_v1_closes_cleanly(self):
+        async def scenario():
+            async with ViaController() as controller:
+                reader, writer = await raw_connect(controller.port)
+                writer.write(wire({"type": "hello", "client_id": 0, "site": "US"}))
+                writer.write(b"y" * (80 * 1024) + b"\n")
+                await writer.drain()
+                # v1 has no per-request error vocabulary: clean close.
+                assert await asyncio.wait_for(reader.read(), timeout=5.0) == b""
+                writer.close()
+                # The server survived; a fresh client is served normally.
+                async with AgentClient(
+                    1, "GB", "127.0.0.1", controller.port
+                ) as client:
+                    assert await client.request_assignment(2, OPTIONS, 0.2) in OPTIONS
+
+        run(scenario())
+
+    def test_malformed_line_v2_gets_error_and_connection_survives(self):
+        async def scenario():
+            async with ViaController() as controller:
+                reader, writer = await raw_connect(controller.port)
+                writer.write(
+                    wire({"type": "hello", "client_id": 0, "site": "US", "protocol": 2})
+                )
+                await writer.drain()
+                assert (await read_json(reader))["type"] == "hello_ack"
+                for bad in (b"{not json}\n", b'{"type": "nonsense"}\n',
+                            b'{"type": "request"}\n'):
+                    writer.write(bad)
+                    await writer.drain()
+                    error = await read_json(reader)
+                    assert error["type"] == "error"
+                    assert error["code"] == "malformed"
+                writer.write(wire(request_payload(3)))
+                await writer.drain()
+                assert (await read_json(reader))["type"] == "assign"
+                writer.close()
+
+        run(scenario())
+
+    def test_slow_loris_is_disconnected_by_idle_timeout(self):
+        async def scenario():
+            async with ViaController(idle_timeout_s=0.1) as controller:
+                reader, writer = await raw_connect(controller.port)
+                writer.write(
+                    wire({"type": "hello", "client_id": 0, "site": "US", "protocol": 2})
+                )
+                await writer.drain()
+                assert (await read_json(reader))["type"] == "hello_ack"
+                # Dribble half a message and stall, holding the line open.
+                writer.write(b'{"type": "request", "src_id"')
+                await writer.drain()
+                # The server reclaims the connection instead of waiting
+                # forever on the partial line.
+                assert await asyncio.wait_for(reader.read(), timeout=5.0) == b""
+                writer.close()
+
+        run(scenario())
+
+    def test_mid_request_disconnect_leaves_server_healthy(self):
+        async def scenario():
+            async with ViaController() as controller:
+                reader, writer = await raw_connect(controller.port)
+                writer.write(
+                    wire({"type": "hello", "client_id": 5, "site": "US", "protocol": 2})
+                )
+                writer.write(wire(request_payload(1)))
+                await writer.drain()
+                writer.close()  # vanish before reading any reply
+                # Give the server a beat to trip over the dead socket.
+                await asyncio.sleep(0.05)
+                assert 5 not in controller.client_sites  # live set updated
+                async with AgentClient(
+                    6, "GB", "127.0.0.1", controller.port
+                ) as client:
+                    assert await client.request_assignment(1, OPTIONS, 0.3) in OPTIONS
+                assert controller.n_policy_errors == 0
+
+        run(scenario())
+
+
+class TestAdmissionLadder:
+    def test_forced_overload_sheds_v2_explicitly(self):
+        async def scenario():
+            faults = FaultPlan(overload_windows=((1.0, 2.0),))
+            async with ViaController(faults=faults) as controller:
+                async with AsyncViaClient(
+                    0, "US", "127.0.0.1", controller.port
+                ) as client:
+                    shed = await client.assign(1, OPTIONS, 1.5)
+                    assert shed.shed and shed.reason == "fault"
+                    assert shed.option == OPTIONS[0]  # client-side default
+                    served = await client.assign(1, OPTIONS, 2.5)
+                    assert not served.shed
+                    assert client.stats.n_sheds == 1
+                assert controller.admission.n_shed == 1
+
+        run(scenario())
+
+    def test_forced_overload_assigns_default_path_for_v1(self):
+        async def scenario():
+            faults = FaultPlan(overload_windows=((1.0, 2.0),))
+            async with ViaController(faults=faults) as controller:
+                async with AgentClient(
+                    0, "US", "127.0.0.1", controller.port, protocol=1
+                ) as client:
+                    # v1 has no shed vocabulary: the server answers with
+                    # the default path, so even legacy clients never hang.
+                    choice = await client.request_assignment(1, OPTIONS, 1.5)
+                    assert choice == OPTIONS[0]
+                assert controller.admission.n_shed == 1
+
+        run(scenario())
+
+    def test_resilient_client_counts_shed_and_falls_back(self):
+        async def scenario():
+            faults = FaultPlan(overload_windows=((0.0, 100.0),))
+            async with ViaController(faults=faults) as controller:
+                async with AgentClient(
+                    0, "US", "127.0.0.1", controller.port, retry=FAST_RETRY
+                ) as client:
+                    choice = await client.request_assignment(1, OPTIONS, 0.5)
+                    assert choice == OPTIONS[0]
+                    # One attempt, no retry storm into the overload:
+                    assert client.stats.n_sheds == 1
+                    assert client.stats.n_fallbacks == 1
+                    assert client.stats.n_retries == 0
+                    stats = await client.fetch_stats()
+                    assert stats.n_shed == 1
+
+        run(scenario())
+
+    def test_rate_exhaustion_degrades_to_cached_assignment(self):
+        async def scenario():
+            # One token, negligible refill: the first request is admitted,
+            # the second degrades and is answered from the pair's cache.
+            admission = AdmissionConfig(rate=1e-9, burst=1.0)
+            async with ViaController(
+                ViaConfig(seed=4), admission=admission
+            ) as controller:
+                async with AsyncViaClient(
+                    0, "US", "127.0.0.1", controller.port
+                ) as client:
+                    first = await client.assign(1, OPTIONS, 0.1)
+                    second = await client.assign(1, OPTIONS, 0.2)
+                    assert not first.shed and not second.shed
+                    assert second.option == first.option  # stale-but-instant
+                    third = await client.assign(9, OPTIONS, 0.3, src_id=8)
+                    # Unknown pair: nothing cached, one more rung down.
+                    assert third.shed and third.reason == "rate"
+                assert controller.admission.n_admitted == 1
+                assert controller.admission.n_degraded == 1
+                assert controller.admission.n_shed == 1
+
+        run(scenario())
+
+    def test_deadline_expiry_sheds_instead_of_serving_late(self):
+        async def scenario():
+            faults = FaultPlan(stall_windows=((4.9, 5.1),), stall_s=0.3)
+            admission = AdmissionConfig(queue_timeout_s=0.05)
+            async with ViaController(
+                faults=faults, admission=admission, n_workers=1
+            ) as controller:
+                async with AsyncViaClient(
+                    0, "US", "127.0.0.1", controller.port
+                ) as client:
+                    stalled, starved = await asyncio.gather(
+                        client.assign(1, OPTIONS, 5.0),
+                        client.assign(2, OPTIONS, 8.0),
+                    )
+                    # The stalled request was served; the one queued behind
+                    # it blew its deadline and got an explicit shed.
+                    assert not stalled.shed
+                    assert starved.shed and starved.reason == "deadline"
+
+        run(scenario())
+
+    def test_every_non_admitted_request_gets_an_explicit_answer(self):
+        async def scenario():
+            faults = FaultPlan(overload_windows=((0.0, 100.0),))
+            async with ViaController(faults=faults) as controller:
+                async with AsyncViaClient(
+                    0, "US", "127.0.0.1", controller.port
+                ) as client:
+                    results = await asyncio.gather(
+                        *(
+                            client.assign(1, OPTIONS, 0.1, src_id=i, timeout=5.0)
+                            for i in range(50)
+                        )
+                    )
+                    # Zero silent timeouts: all 50 resolved, all shed.
+                    assert len(results) == 50
+                    assert all(r.shed for r in results)
+                assert controller.admission.n_shed == 50
+
+        run(scenario())
+
+
+class TestAdmissionUnit:
+    """The ladder as a pure function of its three signals and the clock."""
+
+    def make(self, **overrides):
+        now = [0.0]
+        config = AdmissionConfig(
+            max_queue_depth=4,
+            degrade_queue_depth=2,
+            queue_timeout_s=1.0,
+            rate=overrides.pop("rate", 10.0),
+            burst=overrides.pop("burst", 2.0),
+            **overrides,
+        )
+        return AdmissionController(config, clock=lambda: now[0]), now
+
+    def test_token_bucket_admits_then_degrades_then_refills(self):
+        ctrl, now = self.make()
+        assert ctrl.decide(0).admitted
+        assert ctrl.decide(0).admitted
+        decision = ctrl.decide(0)
+        assert decision.degraded and decision.reason == "rate"
+        now[0] += 0.2  # 10/s refill -> 2 tokens back
+        assert ctrl.decide(0).admitted
+
+    def test_queue_depth_ladder(self):
+        ctrl, _ = self.make(rate=None, burst=256.0)
+        assert ctrl.decide(1).admitted
+        soft = ctrl.decide(2)
+        assert soft.degraded and soft.reason == "queue_depth"
+        hard = ctrl.decide(4)
+        assert hard.shed and hard.reason == "queue_full"
+
+    def test_queue_latency_signal_sheds_up_front(self):
+        ctrl, _ = self.make(rate=None, burst=256.0)
+        ctrl.observe_service(0.6)
+        assert ctrl.estimated_wait_s(3) == pytest.approx(1.8)
+        decision = ctrl.decide(3)
+        assert decision.shed and decision.reason == "queue_latency"
+
+    def test_connection_signals(self):
+        ctrl, _ = self.make(
+            rate=None, burst=256.0, max_connections=2, degrade_connections=2
+        )
+        assert ctrl.connection_opened()
+        assert ctrl.connection_opened()
+        assert not ctrl.connection_opened()  # refused at the door
+        assert ctrl.n_connections_refused == 1
+        decision = ctrl.decide(0)  # soft signal: degrade requests
+        assert decision.degraded and decision.reason == "connections"
+        ctrl.connection_closed()
+        assert ctrl.n_connections == 1
+
+    def test_forced_overload_short_circuits(self):
+        ctrl, _ = self.make()
+        ctrl.forced_overload = True
+        decision = ctrl.decide(0)
+        assert decision.shed and decision.reason == "fault"
+
+    def test_for_relay_fleet_rate_derivation(self):
+        capped = AdmissionConfig.for_relay_fleet(10, per_relay_cap=0.15)
+        # 200/s per relay, busiest relay carries <= 15% of assignments:
+        # admissible total is 200/0.15, below the fleet's 2000/s.
+        assert capped.rate == pytest.approx(200.0 / 0.15)
+        uncapped = AdmissionConfig.for_relay_fleet(10, per_relay_cap=None)
+        assert uncapped.rate == pytest.approx(200.0)  # one relay's worth
+        small = AdmissionConfig.for_relay_fleet(2, per_relay_cap=0.15)
+        assert small.rate == pytest.approx(2 * 200.0)  # fleet-bounded
+
+
+class TestDifferential:
+    def test_v2_assignments_match_v1_for_same_seed(self):
+        async def drive(protocol: int) -> list[RelayOption]:
+            choices: list[RelayOption] = []
+            async with ViaController(ViaConfig(seed=11)) as controller:
+                async with AgentClient(
+                    0, "US", "127.0.0.1", controller.port, protocol=protocol
+                ) as client:
+                    for i, option in enumerate(OPTIONS):
+                        await client.report_measurement(
+                            1,
+                            option,
+                            PathMetrics(
+                                rtt_ms=50.0 + 10.0 * i, loss_rate=0.0, jitter_ms=1.0
+                            ),
+                            0.1 + 0.01 * i,
+                        )
+                    for i in range(8):
+                        choices.append(
+                            await client.request_assignment(1, OPTIONS, 0.5 + 0.01 * i)
+                        )
+            return choices
+
+        v1 = run(drive(1))
+        v2 = run(drive(2))
+        assert v1 == v2

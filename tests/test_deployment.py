@@ -126,8 +126,10 @@ class TestControllerClient:
             _ = controller.port
 
     def test_client_requires_connection(self):
+        # Sending while unconnected is a transport error (so resilient
+        # callers route it into their retry/fallback machinery).
         client = AgentClient(0, "US", "127.0.0.1", 1)
-        with pytest.raises(RuntimeError):
+        with pytest.raises(ConnectionError):
             run(client.report_measurement(1, OPTIONS[0], PathMetrics(1.0, 0.0, 0.0), 0.0))
 
 

@@ -91,6 +91,27 @@ class TestRetryPolicy:
         b = RetryPolicy(max_attempts=4, seed=2).delays()
         assert a != b
 
+    def test_full_jitter_is_deterministic_and_spans_zero_to_raw(self):
+        policy = RetryPolicy(max_attempts=6, jitter=0.5, jitter_mode="full", seed=7)
+        again = RetryPolicy(max_attempts=6, jitter=0.5, jitter_mode="full", seed=7)
+        assert policy.delays() == again.delays()
+        for attempt in range(1, policy.max_attempts):
+            raw = RetryPolicy(max_attempts=6, jitter=0.0).delay_for(attempt)
+            # AWS full jitter: uniform over [0, raw) -- below the raw
+            # delay, possibly near zero (decorrelating the herd).
+            assert 0.0 <= policy.delay_for(attempt) < raw
+
+    def test_full_jitter_zero_jitter_disables(self):
+        exact = RetryPolicy(
+            max_attempts=4, base_delay_s=0.1, max_delay_s=0.4,
+            backoff_factor=2.0, jitter=0.0, jitter_mode="full",
+        )
+        assert exact.delays() == pytest.approx([0.1, 0.2, 0.4])
+
+    def test_jitter_mode_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter_mode="thundering-herd")
+
     def test_delay_for_rejects_bad_attempt(self):
         with pytest.raises(ValueError):
             RetryPolicy().delay_for(0)
