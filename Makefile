@@ -4,12 +4,12 @@ PYTHON ?= python
 # Worker processes for parallel-capable benchmarks: make bench WORKERS=4
 WORKERS ?= 1
 
-.PHONY: install test test-async test-faults test-parallel test-store test-verify check docs-check bench bench-record examples quick-bench all clean
+.PHONY: install test test-async test-faults test-parallel test-store test-vector test-verify check docs-check bench bench-record examples quick-bench all clean
 
 install:
 	pip install -e .
 
-test: docs-check test-parallel test-store test-async
+test: docs-check test-parallel test-store test-async test-vector
 	PYTHONPATH=src $(PYTHON) -m pytest tests/
 
 # Documentation referential integrity: fail on dangling repro.* symbol
@@ -32,6 +32,12 @@ test-faults:
 test-parallel:
 	REPRO_TEST_WORKERS=2 PYTHONPATH=src $(PYTHON) -m pytest tests/test_parallel.py
 
+# Vectorized hot path: batch-vs-scalar equivalence property tests
+# (assign_many/observe_many against the scalar oracle, columnar layers,
+# batched replay) -- see docs/performance.md.
+test-vector:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/test_vector.py -m vector
+
 # Durable storage plane: WAL framing/rotation, compaction, and the
 # crash-recovery equivalence contract (snapshot + WAL-tail replay).
 test-store:
@@ -52,12 +58,16 @@ check:
 bench:
 	REPRO_BENCH_WORKERS=$(WORKERS) $(PYTHON) -m pytest benchmarks/ --benchmark-only
 
-# Record the perf-trajectory baseline: runs the overload benchmark with
-# recording on, committing its summary to BENCH_deployment.json at the
-# repo root (diffable across PRs; see ROADMAP "perf trajectory").
+# Record the perf-trajectory baselines: runs the recording-enabled
+# benchmarks with REPRO_BENCH_RECORD=1, committing their summaries to
+# BENCH_<area>.json files at the repo root (diffable across PRs; the
+# core baseline also feeds the `make check` regression gate).
 bench-record:
 	REPRO_BENCH_RECORD=1 PYTHONPATH=src $(PYTHON) -m pytest \
 	    benchmarks/bench_ext_overload.py --benchmark-only
+	REPRO_BENCH_RECORD=1 PYTHONPATH=src $(PYTHON) -m pytest \
+	    "benchmarks/bench_ext_parallel_replay.py::test_vector_hot_path_speedup" \
+	    --benchmark-only
 
 # A fast subset: the headline figure plus the live deployment.
 quick-bench:

@@ -7,10 +7,13 @@ evaluation and both prints it and writes it under
 
 from __future__ import annotations
 
+import json
 import os
+import time
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
+REPO_ROOT = Path(__file__).parent.parent
 
 
 def bench_workers(default: int = 1) -> int:
@@ -37,6 +40,35 @@ def emit(name: str, text: str) -> None:
     print(banner + text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+def recording_enabled() -> bool:
+    """Is this run recording perf baselines (``make bench-record``)?"""
+    return os.environ.get("REPRO_BENCH_RECORD", "").strip() == "1"
+
+
+def record_bench_json(area: str, benchmark_name: str, payload: dict) -> Path | None:
+    """Commit a structured perf baseline: ``BENCH_<area>.json`` at the repo root.
+
+    Only writes under ``REPRO_BENCH_RECORD=1``; returns the written path
+    (or None when recording is off).  The convention (documented in
+    ``docs/performance.md``): one JSON object per benchmark area with a
+    ``benchmark`` id, a ``recorded_at`` date, and the benchmark's own
+    structured summary -- for the hot-path bench that means calls/sec,
+    per-call p50/p99 and peak RSS per path, plus the speedup ratio that
+    ``scripts/ci_check.py`` guards against regression.
+    """
+    if not recording_enabled():
+        return None
+    path = REPO_ROOT / f"BENCH_{area}.json"
+    body = {
+        "benchmark": benchmark_name,
+        "recorded_at": time.strftime("%Y-%m-%d", time.gmtime()),
+        **payload,
+    }
+    path.write_text(json.dumps(body, indent=2) + "\n", encoding="utf-8")
+    print(f"recorded perf baseline -> {path.name}")
+    return path
 
 
 def once(benchmark, fn):

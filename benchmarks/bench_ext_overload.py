@@ -25,15 +25,13 @@ committed perf-trajectory baseline that later PRs diff against.
 from __future__ import annotations
 
 import asyncio
-import json
 import os
 import statistics
-import time
 from pathlib import Path
 
 import pytest
 
-from _util import emit, once
+from _util import emit, once, record_bench_json
 from repro.core.policy import ViaConfig
 from repro.deployment import AdmissionConfig, AsyncViaClient, ViaController
 from repro.netmodel.options import RelayOption
@@ -163,25 +161,18 @@ def test_ext_overload_sweep(benchmark):
     assert overloaded["shed_rate"] >= 0.2
     assert rows[0]["shed_rate"] <= overloaded["shed_rate"]
 
-    if os.environ.get("REPRO_BENCH_RECORD", "").strip() == "1":
-        RECORD_PATH.write_text(
-            json.dumps(
-                {
-                    "benchmark": "bench_ext_overload",
-                    "recorded_at": time.strftime("%Y-%m-%d", time.gmtime()),
-                    "admission": {
-                        "rate": ADMISSION.rate,
-                        "burst": ADMISSION.burst,
-                        "max_queue_depth": ADMISSION.max_queue_depth,
-                        "degrade_queue_depth": ADMISSION.degrade_queue_depth,
-                        "queue_timeout_s": ADMISSION.queue_timeout_s,
-                    },
-                    "n_connections": N_CONNECTIONS,
-                    "levels": rows,
-                },
-                indent=2,
-            )
-            + "\n",
-            encoding="utf-8",
-        )
-        print(f"recorded perf baseline -> {RECORD_PATH.name}")
+    record_bench_json(
+        "deployment",
+        "bench_ext_overload",
+        {
+            "admission": {
+                "rate": ADMISSION.rate,
+                "burst": ADMISSION.burst,
+                "max_queue_depth": ADMISSION.max_queue_depth,
+                "degrade_queue_depth": ADMISSION.degrade_queue_depth,
+                "queue_timeout_s": ADMISSION.queue_timeout_s,
+            },
+            "n_connections": N_CONNECTIONS,
+            "levels": rows,
+        },
+    )

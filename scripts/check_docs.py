@@ -1,8 +1,9 @@
 """Documentation referential-integrity checker (``make docs-check``).
 
-Scans the operator-facing documentation (README.md, DESIGN.md, docs/*.md,
-EXPERIMENTS.md) and fails on *dangling* references, so the docs cannot
-silently rot as the code moves:
+Scans the operator-facing documentation (README.md, DESIGN.md,
+EXPERIMENTS.md, and -- auto-globbed, so new pages are covered the moment
+they exist -- every ``docs/*.md``) and fails on *dangling* references, so
+the docs cannot silently rot as the code moves:
 
 * dotted code references — every ``repro.*`` token must resolve to an
   importable module or an attribute reachable from one
@@ -13,7 +14,9 @@ silently rot as the code moves:
   exist on disk (paths like ``core/policy.py`` are also tried relative
   to ``src/repro/``);
 * pytest node ids — ``tests/test_x.py::test_name`` must name a test
-  function that exists in that file.
+  function that exists in that file;
+* make targets — a backticked ``make <target>`` must name a rule (or
+  ``.PHONY`` entry) defined in the repo Makefile.
 
 Exit status 0 when every reference resolves; 1 otherwise, listing each
 dangling reference with its file and line.
@@ -32,19 +35,22 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
+#: Top-level documents checked by name; ``docs/*.md`` is globbed at run
+#: time (see :func:`doc_files`), so a new handbook page is covered the
+#: moment it exists -- forgetting to register it here cannot exempt it.
 DOC_FILES = (
     "README.md",
     "DESIGN.md",
     "EXPERIMENTS.md",
-    "docs/index.md",
-    "docs/algorithms.md",
-    "docs/worldmodel.md",
-    "docs/deployment.md",
-    "docs/observability.md",
-    "docs/parallel.md",
-    "docs/persistence.md",
-    "docs/verification.md",
 )
+
+
+def doc_files() -> list[str]:
+    """Every checked document: the fixed top-level set + all of docs/."""
+    globbed = sorted(
+        str(p.relative_to(REPO_ROOT)) for p in (REPO_ROOT / "docs").glob("*.md")
+    )
+    return [*DOC_FILES, *globbed]
 
 #: ``repro.foo.Bar`` style dotted references (call parens already stripped).
 DOTTED_RE = re.compile(r"\brepro(?:\.[A-Za-z_][A-Za-z0-9_]*)+")
@@ -59,6 +65,20 @@ PATH_RE = re.compile(r"^[\w./-]*/[\w.-]+\.(?:py|md|txt|json|toml|cfg)$")
 NODE_RE = re.compile(r"^([\w./-]+\.py)::(\w+)$")
 #: Local markdown link targets: [text](target).
 LINK_RE = re.compile(r"\]\(([^)#\s]+)(?:#[\w-]*)?\)")
+#: ``make <target>`` invocations inside backticks.
+MAKE_RE = re.compile(r"^make\s+([A-Za-z][\w-]*)")
+
+
+def _make_targets() -> set[str]:
+    """Phony/rule targets defined in the repo Makefile."""
+    targets: set[str] = set()
+    for line in (REPO_ROOT / "Makefile").read_text(encoding="utf-8").splitlines():
+        match = re.match(r"^([A-Za-z][\w-]*)\s*:", line)
+        if match:
+            targets.add(match.group(1))
+        if line.startswith(".PHONY:"):
+            targets.update(line.split(":", 1)[1].split())
+    return targets
 
 
 def _class_index() -> dict[str, list[type]]:
@@ -99,7 +119,9 @@ def _path_exists(token: str, doc_dir: Path) -> bool:
     return any(c.exists() for c in candidates)
 
 
-def check_file(path: Path, classes: dict[str, list[type]]) -> list[str]:
+def check_file(
+    path: Path, classes: dict[str, list[type]], make_targets: set[str]
+) -> list[str]:
     problems: list[str] = []
     doc_dir = path.parent
     rel = path.relative_to(REPO_ROOT)
@@ -127,6 +149,13 @@ def check_file(path: Path, classes: dict[str, list[type]]) -> list[str]:
                 if not _path_exists(span.strip(), doc_dir):
                     problems.append(f"{rel}:{lineno}: dangling file ref `{span.strip()}`")
                 continue
+            make_ref = MAKE_RE.match(span.strip())
+            if make_ref:
+                if make_ref.group(1) not in make_targets:
+                    problems.append(
+                        f"{rel}:{lineno}: dangling make target `make {make_ref.group(1)}`"
+                    )
+                continue
             attr_ref = CLASS_ATTR_RE.match(token)
             if attr_ref and attr_ref.group(1) in classes:
                 name, attr = attr_ref.group(1), attr_ref.group(2)
@@ -138,15 +167,16 @@ def check_file(path: Path, classes: dict[str, list[type]]) -> list[str]:
 def main() -> int:
     sys.path.insert(0, str(REPO_ROOT / "src"))
     classes = _class_index()
+    make_targets = _make_targets()
     problems: list[str] = []
     n_checked = 0
-    for name in DOC_FILES:
+    for name in doc_files():
         path = REPO_ROOT / name
         if not path.exists():
             problems.append(f"{name}: listed in DOC_FILES but missing")
             continue
         n_checked += 1
-        problems.extend(check_file(path, classes))
+        problems.extend(check_file(path, classes, make_targets))
     if problems:
         print(f"docs-check: {len(problems)} dangling reference(s):")
         for problem in problems:

@@ -10,7 +10,13 @@ Runs, in order, failing fast:
    *and* that it actually exercises the verification plane: aggregate
    line coverage over ``src/repro/verify/`` must clear
    :data:`COVERAGE_FLOOR`.  A verification gate whose own code stops
-   running is worse than none — it green-lights silently.
+   running is worse than none — it green-lights silently;
+4. the vector hot-path regression gate: a reduced
+   :func:`repro.simulation.microbench.hot_path_microbench` run whose
+   scalar-vs-vector speedup must stay within
+   :data:`BENCH_REGRESSION_TOLERANCE` of the committed ``BENCH_core.json``
+   baseline (recorded by ``make bench-record``) — a >20% regression on
+   the batch assignment path fails the build.
 
 The coverage leg uses :mod:`trace` (stdlib) rather than ``coverage.py``
 deliberately: the reproduction environment is offline and must not grow
@@ -22,6 +28,7 @@ dependencies.  Denominators come from each file's compiled code objects
 
 from __future__ import annotations
 
+import json
 import os
 import subprocess
 import sys
@@ -37,6 +44,13 @@ VERIFY_SRC = REPO_ROOT / "src" / "repro" / "verify"
 #: small-budget run must execute.  Error/failure branches legitimately
 #: stay cold on a passing run; everything else must be warm.
 COVERAGE_FLOOR = 0.65
+
+#: The committed hot-path perf baseline (``make bench-record``).
+BENCH_BASELINE = REPO_ROOT / "BENCH_core.json"
+
+#: The measured scalar-vs-vector speedup must stay above this fraction of
+#: the committed baseline's: 0.8 = "fail the build on a >20% regression".
+BENCH_REGRESSION_TOLERANCE = 0.8
 
 
 def _run(step: str, argv: list[str], env: dict[str, str]) -> bool:
@@ -131,6 +145,43 @@ def _verify_with_coverage() -> bool:
     return True
 
 
+def _bench_regression_gate() -> bool:
+    """The hot-path perf gate: measured speedup vs the committed baseline.
+
+    Runs a reduced-size microbench (same workload shape, a third of the
+    calls) so the gate costs seconds, and compares *speedup ratios* --
+    machine-relative, so a slower CI box doesn't trip it; only the vector
+    path losing ground against the scalar path on the same machine does.
+    """
+    print("== bench: vector hot-path regression gate", flush=True)
+    if not BENCH_BASELINE.exists():
+        print(
+            "ci-check: FAILED at bench (committed baseline "
+            f"{BENCH_BASELINE.name} missing; record one with `make bench-record`)"
+        )
+        return False
+    baseline = json.loads(BENCH_BASELINE.read_text(encoding="utf-8"))
+    base_speedup = float(baseline["speedup"])
+    from repro.simulation.microbench import MicrobenchConfig, hot_path_microbench
+
+    measured = hot_path_microbench(MicrobenchConfig(n_calls=20_000, best_of=2))
+    floor = BENCH_REGRESSION_TOLERANCE * base_speedup
+    print(
+        f"  baseline {base_speedup:.2f}x ({baseline.get('recorded_at', '?')}), "
+        f"measured {measured['speedup']:.2f}x "
+        f"({measured['vector']['calls_per_sec']:,.0f} vector calls/s), "
+        f"floor {floor:.2f}x"
+    )
+    if measured["speedup"] < floor:
+        print(
+            "ci-check: FAILED at bench-regression "
+            f"({measured['speedup']:.2f}x < {floor:.2f}x: the vector hot "
+            "path regressed >20% against BENCH_core.json)"
+        )
+        return False
+    return True
+
+
 def main() -> int:
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
@@ -147,7 +198,11 @@ def main() -> int:
     sys.path.insert(0, str(REPO_ROOT / "src"))
     if not _verify_with_coverage():
         return 1
-    print("ci-check: OK (docs, tier-1, verify + coverage floor)")
+    # The bench gate imports repro.* directly, so it must run after the
+    # traced verify leg (which requires repro.verify to be un-imported).
+    if not _bench_regression_gate():
+        return 1
+    print("ci-check: OK (docs, tier-1, verify + coverage floor, bench gate)")
     return 0
 
 

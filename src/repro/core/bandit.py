@@ -112,6 +112,10 @@ class UCB1Explorer:
     def count(self, arm: RelayOption) -> int:
         return self._counts[arm]
 
+    def has_arm(self, arm: RelayOption) -> bool:
+        """O(1) membership test (the vector observe path's arm gate)."""
+        return arm in self._counts
+
     def mean_cost(self, arm: RelayOption) -> float | None:
         n = self._counts[arm]
         if n == 0:
@@ -146,6 +150,38 @@ class UCB1Explorer:
         self._cost_sums[arm] += cost
         self._total_plays += 1
         self._max_seen_cost = max(self._max_seen_cost, cost)
+
+    def update_many(self, arm, costs) -> None:
+        """Fold many observed costs into one arm, bit-identical to a loop
+        of :meth:`update` calls.
+
+        Per-arm cost sums are folded in sequence order (float addition is
+        order-sensitive); ``total_plays`` and ``max_seen_cost`` are
+        order-independent, so interleaving updates across *different* arms
+        commutes -- which is what lets the vector observe path group a
+        batch by arm.  Costs are coerced to Python floats so checkpoint
+        serialisation keeps seeing plain JSON-encodable numbers.  On an
+        invalid cost the whole batch is rejected without partial effect
+        (the one place the scalar loop, which applies prefixes before
+        raising, differs).
+        """
+        if arm not in self._counts:
+            raise KeyError(f"unknown arm {arm}")
+        total = self._cost_sums[arm]
+        worst = self._max_seen_cost
+        n = 0
+        for cost in costs:
+            cost = float(cost)
+            if cost < 0.0 or math.isnan(cost):
+                raise ValueError(f"cost must be a non-negative number: {cost}")
+            total += cost
+            if cost > worst:
+                worst = cost
+            n += 1
+        self._counts[arm] += n
+        self._cost_sums[arm] = total
+        self._total_plays += n
+        self._max_seen_cost = worst
 
     def _effective_normalizer(self) -> float:
         if self.mode == "via":

@@ -40,6 +40,14 @@ class CostModel(Protocol):
         """Realised cost of one completed call."""
         ...
 
+    def call_cost_many(self, values: np.ndarray) -> np.ndarray:
+        """Realised costs of a batch of (rtt, loss, jitter) rows.
+
+        Must equal ``[call_cost(row_i) for i]`` value for value -- the
+        vector observe path feeds the results straight into bandit sums.
+        """
+        ...
+
     def predicted(self, prediction: Prediction) -> float:
         """Point-estimate cost of a prediction."""
         ...
@@ -62,6 +70,10 @@ class MetricCost:
 
     def call_cost(self, metrics: PathMetrics) -> float:
         return metrics.get(self.name)
+
+    def call_cost_many(self, values: np.ndarray) -> np.ndarray:
+        """One column slice: the metric's value per row, exactly as stored."""
+        return np.asarray(values, dtype=np.float64)[:, self._idx]
 
     def predicted(self, prediction: Prediction) -> float:
         return prediction.value(self._idx)
@@ -98,6 +110,21 @@ class MosCost:
 
     def call_cost(self, metrics: PathMetrics) -> float:
         return 4.5 - mos_from_network(metrics, self.codec)
+
+    def call_cost_many(self, values: np.ndarray) -> np.ndarray:
+        """Row-wise E-model evaluation.
+
+        The E-model is piecewise and branch-heavy, so this runs the scalar
+        formula per row rather than risking ulp drift from a re-derived
+        vector form -- bit-identical by construction, and still amortises
+        everything around it in the vector observe path.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        return np.fromiter(
+            (self.call_cost(_triple_to_metrics(row)) for row in values),
+            dtype=np.float64,
+            count=len(values),
+        )
 
     def predicted(self, prediction: Prediction) -> float:
         return self.call_cost(_triple_to_metrics(prediction.mean))

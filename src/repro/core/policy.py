@@ -32,6 +32,13 @@ from repro.core.keys import Granularity, PairKeyer, PairView
 from repro.core.predictor import Prediction, Predictor
 from repro.core.tomography import InterRelayLookup, TomographyModel
 from repro.core.topk import dynamic_top_k_cost, fixed_top_k_cost
+from repro.core.vector import (
+    CallBatch,
+    MetricsBatch,
+    as_call_batch,
+    as_metrics_batch,
+    epsilon_explorations,
+)
 from repro.netmodel.metrics import PathMetrics
 from repro.netmodel.options import DIRECT, RelayOption
 from repro.obs import runtime as obs_runtime
@@ -39,7 +46,13 @@ from repro.obs.metrics import REGISTRY, MetricsRegistry
 from repro.obs.tracing import trace
 from repro.telephony.call import Call
 
-__all__ = ["SelectionPolicy", "ViaConfig", "ViaPolicy", "make_policy"]
+__all__ = [
+    "SelectionPolicy",
+    "ViaConfig",
+    "ViaPolicy",
+    "VectorizedViaPolicy",
+    "make_policy",
+]
 
 
 class SelectionPolicy(Protocol):
@@ -208,6 +221,23 @@ class ViaPolicy:
             "Assignments re-picked around a down relay, by optimised metric.",
             ("metric",),
         ).labels(metric=metric)
+        self._obs_assign_batch = self.registry.histogram(
+            "via_assign_batch_duration_seconds",
+            "Wall time of ViaPolicy.assign_many, by optimised metric.",
+            ("metric",),
+        ).labels(metric=metric)
+        self._obs_observe_batch = self.registry.histogram(
+            "via_observe_batch_duration_seconds",
+            "Wall time of ViaPolicy.observe_many, by optimised metric.",
+            ("metric",),
+        ).labels(metric=metric)
+        batch_calls = self.registry.counter(
+            "via_batch_calls_total",
+            "Calls served through the batch (vector) interface, by operation.",
+            ("metric", "op"),
+        )
+        self._obs_batch_assigns = batch_calls.labels(metric=metric, op="assign")
+        self._obs_batch_observes = batch_calls.labels(metric=metric, op="observe")
 
     # ------------------------------------------------------------------
     # SelectionPolicy interface
@@ -275,6 +305,299 @@ class ViaPolicy:
         if self.config.selector == "greedy":
             state.greedy_counts[norm] = state.greedy_counts.get(norm, 0) + 1
             state.greedy_sums[norm] = state.greedy_sums.get(norm, 0.0) + cost
+
+    # ------------------------------------------------------------------
+    # Batch (vector) interface
+    # ------------------------------------------------------------------
+
+    def assign_many(self, calls, options_per_call) -> list[RelayOption]:
+        """Assign a batch of calls, bit-identical to sequential ``assign``.
+
+        ``calls`` is a sequence of :class:`Call`\\ s or a prebuilt
+        :class:`~repro.core.vector.CallBatch`; ``options_per_call[i]`` is
+        call ``i``'s candidate list.  The contract (proven by
+        ``run_differential`` and ``tests/test_vector.py``): the returned
+        choices, the RNG position, and every piece of learned state equal
+        what ``[self.assign(c, o) for ...]`` -- with **no interleaved
+        observes** -- would have produced.  Configurations outside the
+        vector fast path (greedy selector, budget gate, per-relay caps,
+        live outages, non-AS granularity) transparently take the scalar
+        loop.
+        """
+        if not obs_runtime.enabled:
+            return self._assign_many(calls, options_per_call)
+        t0 = perf_counter()
+        with trace("assign_many", metric=self.config.metric, n=len(options_per_call)):
+            choices = self._assign_many(calls, options_per_call)
+        self._obs_assign_batch.observe(perf_counter() - t0)
+        self._obs_batch_assigns.inc(len(choices))
+        return choices
+
+    def observe_many(self, calls, options, metrics_list) -> None:
+        """Learn from a batch of outcomes, bit-identical to sequential
+        ``observe`` over the same rows.
+
+        ``metrics_list`` is a sequence of :class:`PathMetrics` or a
+        prebuilt :class:`~repro.core.vector.MetricsBatch`.  Observes carry
+        no RNG, so ordering only matters within one (pair, option) cell --
+        which the grouped fold preserves exactly.  Configurations the
+        vector path does not cover (greedy selector, coordinates, non-AS
+        granularity) take the scalar loop.
+        """
+        if not obs_runtime.enabled:
+            return self._observe_many(calls, options, metrics_list)
+        t0 = perf_counter()
+        with trace("observe_many", metric=self.config.metric, n=len(options)):
+            self._observe_many(calls, options, metrics_list)
+        self._obs_observe_batch.observe(perf_counter() - t0)
+        self._obs_batch_observes.inc(len(options))
+        return None
+
+    def _vector_assign_eligible(self) -> bool:
+        """Can assigns take the columnar fast path under this config?
+
+        The vector path covers the paper-core configuration space at
+        ``as`` granularity.  The operational extensions (budget gate,
+        per-relay caps, live relay outages) and the greedy strawman
+        selector have inherently per-call sequential semantics, so batches
+        under them loop the scalar ``_assign`` -- same results, no
+        speedup.
+        """
+        return (
+            self.config.granularity == "as"
+            and self.config.selector != "greedy"
+            and self._budget_gate is None
+            and self._load_tracker is None
+            and not self._down_relays
+        )
+
+    def _vector_observe_eligible(self) -> bool:
+        return (
+            self.config.granularity == "as"
+            and self.config.selector != "greedy"
+            and self._coordinates is None
+        )
+
+    def _assign_many(self, calls, options_per_call) -> list[RelayOption]:
+        batch = as_call_batch(calls)
+        if len(batch.calls) != len(options_per_call):
+            raise ValueError(
+                f"assign_many got {len(batch.calls)} calls but "
+                f"{len(options_per_call)} option lists"
+            )
+        if not batch.calls:
+            return []
+        if not self._vector_assign_eligible():
+            scalar = self._assign
+            return [scalar(c, o) for c, o in zip(batch.calls, options_per_call)]
+        if not all(options_per_call):
+            raise ValueError("assign() needs at least one option")
+        return self._assign_vector(batch, options_per_call)
+
+    def _assign_vector(
+        self, batch: CallBatch, options_per_call
+    ) -> list[RelayOption]:
+        n = len(batch.calls)
+        periods = np.floor_divide(batch.t_hours, self.config.refresh_hours).astype(
+            np.int64
+        )
+        out: list[RelayOption] = [DIRECT] * n
+        lens = list(map(len, options_per_call))
+        # Split at refresh boundaries: each run of a constant period is one
+        # vector segment, refreshed exactly when the scalar loop would.
+        change = np.nonzero(np.diff(periods))[0] + 1
+        bounds = [0, *change.tolist(), n]
+        for s in range(len(bounds) - 1):
+            i0, i1 = bounds[s], bounds[s + 1]
+            period = int(periods[i0])
+            if period != self._period:
+                self._refresh(period)
+            self._assign_segment(batch, options_per_call, lens, i0, i1, out)
+        return out
+
+    def _assign_segment(
+        self, batch: CallBatch, options_per_call, lens: list, i0: int, i1: int, out: list
+    ) -> None:
+        """Vector-assign one constant-period slice ``[i0, i1)`` into ``out``."""
+        src = batch.src_asn[i0:i1]
+        dst = batch.dst_asn[i0:i1]
+        blocked = batch.direct_blocked[i0:i1]
+        m = i1 - i0
+        # Dense-rank the endpoints so composite pair codes cannot overflow
+        # regardless of raw ASN magnitudes; ranks preserve order, so the
+        # canonical (lo, hi) orientation matches PairKeyer exactly.
+        uv, ranks = np.unique(np.concatenate((src, dst)), return_inverse=True)
+        sr, dr = ranks[:m], ranks[m:]
+        lo = np.minimum(sr, dr)
+        hi = np.maximum(sr, dr)
+        flipped = sr > dr
+        codes = (lo.astype(np.int64) * len(uv) + hi) * 2 + blocked
+        groups, first, inv = np.unique(codes, return_index=True, return_inverse=True)
+        forward = np.empty(len(groups), dtype=object)
+        reverse = np.empty(len(groups), dtype=object)
+        # Within an assign batch only observes could mutate bandit state
+        # and there are none, so each (pair, blocked) group's exploit
+        # choice is a constant: compute it once per group.  Groups are
+        # visited in first-seen order so state creation matches the scalar
+        # loop's dict insertion order (checkpoints and coverage_holes
+        # expose that order).
+        for g in np.argsort(first, kind="stable").tolist():
+            j = int(first[g])
+            pair_key = (int(uv[lo[j]]), int(uv[hi[j]]))
+            direct_blocked = bool(blocked[j])
+            state = self._pair_state.get((pair_key, direct_blocked))
+            if state is None:
+                options = options_per_call[i0 + j]
+                if flipped[j]:
+                    norm_options = [o.reversed() for o in options]
+                else:
+                    norm_options = list(options)
+                state = self._state_for(pair_key, direct_blocked, norm_options)
+            choice = self._choose_exploit(state)
+            forward[g] = choice
+            reverse[g] = choice.reversed()
+        segment = np.where(flipped, reverse[inv], forward[inv]).tolist()
+        if self.config.epsilon > 0.0:
+            # ε general exploration, drawn in blocks with scalar-identical
+            # bitstream consumption (see vector.epsilon_explorations).
+            # Exploring calls return their own option verbatim:
+            # denormalize(normalize(o)) is the identity.
+            hits = epsilon_explorations(self._rng, self.config.epsilon, lens[i0:i1])
+            if hits:
+                self.n_epsilon_explorations += len(hits)
+                if obs_runtime.enabled:
+                    self._obs_epsilon.inc(len(hits))
+                for offset, pick in hits:
+                    segment[offset] = options_per_call[i0 + offset][pick]
+        out[i0:i1] = segment
+
+    def _choose_exploit(self, state: _PairState) -> RelayOption:
+        """The deterministic (non-ε) part of :meth:`_choose`."""
+        if self.config.topk_mode == "argmin":
+            if state.argmin_choice is not None:
+                return state.argmin_choice
+            return self._fallback(state.options)
+        assert state.bandit is not None
+        return state.bandit.choose()
+
+    def _observe_many(self, calls, options, metrics_list) -> None:
+        batch = as_call_batch(calls)
+        metrics = as_metrics_batch(metrics_list)
+        options = list(options)
+        if not (len(batch.calls) == len(options) == len(metrics)):
+            raise ValueError(
+                f"observe_many got {len(batch.calls)} calls, {len(options)} "
+                f"options and {len(metrics)} metric rows"
+            )
+        if not options:
+            return
+        if not self._vector_observe_eligible():
+            scalar = self._observe
+            for call, option, row in zip(batch.calls, options, metrics.iter_rows()):
+                scalar(call, option, row)
+            return
+        self._observe_vector(batch, options, metrics)
+
+    def _observe_vector(
+        self, batch: CallBatch, options: list[RelayOption], metrics: MetricsBatch
+    ) -> None:
+        n = len(options)
+        src = batch.src_asn
+        dst = batch.dst_asn
+        uv, ranks = np.unique(np.concatenate((src, dst)), return_inverse=True)
+        sr, dr = ranks[:n], ranks[n:]
+        lo = np.minimum(sr, dr)
+        hi = np.maximum(sr, dr)
+        flipped = sr > dr
+        # Normalise by unique (option object, flip) combination rather than
+        # per row: batches coming out of assign_many observe a handful of
+        # shared option objects over and over, so the reversed() calls and
+        # option hashing collapse to one per distinct combination.  The
+        # per-value ``opt_index`` then merges object-distinct but
+        # value-equal options into one id, so the grouped folds see
+        # exactly the key equality the scalar dicts do.
+        obj_ids = np.fromiter(map(id, options), dtype=np.int64, count=n)
+        idcodes = obj_ids * 2 + flipped
+        _, u_first, u_inv = np.unique(idcodes, return_index=True, return_inverse=True)
+        opt_index: dict[RelayOption, int] = {}
+        canonical: list[RelayOption] = []
+        u_norm = np.empty(len(u_first), dtype=object)
+        u_oid = np.empty(len(u_first), dtype=np.int64)
+        for u, j in enumerate(u_first.tolist()):
+            option = options[j]
+            normalized = option.reversed() if flipped[j] else option
+            oid = opt_index.get(normalized)
+            if oid is None:
+                oid = len(opt_index)
+                opt_index[normalized] = oid
+                canonical.append(normalized)
+            u_norm[u] = canonical[oid]
+            u_oid[u] = oid
+        norm = u_norm[u_inv]
+        opt_ids = u_oid[u_inv]
+        pair_codes = lo.astype(np.int64) * len(uv) + hi
+        windows = np.floor_divide(batch.t_hours, self.history.window_hours).astype(
+            np.int64
+        )
+        wmin = int(windows.min())
+        wspan = int(windows.max()) - wmin + 1
+        n_opts = len(opt_index)
+        values = metrics.values
+        # --- History fold: group rows by (pair, window, option). -------
+        hcodes = (pair_codes * wspan + (windows - wmin)) * n_opts + opt_ids
+        hgroups, hfirst, hinv = np.unique(
+            hcodes, return_index=True, return_inverse=True
+        )
+        by_row = np.argsort(hinv, kind="stable")
+        starts = np.searchsorted(hinv[by_row], np.arange(len(hgroups)))
+        ends = np.append(starts[1:], n)
+        history = self.history
+        pair_keys: dict[int, tuple] = {}
+        # First-seen group order keeps window-bucket dict insertion order
+        # identical to the scalar loop; downstream iteration (tomography
+        # fits, population priors, serialisation) observes that order, so
+        # it is part of the bit-equivalence contract.
+        for g in np.argsort(hfirst, kind="stable").tolist():
+            j = int(hfirst[g])
+            code = int(pair_codes[j])
+            pair_key = pair_keys.get(code)
+            if pair_key is None:
+                pair_key = (int(uv[lo[j]]), int(uv[hi[j]]))
+                pair_keys[code] = pair_key
+            rows = by_row[starts[g] : ends[g]]
+            history.add_group(pair_key, norm[j], int(windows[j]), values[rows])
+        # --- Bandit fold: group rows by (pair, blocked, option). -------
+        # Per-arm cost sums fold in batch order; cross-arm interleaving
+        # commutes (sums and maxima), so grouping preserves equality.
+        blocked = batch.direct_blocked
+        scodes = (pair_codes * 2 + blocked) * n_opts + opt_ids
+        sgroups, sfirst, sinv = np.unique(
+            scodes, return_index=True, return_inverse=True
+        )
+        s_by_row = np.argsort(sinv, kind="stable")
+        s_starts = np.searchsorted(sinv[s_by_row], np.arange(len(sgroups)))
+        s_ends = np.append(s_starts[1:], n)
+        costs: np.ndarray | None = None
+        states: dict[tuple[int, bool], _PairState | None] = {}
+        for g in np.argsort(sfirst, kind="stable").tolist():
+            j = int(sfirst[g])
+            code = int(pair_codes[j])
+            direct_blocked = bool(blocked[j])
+            state_cache_key = (code, direct_blocked)
+            if state_cache_key in states:
+                state = states[state_cache_key]
+            else:
+                state = self._pair_state.get((pair_keys[code], direct_blocked))
+                states[state_cache_key] = state
+            if state is None or state.bandit is None:
+                continue
+            arm = norm[j]
+            if not state.bandit.has_arm(arm):
+                continue
+            if costs is None:
+                costs = self._cost.call_cost_many(values)
+            rows = s_by_row[s_starts[g] : s_ends[g]]
+            state.bandit.update_many(arm, costs[rows].tolist())
 
     # ------------------------------------------------------------------
     # Relay outages (operator-marked, graceful degradation)
@@ -638,6 +961,24 @@ class ViaPolicy:
         if self._budget_gate is None:
             return None
         return self._budget_gate.relayed_fraction
+
+
+class VectorizedViaPolicy(ViaPolicy):
+    """A :class:`ViaPolicy` whose scalar calls route through the vector path.
+
+    ``assign``/``observe`` become batches of one, so every per-call code
+    path runs the columnar implementation.  This exists for conformance:
+    :func:`repro.verify.differential.run_differential` swaps it in as the
+    production candidate to prove the vector machinery bit-identical to
+    the scalar oracle -- same choices, same RNG draw order, same learned
+    state -- across randomized configurations and call streams.
+    """
+
+    def assign(self, call: Call, options: list[RelayOption]) -> RelayOption:
+        return self.assign_many([call], [options])[0]
+
+    def observe(self, call: Call, option: RelayOption, metrics: PathMetrics) -> None:
+        self.observe_many([call], [option], [metrics])
 
 
 def make_policy(

@@ -16,13 +16,83 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+import numpy as np
+
 from repro.core.predictor import Prediction
 from repro.netmodel.options import RelayOption
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.costs import CostModel
 
-__all__ = ["dynamic_top_k", "fixed_top_k", "dynamic_top_k_cost", "fixed_top_k_cost"]
+__all__ = [
+    "dynamic_top_k",
+    "fixed_top_k",
+    "dynamic_top_k_cost",
+    "fixed_top_k_cost",
+    "top_k_from_bounds",
+]
+
+
+def top_k_from_bounds(
+    lowers: np.ndarray,
+    uppers: np.ndarray,
+    means: np.ndarray,
+    *,
+    max_k: int | None = None,
+) -> np.ndarray:
+    """Algorithm 2 on columnar bounds: indices kept, best-predicted first.
+
+    The vectorised core shared by every top-k entry point.  Options are
+    walked by ascending lower bound (stable order, so ties resolve exactly
+    like the scalar ``sorted`` walk did); the kept set is the prefix up to
+    the first option whose lower bound clears the running maximum upper
+    bound of everything already kept.  The survivors are re-ranked by
+    predicted mean (stable again) and optionally capped at ``max_k``.
+
+    Equivalence with the historical scalar walk is enforced by the PR 5
+    oracle (:func:`repro.verify.oracles.oracle_dynamic_top_k`) through
+    ``run_differential`` and by hypothesis tests in ``tests/test_vector.py``.
+    """
+    lowers = np.asarray(lowers, dtype=np.float64)
+    uppers = np.asarray(uppers, dtype=np.float64)
+    means = np.asarray(means, dtype=np.float64)
+    if not len(lowers):
+        return np.empty(0, dtype=np.int64)
+    order = np.argsort(lowers, kind="stable")
+    sorted_lowers = lowers[order]
+    running_upper = np.maximum.accumulate(uppers[order])
+    breaks = np.nonzero(sorted_lowers[1:] > running_upper[:-1])[0]
+    cut = int(breaks[0]) + 1 if breaks.size else len(order)
+    kept = order[:cut]
+    kept = kept[np.argsort(means[kept], kind="stable")]
+    if max_k is not None and len(kept) > max_k:
+        kept = kept[:max_k]
+    return kept
+
+
+def _cost_columns(
+    options: list[RelayOption],
+    predictions: dict[RelayOption, Prediction],
+    cost_model: "CostModel",
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(lower, upper, mean) cost columns for ``options``, in order."""
+    n = len(options)
+    lowers = np.fromiter(
+        (cost_model.predicted_lower(predictions[o]) for o in options),
+        dtype=np.float64,
+        count=n,
+    )
+    uppers = np.fromiter(
+        (cost_model.predicted_upper(predictions[o]) for o in options),
+        dtype=np.float64,
+        count=n,
+    )
+    means = np.fromiter(
+        (cost_model.predicted(predictions[o]) for o in options),
+        dtype=np.float64,
+        count=n,
+    )
+    return lowers, uppers, means
 
 
 def dynamic_top_k_cost(
@@ -33,29 +103,19 @@ def dynamic_top_k_cost(
 ) -> list[RelayOption]:
     """Algorithm 2: minimal confident top set, best predicted cost first.
 
-    Walks options by ascending lower cost bound, tracking the maximum
-    upper bound of the set built so far; the first option whose lower
-    bound clears that maximum -- and, because of the ordering, every later
-    option too -- can be confidently excluded.  ``max_k`` optionally caps
-    the set size (keeping the best predicted costs) to bound bandit width
-    on very noisy pairs.
+    Columnar since PR 7: the bounds are extracted once into numpy columns
+    and the prefix walk runs as vector ops (:func:`top_k_from_bounds`).
+    Option order ties break on dict insertion order, exactly as the
+    historical ``sorted``-based walk did.  ``max_k`` optionally caps the
+    set size (keeping the best predicted costs) to bound bandit width on
+    very noisy pairs.
     """
     if not predictions:
         return []
-    by_lower = sorted(
-        predictions.items(), key=lambda item: cost_model.predicted_lower(item[1])
-    )
-    kept: list[RelayOption] = [by_lower[0][0]]
-    max_upper = cost_model.predicted_upper(by_lower[0][1])
-    for option, prediction in by_lower[1:]:
-        if cost_model.predicted_lower(prediction) > max_upper:
-            break
-        kept.append(option)
-        max_upper = max(max_upper, cost_model.predicted_upper(prediction))
-    kept.sort(key=lambda opt: cost_model.predicted(predictions[opt]))
-    if max_k is not None and len(kept) > max_k:
-        kept = kept[:max_k]
-    return kept
+    options = list(predictions)
+    lowers, uppers, means = _cost_columns(options, predictions, cost_model)
+    kept = top_k_from_bounds(lowers, uppers, means, max_k=max_k)
+    return [options[i] for i in kept.tolist()]
 
 
 def fixed_top_k_cost(
@@ -66,8 +126,14 @@ def fixed_top_k_cost(
     """The fixed-k ablation of Figure 15: best k predicted costs."""
     if k < 1:
         raise ValueError(f"k must be >= 1: {k}")
-    ranked = sorted(predictions, key=lambda opt: cost_model.predicted(predictions[opt]))
-    return ranked[:k]
+    options = list(predictions)
+    means = np.fromiter(
+        (cost_model.predicted(predictions[o]) for o in options),
+        dtype=np.float64,
+        count=len(options),
+    )
+    ranked = np.argsort(means, kind="stable")[:k]
+    return [options[i] for i in ranked.tolist()]
 
 
 def dynamic_top_k(

@@ -82,7 +82,10 @@ class ViaController:
     :meth:`start` restore a previous checkpoint when one exists (write one
     with :meth:`save_snapshot`).  ``admission`` tunes the overload ladder
     (the default config admits everything); ``n_workers`` sizes the
-    policy worker pool serving pipelined v2 requests; ``idle_timeout_s``
+    policy worker pool serving pipelined v2 requests;
+    ``request_batch_max`` caps how many backlogged requests one worker
+    drains into a single vectorised ``assign_many`` pass (1 disables
+    batching; see ``docs/performance.md``); ``idle_timeout_s``
     disconnects slow-loris/idle peers (None disables).
 
     Every controller owns a private :class:`MetricsRegistry` (pass one in
@@ -119,6 +122,7 @@ class ViaController:
         admission: AdmissionConfig | None = None,
         n_workers: int = 4,
         idle_timeout_s: float | None = None,
+        request_batch_max: int = 16,
     ) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.policy = ViaPolicy(
@@ -128,6 +132,7 @@ class ViaController:
         self._requested_port = port
         self._n_workers = n_workers
         self._idle_timeout_s = idle_timeout_s
+        self._request_batch_max = request_batch_max
         self.client_sites: dict[int, str] = {}
         self.site_labels: dict[int, str] = {}
         self._call_counter = 0
@@ -255,6 +260,7 @@ class ViaController:
             port=self._requested_port,
             n_workers=self._n_workers,
             idle_timeout_s=self._idle_timeout_s,
+            request_batch_max=self._request_batch_max,
         )
         await frontend.start()
         self._frontend = frontend
@@ -438,6 +444,42 @@ class ViaController:
         encoded = encode_option(choice)
         self._assign_cache[(message.src_id, message.dst_id)] = encoded
         return AssignMessage(option=encoded)
+
+    def _on_request_many(
+        self, messages: list[RequestMessage], *, log: bool = True
+    ) -> list[AssignMessage]:
+        """Batched :meth:`_on_request`: one vectorised policy pass.
+
+        Handling is equivalent to serving the requests one by one in
+        arrival order -- WAL records, call ids, assignment-cache writes
+        and the policy's RNG draws all happen in the same sequence
+        (``assign_many`` equals sequential ``assign`` calls when no
+        observes interleave, which is exactly the request path) -- but
+        the selection itself runs through
+        :meth:`~repro.core.policy.ViaPolicy.assign_many`, amortising the
+        per-call hot path across the whole drained queue
+        (``docs/performance.md``).
+        """
+        if log and self.store is not None:
+            # Log-before-act, in arrival order, exactly as the scalar
+            # handler would have.
+            for message in messages:
+                self.store.log_request(
+                    message.src_id, message.dst_id, message.t_hours, message.options
+                )
+        calls = [
+            self._call_from(m.src_id, m.dst_id, m.t_hours) for m in messages
+        ]
+        options_per_call = [
+            [decode_option(o) for o in m.options] for m in messages
+        ]
+        choices = self.policy.assign_many(calls, options_per_call)
+        replies: list[AssignMessage] = []
+        for message, choice in zip(messages, choices):
+            encoded = encode_option(choice)
+            self._assign_cache[(message.src_id, message.dst_id)] = encoded
+            replies.append(AssignMessage(option=encoded))
+        return replies
 
     def cached_assignment(self, message: RequestMessage) -> AssignMessage | None:
         """The degrade rung: the pair's last assignment, if it is still

@@ -296,6 +296,7 @@ def _make_ctx(
     trace: TraceDataset | None,
     scenarios: Mapping[Hashable, Any],
     quality: "QualityModel | None",
+    batch_calls: int = 1,
 ) -> dict[str, Any]:
     return {
         "world": world,
@@ -303,6 +304,7 @@ def _make_ctx(
         "scenarios": dict(scenarios),
         "scenes": {},
         "quality": quality,
+        "batch_calls": batch_calls,
     }
 
 
@@ -312,9 +314,10 @@ def _init_worker(
     scenarios: Mapping[Hashable, Any],
     quality: "QualityModel | None",
     obs_enabled: bool,
+    batch_calls: int = 1,
 ) -> None:
     global _CTX
-    _CTX = _make_ctx(world, trace, scenarios, quality)
+    _CTX = _make_ctx(world, trace, scenarios, quality, batch_calls)
     if obs_enabled:
         # Each worker feeds its own process-local via_replay_* gauges.
         obs_runtime.enable()
@@ -348,7 +351,14 @@ def _execute(
 ) -> TaskResult:
     world, trace = _scene(ctx, task.scenario)
     policy = task.policy.build(world)
-    result = replay(world, trace, policy, seed=seed, quality=ctx["quality"])
+    result = replay(
+        world,
+        trace,
+        policy,
+        seed=seed,
+        quality=ctx["quality"],
+        batch_calls=ctx.get("batch_calls", 1),
+    )
     return TaskResult(index=index, task=task, seed=seed, result=result)
 
 
@@ -372,6 +382,7 @@ def run_grid(
     base_seed: int = 0,
     workers: int = 1,
     quality: "QualityModel | None" = None,
+    batch_calls: int = 1,
 ) -> list[TaskResult]:
     """Replay every task in the grid; results come back in task order.
 
@@ -384,10 +395,16 @@ def run_grid(
     ``scenarios`` maps task ``scenario`` keys to either a prebuilt
     ``(world, trace)`` pair or a :class:`ScenarioSpec`; tasks with
     ``scenario=None`` use the shared ``world``/``trace`` arguments.
+    ``batch_calls`` is forwarded to every :func:`replay` call, so grids can
+    run each cell through the vectorised batch hot path (see
+    ``docs/performance.md``); the parallel/serial equivalence holds for
+    any fixed value.
     """
     tasks = list(tasks)
     if workers < 1:
         raise ValueError(f"workers must be >= 1: {workers}")
+    if batch_calls < 1:
+        raise ValueError(f"batch_calls must be >= 1: {batch_calls}")
     if (world is None) != (trace is None):
         raise ValueError("world and trace must be given together")
     if not tasks:
@@ -408,7 +425,7 @@ def run_grid(
     items = [(i, task, seeds[i]) for i, task in enumerate(tasks)]
 
     if workers == 1 or len(tasks) == 1:
-        ctx = _make_ctx(world, trace, scenarios, quality)
+        ctx = _make_ctx(world, trace, scenarios, quality, batch_calls)
         return [_execute(ctx, i, task, seed) for (i, task, seed) in items]
 
     method = "fork" if "fork" in multiprocessing.get_all_start_methods() else None
@@ -417,7 +434,7 @@ def run_grid(
     with mp_ctx.Pool(
         processes=n_workers,
         initializer=_init_worker,
-        initargs=(world, trace, scenarios, quality, obs_runtime.enabled),
+        initargs=(world, trace, scenarios, quality, obs_runtime.enabled, batch_calls),
     ) as pool:
         results = pool.map(_pool_task, items, chunksize=1)
     results.sort(key=lambda r: r.index)

@@ -128,6 +128,7 @@ def replay(
     seed: int = 0,
     quality: QualityModel | None = None,
     prober: "ActiveProber | None" = None,
+    batch_calls: int = 1,
 ) -> ReplayResult:
     """Replay ``trace`` through ``policy`` on ``world``.
 
@@ -136,12 +137,35 @@ def replay(
     ``prober`` optionally executes active mock-call measurements between
     real calls (the §7 extension; see :mod:`repro.core.probing`).
 
+    ``batch_calls > 1`` routes through the policy's vectorised
+    ``assign_many``/``observe_many`` interface in chunks of up to that many
+    calls (trimmed at relay-outage boundaries).  Within a chunk the policy
+    assigns every call before observing any outcome, so learning feedback
+    is delayed by up to one chunk relative to the serial interleaving --
+    the documented batch-semantics trade-off (``docs/performance.md``).
+    ``batch_calls=1`` is the serial path, bit for bit.  Policies without a
+    batch interface, and replays using a prober or a probing policy, fall
+    back to serial regardless.
+
     The outcome RNG is derived from ``seed`` only, so two policies replayed
     with the same seed face identical noise *processes* (though different
     assignment sequences consume draws differently).
     """
+    if batch_calls < 1:
+        raise ValueError(f"batch_calls must be >= 1: {batch_calls}")
     rng = np.random.default_rng(seed)
     result = ReplayResult(policy_name=policy.name)
+    if (
+        batch_calls > 1
+        and prober is None
+        and getattr(policy, "plan_probe", None) is None
+        and hasattr(policy, "assign_many")
+        and hasattr(policy, "observe_many")
+    ):
+        return _replay_batched(
+            world, trace, policy, rng, result,
+            quality=quality, batch_calls=batch_calls,
+        )
     outcomes = result.outcomes
     sample_call = world.sample_call
     options_for_pair = world.options_for_pair
@@ -217,6 +241,98 @@ def replay(
         _G_CALLS.set(len(outcomes))
         _G_FRACTION.set(1.0)
     result.n_probes = prober.n_probes_issued if prober is not None else 0
+    return result
+
+
+def _replay_batched(
+    world: World,
+    trace: TraceDataset,
+    policy: SelectionPolicy,
+    rng: np.random.Generator,
+    result: ReplayResult,
+    *,
+    quality: QualityModel | None,
+    batch_calls: int,
+) -> ReplayResult:
+    """Chunked replay through ``assign_many``/``observe_many``.
+
+    Chunks never span a relay-outage boundary, so the policy's down-relay
+    set stays synchronised exactly as in the serial loop.  Per-call outcome
+    sampling (and optional rating) consumes the outcome RNG in the same
+    order as serial replay -- ``batch_calls=1`` therefore reproduces the
+    serial result bit for bit, while larger chunks differ only through the
+    documented delayed-feedback semantics of the batch interface.
+    """
+    outcomes = result.outcomes
+    sample_call = world.sample_call
+    options_for_pair = world.options_for_pair
+    outages = tuple(getattr(world, "outages", ()))
+    set_down = getattr(policy, "set_down_relays", None) if outages else None
+    last_down: frozenset[int] | None = None
+    n_total = len(trace)
+    obs_calls = _C_CALLS.labels(policy=policy.name)
+    last_day = -1
+    calls = list(trace)
+    n = len(calls)
+    i = 0
+    while i < n:
+        if outages:
+            # Trim the chunk at the first outage transition so one
+            # ``set_down_relays`` call covers every call in it.
+            down = world.relays_down_at(calls[i].t_hours)
+            j = i + 1
+            while j < n and j - i < batch_calls:
+                if world.relays_down_at(calls[j].t_hours) != down:
+                    break
+                j += 1
+            if set_down is not None and down != last_down:
+                set_down(down)
+                last_down = down
+            result.outage_flags.extend([bool(down)] * (j - i))
+        else:
+            j = min(i + batch_calls, n)
+        chunk = calls[i:j]
+        if obs_runtime.enabled:
+            day = int(chunk[0].t_hours // 24.0)
+            if day != last_day:
+                _G_DAY.set(day)
+                last_day = day
+            done = len(outcomes)
+            _G_CALLS.set(done)
+            _G_FRACTION.set(done / n_total if n_total else 1.0)
+            obs_calls.inc(len(chunk))
+        options_per_call = []
+        for call in chunk:
+            options = options_for_pair(call.src_asn, call.dst_asn)
+            if call.direct_blocked:
+                options = [o for o in options if o.is_relayed]
+            options_per_call.append(options)
+        choices = policy.assign_many(chunk, options_per_call)
+        metrics_rows = []
+        for call, option in zip(chunk, choices):
+            if outages and not world.option_available(option, call.t_hours):
+                result.n_dead_assignments += 1
+            metrics = sample_call(
+                call.src_asn,
+                call.dst_asn,
+                option,
+                call.t_hours,
+                rng,
+                src_wireless=call.src_wireless,
+                dst_wireless=call.dst_wireless,
+                src_prefix=call.src_prefix,
+                dst_prefix=call.dst_prefix,
+            )
+            metrics_rows.append(metrics)
+            rating = quality.maybe_rate(metrics, rng) if quality is not None else None
+            outcomes.append(
+                CallOutcome(call=call, option=option, metrics=metrics, rating=rating)
+            )
+        policy.observe_many(chunk, choices, metrics_rows)
+        i = j
+    if obs_runtime.enabled:
+        _G_CALLS.set(len(outcomes))
+        _G_FRACTION.set(1.0)
     return result
 
 

@@ -167,37 +167,50 @@ def run_verify(
         return False
 
     try:
-        # Leg 1: differential oracle-vs-production streams.
+        # Leg 1: differential oracle-vs-production streams.  Every stream
+        # proves two candidates against the algorithm oracle: the scalar
+        # ViaPolicy and the vectorised hot path routed through batches of
+        # one (VectorizedViaPolicy) -- the PR's scalar-oracle equivalence
+        # guarantee, exercised end to end (docs/performance.md).
+        from repro.core.policy import VectorizedViaPolicy
+
+        candidates = (("scalar", None), ("vector", VectorizedViaPolicy))
         n_steps = 0
+        n_streams = 0
         leg_failures = 0
         for i in range(budget.differential_streams):
             if out_of_time():
                 break
             stream_seed = budget.seed + i
-            try:
-                stream = run_differential(
-                    n_steps=budget.differential_steps, seed=stream_seed
-                )
-                n_steps += stream.n_steps
-            except DivergenceError as exc:
-                leg_failures += 1
-                report.failures.append(
-                    {"leg": "differential", "seed": stream_seed, "error": str(exc),
-                     "context": exc.context}
-                )
-            except Exception as exc:  # harness crash: also a finding
-                leg_failures += 1
-                report.failures.append(
-                    {"leg": "differential", "seed": stream_seed,
-                     "error": f"harness raised: {exc!r}"}
-                )
-            report.n_checks += 1
-            obs_checks.labels(leg="differential").inc()
+            n_streams += 1
+            for label, factory in candidates:
+                kwargs = {} if factory is None else {"production_factory": factory}
+                try:
+                    stream = run_differential(
+                        n_steps=budget.differential_steps, seed=stream_seed, **kwargs
+                    )
+                    n_steps += stream.n_steps
+                except DivergenceError as exc:
+                    leg_failures += 1
+                    report.failures.append(
+                        {"leg": "differential", "candidate": label,
+                         "seed": stream_seed, "error": str(exc),
+                         "context": exc.context}
+                    )
+                except Exception as exc:  # harness crash: also a finding
+                    leg_failures += 1
+                    report.failures.append(
+                        {"leg": "differential", "candidate": label,
+                         "seed": stream_seed,
+                         "error": f"harness raised: {exc!r}"}
+                    )
+                report.n_checks += 1
+                obs_checks.labels(leg="differential").inc()
         if leg_failures:
             obs_failures.labels(leg="differential").inc(leg_failures)
         report.legs.append(
-            f"differential: {report.n_checks} streams, {n_steps} steps, "
-            f"{leg_failures} divergences"
+            f"differential: {n_streams} streams x {len(candidates)} candidates "
+            f"(scalar, vector), {n_steps} steps, {leg_failures} divergences"
         )
 
         # Leg 2: the crash-point sweep.

@@ -103,7 +103,18 @@ class TestFaultInjection:
                         )
 
                 await asyncio.gather(*(flood(c) for c in clients))
+                # Measurements are fire-and-forget: the gather above only
+                # proves the bytes were written, not that the server has
+                # drained every connection's queue.  Poll until the counter
+                # converges, then assert the exact total (nothing lost).
+                deadline = asyncio.get_running_loop().time() + 5.0
                 stats = await clients[0].fetch_stats()
+                while (
+                    stats.n_measurements < 8 * 25
+                    and asyncio.get_running_loop().time() < deadline
+                ):
+                    await asyncio.sleep(0.02)
+                    stats = await clients[0].fetch_stats()
                 assert stats.n_measurements == 8 * 25
                 await asyncio.gather(*(c.close() for c in clients))
 

@@ -371,7 +371,8 @@ class TestRunner:
         assert len(report.legs) == 3
         assert report.artifact_path is None
         text = registry.render_text()
-        assert 'via_verify_checks_total{leg="differential"} 1' in text
+        # One stream x two candidates (scalar ViaPolicy + VectorizedViaPolicy).
+        assert 'via_verify_checks_total{leg="differential"} 2' in text
         assert 'via_verify_checks_total{leg="crashpoints"}' in text
         assert "via_verify_last_duration_seconds" in text
         assert "seed=0" in report.summary() and "PASS" in report.summary()
@@ -391,7 +392,7 @@ class TestRunner:
     def test_failure_writes_seed_reproducible_artifact(self, tmp_path, monkeypatch):
         import repro.verify.runner as runner_module
 
-        def planted(n_steps, seed):
+        def planted(n_steps, seed, **kwargs):
             raise DivergenceError("planted divergence", {"seed": seed})
 
         monkeypatch.setattr(runner_module, "run_differential", planted)
@@ -405,7 +406,8 @@ class TestRunner:
         payload = json.loads(report.artifact_path.read_text(encoding="utf-8"))
         assert payload["seed"] == 0
         assert payload["failures"][0]["leg"] == "differential"
-        assert 'via_verify_failures_total{leg="differential"} 1' in registry.render_text()
+        # The planted bug diverges for both candidates (scalar + vector).
+        assert 'via_verify_failures_total{leg="differential"} 2' in registry.render_text()
         assert "reproduce with: repro verify --seed 0" in report.summary()
 
 
