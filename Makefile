@@ -4,12 +4,12 @@ PYTHON ?= python
 # Worker processes for parallel-capable benchmarks: make bench WORKERS=4
 WORKERS ?= 1
 
-.PHONY: install test test-async test-faults test-parallel test-store test-vector test-verify check docs-check bench bench-record examples quick-bench all clean
+.PHONY: install test test-async test-faults test-parallel test-shard test-store test-vector test-verify check docs-check bench bench-record examples quick-bench all clean
 
 install:
 	pip install -e .
 
-test: docs-check test-parallel test-store test-async test-vector
+test: docs-check test-parallel test-store test-async test-vector test-shard
 	PYTHONPATH=src $(PYTHON) -m pytest tests/
 
 # Documentation referential integrity: fail on dangling repro.* symbol
@@ -38,6 +38,12 @@ test-parallel:
 test-vector:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/test_vector.py -m vector
 
+# Sharded controller ring: consistent-hash routing + redirect repair,
+# gossip replication, ShardedPolicy checkpoint/batch contracts, and the
+# multiprocess WAL-failover acceptance test.
+test-shard:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/test_ring.py tests/test_sharding.py
+
 # Durable storage plane: WAL framing/rotation, compaction, and the
 # crash-recovery equivalence contract (snapshot + WAL-tail replay).
 test-store:
@@ -65,6 +71,8 @@ bench:
 bench-record:
 	REPRO_BENCH_RECORD=1 PYTHONPATH=src $(PYTHON) -m pytest \
 	    benchmarks/bench_ext_overload.py --benchmark-only
+	REPRO_BENCH_RECORD=1 PYTHONPATH=src $(PYTHON) -m pytest \
+	    benchmarks/bench_ext_sharded_controller.py --benchmark-only
 	REPRO_BENCH_RECORD=1 PYTHONPATH=src $(PYTHON) -m pytest \
 	    "benchmarks/bench_ext_parallel_replay.py::test_vector_hot_path_speedup" \
 	    --benchmark-only

@@ -47,25 +47,47 @@ def recording_enabled() -> bool:
     return os.environ.get("REPRO_BENCH_RECORD", "").strip() == "1"
 
 
-def record_bench_json(area: str, benchmark_name: str, payload: dict) -> Path | None:
+def record_bench_json(
+    area: str, benchmark_name: str, payload: dict, *, section: str | None = None
+) -> Path | None:
     """Commit a structured perf baseline: ``BENCH_<area>.json`` at the repo root.
 
     Only writes under ``REPRO_BENCH_RECORD=1``; returns the written path
     (or None when recording is off).  The convention (documented in
-    ``docs/performance.md``): one JSON object per benchmark area with a
+    ``docs/performance.md``): each entry is a JSON object with a
     ``benchmark`` id, a ``recorded_at`` date, and the benchmark's own
     structured summary -- for the hot-path bench that means calls/sec,
     per-call p50/p99 and peak RSS per path, plus the speedup ratio that
     ``scripts/ci_check.py`` guards against regression.
+
+    Without ``section`` the entry *is* the file (one benchmark owns the
+    area).  With ``section`` the entry is merged in under that key, so
+    several benchmarks can share one area file (``BENCH_deployment.json``
+    holds both the overload ladder and the sharded fleet) and re-recording
+    one of them leaves the others' baselines intact.
     """
     if not recording_enabled():
         return None
     path = REPO_ROOT / f"BENCH_{area}.json"
-    body = {
+    entry = {
         "benchmark": benchmark_name,
         "recorded_at": time.strftime("%Y-%m-%d", time.gmtime()),
         **payload,
     }
+    if section is None:
+        body = entry
+    else:
+        body = {}
+        if path.exists():
+            try:
+                existing = json.loads(path.read_text(encoding="utf-8"))
+            except ValueError:
+                existing = None
+            # Only a sectioned file can be merged into; a legacy
+            # whole-file baseline (has its own "benchmark" id) is replaced.
+            if isinstance(existing, dict) and "benchmark" not in existing:
+                body = existing
+        body[section] = entry
     path.write_text(json.dumps(body, indent=2) + "\n", encoding="utf-8")
     print(f"recorded perf baseline -> {path.name}")
     return path

@@ -175,4 +175,5 @@ def test_ext_overload_sweep(benchmark):
             "n_connections": N_CONNECTIONS,
             "levels": rows,
         },
+        section="overload",
     )

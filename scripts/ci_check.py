@@ -16,7 +16,12 @@ Runs, in order, failing fast:
    scalar-vs-vector speedup must stay within
    :data:`BENCH_REGRESSION_TOLERANCE` of the committed ``BENCH_core.json``
    baseline (recorded by ``make bench-record``) — a >20% regression on
-   the batch assignment path fails the build.
+   the batch assignment path fails the build;
+5. a 2-shard controller-ring smoke: hello (shard map discovery) →
+   routed measurements → a gossip round replicating the fleet history →
+   a WAL-recovered failover that catches up via gossip.  The full suite
+   is ``make test-shard``; this leg just proves the ring wires up end to
+   end in the gate environment.
 
 The coverage leg uses :mod:`trace` (stdlib) rather than ``coverage.py``
 deliberately: the reproduction environment is offline and must not grow
@@ -182,6 +187,98 @@ def _bench_regression_gate() -> bool:
     return True
 
 
+def _shard_smoke() -> bool:
+    """End-to-end ring smoke: hello → route → gossip → failover."""
+    print("== shard: 2-shard ring smoke (hello/route/gossip/failover)", flush=True)
+    import asyncio
+
+    async def smoke(tmp: Path) -> str | None:
+        from repro.core.policy import ViaConfig
+        from repro.deployment.protocol import ShardMapMessage
+        from repro.deployment.ring import (
+            InProcessRing,
+            ShardController,
+            ShardedViaClient,
+        )
+        from repro.netmodel.metrics import PathMetrics
+        from repro.netmodel.options import DIRECT, RelayOption
+
+        options = [DIRECT, RelayOption.bounce(0)]
+        ring = InProcessRing(2, ViaConfig(seed=5), store_root=tmp)
+        await ring.start()
+        try:
+            # hello: the ack must carry the shard map.
+            client = ShardedViaClient(1, "US", "127.0.0.1", ring.shards[0].port)
+            await client.connect()
+            if client.shard_map != ring.shard_map:
+                return "hello_ack did not carry the shard map"
+            # route: one pair per shard; each measurement lands on its owner.
+            dsts: dict[int, int] = {}
+            dst = 2
+            while len(dsts) < 2:
+                dsts.setdefault(ring.shard_map.shard_of(1, dst), dst)
+                dst += 1
+            for d in dsts.values():
+                result = await client.assign(d, options, 0.1)
+                await client.report_measurement(
+                    d, result.option, PathMetrics(90.0, 0.01, 4.0), 0.1
+                )
+            for _ in range(500):
+                if all(s.n_measurements == 1 for s in ring.shards):
+                    break
+                await asyncio.sleep(0.01)
+            await client.close()
+            counts = [s.n_measurements for s in ring.shards]
+            if counts != [1, 1]:
+                return f"measurements misrouted: {counts}"
+            # gossip: one round replicates the fleet's history everywhere.
+            await ring.gossip_round()
+            merged = [s.policy.history.total_calls() for s in ring.shards]
+            if merged != [2, 2]:
+                return f"gossip did not replicate the fleet history: {merged}"
+            # failover: hard-stop shard 0, recover a replacement from its
+            # WAL, then one gossip round catches it up on the fleet.
+            await ring.shards[0].stop()
+            revived = ShardController(
+                ViaConfig(seed=5),
+                shard_index=0,
+                n_shards=2,
+                gossip_on_map_update=False,
+                store=tmp / "shard-0",
+            )
+            await revived.start()
+            try:
+                if revived.local_history.total_calls() != 1:
+                    return "WAL recovery lost the shard's own measurements"
+                revived._on_shard_map(
+                    ShardMapMessage(
+                        shard_map={
+                            "version": 2,
+                            "shards": [
+                                ["127.0.0.1", revived.port],
+                                ["127.0.0.1", ring.shards[1].port],
+                            ],
+                        }
+                    )
+                )
+                await revived.gossip_now()
+                if revived.policy.history.total_calls() != 2:
+                    return "post-failover gossip did not catch up"
+            finally:
+                await revived.stop()
+        finally:
+            await ring.shards[1].stop()
+        return None
+
+    with tempfile.TemporaryDirectory(prefix="ci-shard-") as tmp:
+        failure = asyncio.run(smoke(Path(tmp)))
+    if failure is not None:
+        print(f"ci-check: FAILED at shard-smoke ({failure})")
+        return False
+    print("  ring OK: map discovery, routing, gossip replication, WAL failover")
+    return True
+
+
 def main() -> int:
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
@@ -202,7 +299,12 @@ def main() -> int:
     # traced verify leg (which requires repro.verify to be un-imported).
     if not _bench_regression_gate():
         return 1
-    print("ci-check: OK (docs, tier-1, verify + coverage floor, bench gate)")
+    if not _shard_smoke():
+        return 1
+    print(
+        "ci-check: OK (docs, tier-1, verify + coverage floor, bench gate, "
+        "shard smoke)"
+    )
     return 0
 
 

@@ -642,6 +642,20 @@ class ViaPolicy:
     # Stages 2-3: periodic refresh
     # ------------------------------------------------------------------
 
+    def refresh(self, t_hours: float) -> bool:
+        """Roll the window over to the period covering ``t_hours``.
+
+        The per-call paths do this lazily; controller loops (and fleet
+        wrappers like :class:`~repro.core.sharding.ShardedPolicy`) call
+        it explicitly so idle policies still retire stale predictors.
+        Returns True when a refresh actually ran (the period changed).
+        """
+        period = int(t_hours // self.config.refresh_hours)
+        if period == self._period:
+            return False
+        self._refresh(period)
+        return True
+
     def _refresh(self, period: int) -> None:
         with trace("refresh", metric=self.config.metric, period=period):
             self._do_refresh(period)

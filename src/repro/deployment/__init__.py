@@ -26,11 +26,15 @@ from repro.deployment.protocol import (
     MetricsMessage,
     MetricsRequestMessage,
     ProtocolError,
+    RedirectMessage,
     RequestMessage,
     ResilienceMessage,
+    ShardMapMessage,
     ShedMessage,
     StatsMessage,
     StatsRequestMessage,
+    SyncMessage,
+    SyncRequestMessage,
     decode_message,
     encode_message,
     decode_option,
@@ -48,9 +52,18 @@ from repro.deployment.controller import ViaController
 from repro.deployment.client import (
     AssignmentResult,
     AsyncViaClient,
+    RedirectError,
     ServerError,
     ShedError,
     TestbedClient,
+)
+from repro.deployment.ring import (
+    ControllerRing,
+    InProcessRing,
+    ShardController,
+    ShardedViaClient,
+    ShardMap,
+    ring_pair_key,
 )
 from repro.deployment.testbed import TestbedConfig, TestbedReport, run_testbed
 
@@ -71,6 +84,10 @@ __all__ = [
     "ErrorMessage",
     "ShedMessage",
     "ByeMessage",
+    "RedirectMessage",
+    "ShardMapMessage",
+    "SyncRequestMessage",
+    "SyncMessage",
     "ProtocolError",
     "encode_message",
     "decode_message",
@@ -92,6 +109,13 @@ __all__ = [
     "AssignmentResult",
     "ServerError",
     "ShedError",
+    "RedirectError",
+    "ShardMap",
+    "ShardController",
+    "ControllerRing",
+    "InProcessRing",
+    "ShardedViaClient",
+    "ring_pair_key",
     "TestbedConfig",
     "TestbedReport",
     "run_testbed",

@@ -54,8 +54,10 @@ from repro.deployment.protocol import (
     ProtocolError,
     RequestMessage,
     ResilienceMessage,
+    ShardMapMessage,
     ShedMessage,
     StatsRequestMessage,
+    SyncRequestMessage,
     decode_message,
     encode_message,
     read_wire_line,
@@ -290,7 +292,11 @@ class ViaServer:
                 conn.protocol = min(message.protocol, LATEST_PROTOCOL)
                 await self._send(
                     conn,
-                    HelloAckMessage(protocol=conn.protocol, corr_id=message.corr_id),
+                    HelloAckMessage(
+                        protocol=conn.protocol,
+                        shard_map=controller._hello_shard_map(),
+                        corr_id=message.corr_id,
+                    ),
                 )
             controller._on_hello(message.client_id, message.site)
         elif isinstance(message, MeasurementMessage):
@@ -307,6 +313,13 @@ class ViaServer:
             await self._send_reply(conn, controller._metrics_reply(), message.corr_id)
         elif isinstance(message, ResilienceMessage):
             controller._client_resilience[message.client_id] = message
+        elif isinstance(message, SyncRequestMessage):
+            # Gossip pull: the reply may span several frames (chunked to
+            # the wire's line cap); each echoes the request's corr_id.
+            for frame in controller._sync_replies(message):
+                await self._send_reply(conn, frame, message.corr_id)
+        elif isinstance(message, ShardMapMessage):
+            controller._on_shard_map(message)
         else:  # a server-to-client type arriving at the server is a bug
             logger.warning("unexpected %s from %s", type(message).__name__, conn.peer)
             if conn.v2:

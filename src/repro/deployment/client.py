@@ -50,6 +50,7 @@ from repro.deployment.protocol import (
     MetricsMessage,
     MetricsRequestMessage,
     ProtocolError,
+    RedirectMessage,
     RequestMessage,
     ResilienceMessage,
     ShedMessage,
@@ -70,6 +71,7 @@ __all__ = [
     "AssignmentResult",
     "ServerError",
     "ShedError",
+    "RedirectError",
 ]
 
 logger = logging.getLogger(__name__)
@@ -98,6 +100,29 @@ class ShedError(Exception):
         super().__init__(f"request shed by controller: {reason}")
         self.reason = reason
         self.retry_after_s = retry_after_s
+
+
+class RedirectError(Exception):
+    """The shard answered "not mine": retry at the owning shard.
+
+    Raised by fail-fast clients and by :meth:`AsyncViaClient.assign` so
+    ring-aware callers (``repro.deployment.ring.ShardedViaClient``) can
+    re-route; resilient :class:`TestbedClient` requests follow the
+    redirect internally.  Carries the owning shard's address and the
+    server's current shard map (when it sent one)."""
+
+    def __init__(
+        self,
+        shard: int,
+        host: str,
+        port: int,
+        shard_map: dict[str, Any] | None = None,
+    ) -> None:
+        super().__init__(f"pair owned by shard {shard} at {host}:{port}")
+        self.shard = shard
+        self.host = host
+        self.port = port
+        self.shard_map = shard_map
 
 
 @dataclass(frozen=True, slots=True)
@@ -140,6 +165,10 @@ class TestbedClient:
         self._ever_connected = False
         self.stats = ResilienceStats()
         self._last_reported_events = 0
+        #: Raw shard map from the server's hello_ack (or a redirect) when
+        #: it is one shard of a ring; None against a single controller.
+        self.shard_map: dict[str, Any] | None = None
+        self._hello_acked: asyncio.Event = asyncio.Event()
         # Reply demultiplexer state (rebuilt per connection): v2 replies
         # resolve by correlation id, v1 replies resolve strictly FIFO.
         self._corr = itertools.count(1)
@@ -171,6 +200,7 @@ class TestbedClient:
         self._pending = pending
         self._fifo = fifo
         self.protocol = self._requested_protocol
+        self._hello_acked = asyncio.Event()
         self._reader_task = asyncio.ensure_future(
             self._reply_loop(self._reader, pending, fifo, self._conn_epoch)
         )
@@ -293,6 +323,18 @@ class TestbedClient:
             raise ProtocolError(f"expected metrics, got {type(reply).__name__}")
         return reply.text
 
+    async def wait_hello_ack(self, timeout: float | None = None) -> None:
+        """Wait for the server's hello_ack (v2 only).
+
+        Ring-aware callers use this to have :attr:`shard_map` populated
+        before the first request; plain requests never need it (the hello
+        is pipelined ahead of them on the same connection)."""
+        await self._ensure_connected()
+        if timeout is None:
+            await self._hello_acked.wait()
+        else:
+            await asyncio.wait_for(self._hello_acked.wait(), timeout=timeout)
+
     @staticmethod
     def default_option(options: list[RelayOption]) -> RelayOption:
         """The client-side fallback: direct if offered, else first candidate."""
@@ -313,6 +355,8 @@ class TestbedClient:
             return decode_option(reply.option)
         if isinstance(reply, ShedMessage):
             raise ShedError(reply.reason, reply.retry_after_s)
+        if isinstance(reply, RedirectMessage):
+            raise RedirectError(reply.shard, reply.host, reply.port, reply.shard_map)
         if isinstance(reply, ErrorMessage):
             raise ServerError(reply.code, reply.detail)
         raise ProtocolError(f"expected assign, got {type(reply).__name__}")
@@ -352,6 +396,19 @@ class TestbedClient:
                 self.stats.record("fallback")
                 await self._maybe_report_resilience()
                 return self.default_option(options)
+            if isinstance(reply, RedirectMessage):
+                # A healthy wrong-shard answer: move this client to the
+                # owning shard and retry there immediately (no backoff --
+                # the redirect names a live server).  The breaker is
+                # untouched: nothing failed.
+                if reply.shard_map is not None:
+                    self.shard_map = reply.shard_map
+                self._host, self._port = reply.host, int(reply.port)
+                self._drop_connection()
+                if attempt < policy.max_attempts and time.monotonic() < deadline:
+                    self.stats.record("retry")
+                    continue
+                break
             if isinstance(reply, ErrorMessage):
                 # Per-request failure: the connection is still good (v2
                 # semantics), so retry without tearing it down.
@@ -457,6 +514,9 @@ class TestbedClient:
                         self.protocol = min(
                             message.protocol, self._requested_protocol
                         )
+                        if message.shard_map is not None:
+                            self.shard_map = message.shard_map
+                        self._hello_acked.set()
                     continue
                 corr_id = getattr(message, "corr_id", None)
                 if corr_id is not None:
@@ -630,6 +690,10 @@ class AsyncViaClient(TestbedClient):
             return AssignmentResult(
                 self.default_option(options), shed=True, reason=reply.reason
             )
+        if isinstance(reply, RedirectMessage):
+            if reply.shard_map is not None:
+                self.shard_map = reply.shard_map
+            raise RedirectError(reply.shard, reply.host, reply.port, reply.shard_map)
         if isinstance(reply, ErrorMessage):
             raise ServerError(reply.code, reply.detail)
         if not isinstance(reply, AssignMessage):

@@ -106,6 +106,8 @@ class ViaController:
         "stats_request",
         "metrics_request",
         "resilience",
+        "sync_request",
+        "shard_map",
         "bye",
     )
 
@@ -351,6 +353,35 @@ class ViaController:
     def set_down_relays(self, relay_ids) -> None:
         """Mark ``relay_ids`` down: the policy routes around them."""
         self.policy.set_down_relays(relay_ids)
+
+    # ------------------------------------------------------------------
+    # Ring hooks (overridden by repro.deployment.ring.ShardController;
+    # a standalone controller is its own one-shard fleet)
+    # ------------------------------------------------------------------
+
+    def _hello_shard_map(self) -> dict | None:
+        """Shard map to attach to v2 hello_acks; None on single controllers
+        (and omitted from the wire, keeping pre-ring hello_acks intact)."""
+        return None
+
+    def _sync_replies(self, message: Any) -> list[Any]:
+        """Frames answering a gossip ``sync_request``.
+
+        A standalone controller has no shard-local history mirror, so it
+        declines rather than serve a payload gossip would double-count.
+        """
+        from repro.deployment.protocol import ErrorMessage
+
+        return [
+            ErrorMessage(
+                code="unknown_type",
+                detail="sync_request: this controller is not a ring shard",
+            )
+        ]
+
+    def _on_shard_map(self, message: Any) -> None:
+        """A shard-map push arrived; standalone controllers ignore it."""
+        logger.debug("ignoring shard_map push: not a ring shard")
 
     # ------------------------------------------------------------------
     # Message accounting (shared by the frontend and WAL replay)

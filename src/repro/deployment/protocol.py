@@ -2,8 +2,10 @@
 
 One JSON object per line (newline-delimited), UTF-8.  Client->server
 messages (hello, measurement, request, stats_request, metrics_request,
-resilience, bye) and server->client replies (hello_ack, assign, stats,
-metrics, error, shed).  The paper notes the per-call overhead is exactly
+resilience, sync_request, bye) and server->client replies (hello_ack,
+assign, stats, metrics, error, shed, redirect, sync); shard_map flows in
+both directions inside a controller ring.  The paper notes the per-call
+overhead is exactly
 the first pair: "one measurement update and one control message exchange
 per call" (§7); the operator-facing stats/metrics exchanges are off the
 call path.
@@ -49,6 +51,10 @@ __all__ = [
     "ErrorMessage",
     "ShedMessage",
     "ByeMessage",
+    "RedirectMessage",
+    "ShardMapMessage",
+    "SyncRequestMessage",
+    "SyncMessage",
     "Message",
     "encode_message",
     "decode_message",
@@ -121,6 +127,11 @@ class HelloAckMessage:
 
     protocol: int
     max_line_bytes: int = MAX_LINE_BYTES
+    #: When the server is one shard of a ring, its current shard map
+    #: (see :class:`repro.deployment.ring.ShardMap`), so clients can
+    #: route each pair to its owning shard from the first request.
+    #: ``None`` -- and omitted from the wire -- on single controllers.
+    shard_map: dict[str, Any] | None = None
 
     type: str = "hello_ack"
     corr_id: int | None = None
@@ -278,6 +289,73 @@ class ShedMessage:
 
 
 @dataclass(frozen=True, slots=True)
+class RedirectMessage:
+    """This shard does not own the request's pair (stale client map).
+
+    Carries the owning shard's index and address so the client can retry
+    there directly, plus the server's current ``shard_map`` so the
+    client's routing table is fixed for every future pair too.  A
+    redirect is *not* an error: the request was well-formed, it just
+    knocked on the wrong door."""
+
+    shard: int
+    host: str
+    port: int
+    shard_map: dict[str, Any] | None = None
+
+    type: str = "redirect"
+    corr_id: int | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class ShardMapMessage:
+    """Push of the ring's current shard map.
+
+    Sent ring→shard when membership or addresses change (e.g. after a
+    failover restart) and server→client opportunistically.  Receivers
+    replace their routing table wholesale when ``version`` is newer."""
+
+    shard_map: dict[str, Any]
+
+    type: str = "shard_map"
+    corr_id: int | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class SyncRequestMessage:
+    """Gossip pull: ask a shard for its learned call history.
+
+    ``scope="local"`` returns only measurements the shard observed
+    itself (what peers must fold in -- gossiping the merged view would
+    double count); ``scope="merged"`` returns the full post-gossip view
+    (used by tooling and the failover equivalence tests)."""
+
+    scope: str = "local"
+
+    type: str = "sync_request"
+    corr_id: int | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class SyncMessage:
+    """One chunk of a shard's serialised call history.
+
+    Large histories are split across frames to respect the wire's
+    ``MAX_LINE_BYTES``; ``seq`` orders the chunks and ``last`` marks the
+    final one.  ``history`` is a :func:`repro.core.history.history_to_dict`
+    payload restricted to this chunk's entries."""
+
+    shard: int
+    seq: int
+    last: bool
+    history: dict[str, Any]
+    n_measurements: int = 0
+
+    type: str = "sync"
+    corr_id: int | None = None
+
+
+@dataclass(frozen=True, slots=True)
 class ByeMessage:
     """Client sign-off; the controller closes the connection."""
 
@@ -300,6 +378,10 @@ Message = Union[
     ResilienceMessage,
     ErrorMessage,
     ShedMessage,
+    RedirectMessage,
+    ShardMapMessage,
+    SyncRequestMessage,
+    SyncMessage,
     ByeMessage,
 ]
 
@@ -316,6 +398,10 @@ _MESSAGE_TYPES: dict[str, type] = {
     "resilience": ResilienceMessage,
     "error": ErrorMessage,
     "shed": ShedMessage,
+    "redirect": RedirectMessage,
+    "shard_map": ShardMapMessage,
+    "sync_request": SyncRequestMessage,
+    "sync": SyncMessage,
     "bye": ByeMessage,
 }
 
@@ -324,10 +410,13 @@ def encode_message(message: Message) -> bytes:
     """Serialise a message to one newline-terminated JSON line.
 
     An unset ``corr_id`` is omitted from the wire entirely, so id-less
-    messages stay byte-identical to protocol v1."""
+    messages stay byte-identical to protocol v1; likewise an unset
+    ``shard_map`` (single controllers' hello_acks predate sharding)."""
     payload = asdict(message)
     if payload.get("corr_id") is None:
         payload.pop("corr_id", None)
+    if "shard_map" in payload and payload["shard_map"] is None:
+        payload.pop("shard_map")
     line = json.dumps(payload, separators=(",", ":")) + "\n"
     encoded = line.encode("utf-8")
     if len(encoded) > MAX_LINE_BYTES:

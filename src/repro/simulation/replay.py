@@ -10,6 +10,8 @@ the same pair/option/window.  The policy then observes that outcome, so it
 
 from __future__ import annotations
 
+import logging
+
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -46,6 +48,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing-only import cycle guard
     from repro.core.probing import ActiveProber
 
 __all__ = ["ReplayResult", "replay"]
+
+logger = logging.getLogger(__name__)
+
+#: Policy names already warned about a silent batch→scalar fallback, so a
+#: grid of replays logs each offender once instead of once per task.
+_WARNED_NO_BATCH_API: set[str] = set()
 
 
 @dataclass(slots=True)
@@ -159,13 +167,22 @@ def replay(
         batch_calls > 1
         and prober is None
         and getattr(policy, "plan_probe", None) is None
-        and hasattr(policy, "assign_many")
-        and hasattr(policy, "observe_many")
     ):
-        return _replay_batched(
-            world, trace, policy, rng, result,
-            quality=quality, batch_calls=batch_calls,
-        )
+        if hasattr(policy, "assign_many") and hasattr(policy, "observe_many"):
+            return _replay_batched(
+                world, trace, policy, rng, result,
+                quality=quality, batch_calls=batch_calls,
+            )
+        # The caller asked for the batch hot path but this policy cannot
+        # serve it; say so once rather than silently running ~15x slower.
+        if policy.name not in _WARNED_NO_BATCH_API:
+            _WARNED_NO_BATCH_API.add(policy.name)
+            logger.info(
+                "replay(batch_calls=%d): policy %s has no assign_many/"
+                "observe_many; falling back to the scalar loop",
+                batch_calls,
+                policy.name,
+            )
     outcomes = result.outcomes
     sample_call = world.sample_call
     options_for_pair = world.options_for_pair

@@ -13,6 +13,8 @@ filter-heavy strategies rather than turning throughput into failures.
 
 from __future__ import annotations
 
+import asyncio
+import inspect
 import os
 
 import numpy as np
@@ -36,6 +38,32 @@ else:
     _hyp_settings.register_profile("dev", max_examples=25, **_COMMON)
     _hyp_settings.register_profile("ci", max_examples=150, **_COMMON)
     _hyp_settings.load_profile(os.environ.get("REPRO_HYPOTHESIS_PROFILE", "dev"))
+
+
+@pytest.fixture(scope="session")
+def poll_until():
+    """Await an eventually-true condition instead of sleeping a fixed beat.
+
+    Fire-and-forget effects (measurement counters, disconnect pruning,
+    gossip folds) land asynchronously; fixed sleeps either flake under
+    load or waste wall-clock.  ``await poll_until(get, predicate)``
+    re-evaluates ``get`` (sync or async) until ``predicate(value)`` is
+    truthy and returns that value; on timeout it returns the *last*
+    value so the caller's own assert reports the real final state.
+    """
+
+    async def _poll(get, predicate=bool, *, timeout_s=5.0, interval_s=0.01):
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout_s
+        while True:
+            value = get()
+            if inspect.isawaitable(value):
+                value = await value
+            if predicate(value) or loop.time() >= deadline:
+                return value
+            await asyncio.sleep(interval_s)
+
+    return _poll
 
 
 @pytest.fixture(scope="session")

@@ -268,7 +268,7 @@ class TestHostileClients:
 
         run(scenario())
 
-    def test_mid_request_disconnect_leaves_server_healthy(self):
+    def test_mid_request_disconnect_leaves_server_healthy(self, poll_until):
         async def scenario():
             async with ViaController() as controller:
                 reader, writer = await raw_connect(controller.port)
@@ -278,8 +278,9 @@ class TestHostileClients:
                 writer.write(wire(request_payload(1)))
                 await writer.drain()
                 writer.close()  # vanish before reading any reply
-                # Give the server a beat to trip over the dead socket.
-                await asyncio.sleep(0.05)
+                # The server notices the dead socket asynchronously; poll
+                # instead of betting a fixed sleep beats the reader task.
+                await poll_until(lambda: 5 not in controller.client_sites)
                 assert 5 not in controller.client_sites  # live set updated
                 async with AgentClient(
                     6, "GB", "127.0.0.1", controller.port

@@ -88,7 +88,7 @@ class TestFaultInjection:
 
         run(scenario())
 
-    def test_measurement_flood_from_many_clients(self):
+    def test_measurement_flood_from_many_clients(self, poll_until):
         async def scenario():
             async with ViaController() as controller:
                 clients = [
@@ -107,14 +107,10 @@ class TestFaultInjection:
                 # proves the bytes were written, not that the server has
                 # drained every connection's queue.  Poll until the counter
                 # converges, then assert the exact total (nothing lost).
-                deadline = asyncio.get_running_loop().time() + 5.0
-                stats = await clients[0].fetch_stats()
-                while (
-                    stats.n_measurements < 8 * 25
-                    and asyncio.get_running_loop().time() < deadline
-                ):
-                    await asyncio.sleep(0.02)
-                    stats = await clients[0].fetch_stats()
+                stats = await poll_until(
+                    clients[0].fetch_stats,
+                    lambda s: s.n_measurements >= 8 * 25,
+                )
                 assert stats.n_measurements == 8 * 25
                 await asyncio.gather(*(c.close() for c in clients))
 
@@ -147,7 +143,7 @@ class TestFaultInjection:
 
         run(scenario())
 
-    def test_disconnect_prunes_live_client_set(self):
+    def test_disconnect_prunes_live_client_set(self, poll_until):
         async def scenario():
             async with ViaController() as controller:
                 a = AgentClient(0, "US", "127.0.0.1", controller.port)
@@ -158,11 +154,7 @@ class TestFaultInjection:
                 assert stats.n_clients == 2
                 await b.close()
                 # The disconnect is observed asynchronously; poll stats.
-                for _ in range(100):
-                    stats = await a.fetch_stats()
-                    if stats.n_clients == 1:
-                        break
-                    await asyncio.sleep(0.01)
+                stats = await poll_until(a.fetch_stats, lambda s: s.n_clients == 1)
                 assert stats.n_clients == 1
                 # The site label stays sticky for call records.
                 assert controller.site_labels[1] == "IN"

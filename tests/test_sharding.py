@@ -2,11 +2,14 @@
 
 from __future__ import annotations
 
+import logging
+import math
+
 import pytest
 
 from repro.core.baselines import DefaultPolicy
 from repro.core.policy import ViaConfig, ViaPolicy
-from repro.core.sharding import ShardedPolicy, stable_shard_of
+from repro.core.sharding import ShardedPolicy, shard_candidates, stable_shard_of
 from repro.netmodel.metrics import PathMetrics
 from repro.netmodel.options import DIRECT, RelayOption
 from repro.telephony.call import Call
@@ -81,7 +84,8 @@ class TestShardedPolicy:
 
     def test_load_imbalance_reporting(self):
         policy = ShardedPolicy(lambda i: DefaultPolicy(), 4)
-        assert policy.load_imbalance() == 1.0
+        # An idle fleet has no defined balance: nan, not a fake 1.0.
+        assert math.isnan(policy.load_imbalance())
         for i in range(100):
             policy.assign(make_call(call_id=i, src_asn=1000 + i, dst_asn=2000 + i), OPTIONS)
         assert policy.load_imbalance() < 2.5
@@ -96,3 +100,206 @@ class TestShardedPolicy:
         r1 = replay(small_world, trace, plain, seed=4)
         r2 = replay(small_world, trace, sharded, seed=4)
         assert [o.option for o in r1.outcomes] == [o.option for o in r2.outcomes]
+
+class TestGoldenShardVectors:
+    """Pinned digest→shard mappings for representative pair keys.
+
+    Ring membership (repro.deployment.ring) and every stored per-shard
+    layout depend on this exact blake2s-of-repr digest.  If one of these
+    pins fails, the hash changed and every deployed pair is stranded on
+    the wrong shard -- that is a migration, not a refactor.
+    """
+
+    # (pair_key, [shard at n=2, n=4, n=8, n=16])
+    GOLDEN = [
+        # "as" granularity: sorted ASN (or client-id) pairs
+        ((1001, 1002), [1, 1, 5, 5]),
+        ((7, 9), [1, 3, 7, 7]),
+        ((0, 0), [0, 0, 0, 0]),
+        ((123456789, 987654321), [1, 3, 3, 3]),
+        # "country" granularity: sorted ISO-code pairs
+        (("US", "IN"), [1, 3, 7, 7]),
+        (("BR", "DE"), [1, 1, 5, 5]),
+        # "prefix" granularity: sorted (asn, prefix) tuples
+        (((3301, 24), (7922, 16)), [0, 2, 2, 2]),
+    ]
+
+    def test_pinned_shards(self):
+        for key, expected in self.GOLDEN:
+            got = [stable_shard_of(key, n) for n in (2, 4, 8, 16)]
+            assert got == expected, f"digest drifted for {key!r}: {got}"
+
+    def test_pinned_power_of_d_candidates(self):
+        assert shard_candidates((1001, 1002), 8, 3) == [2, 5]
+        assert shard_candidates((7, 9), 8, 2) == [4, 7]
+
+    def test_candidates_are_valid_shards(self):
+        for a in range(50):
+            for shard in shard_candidates((a, a + 1), 8, 3):
+                assert 0 <= shard < 8
+
+
+class TestCheckpointing:
+    """state_dict/load_state_dict round-trips the whole fleet."""
+
+    @staticmethod
+    def _drive(policy, n=40, observe=True):
+        for i in range(n):
+            call = make_call(call_id=i, src_asn=1000 + i % 7, dst_asn=2000 + i % 5)
+            chosen = policy.assign(call, OPTIONS)
+            if observe:
+                policy.observe(call, chosen, PathMetrics(90.0 + i, 0.01, 4.0))
+
+    def test_round_trip_restores_identical_behaviour(self):
+        factory = lambda i: ViaPolicy(ViaConfig(seed=100 + i, epsilon=0.0))
+        original = ShardedPolicy(factory, 4)
+        self._drive(original)
+        payload = original.state_dict()
+
+        restored = ShardedPolicy(factory, 4)
+        restored.load_state_dict(payload)
+        assert restored.shard_calls == original.shard_calls
+        probe = make_call(call_id=999, src_asn=1003, dst_asn=2002, t_hours=1.5)
+        assert restored.assign(probe, OPTIONS) == original.assign(probe, OPTIONS)
+
+    def test_round_trip_preserves_power_of_d_placements(self):
+        factory = lambda i: ViaPolicy(ViaConfig(seed=7, epsilon=0.0))
+        original = ShardedPolicy(factory, 4, placement="power_of_d", d_choices=2)
+        self._drive(original, observe=False)
+        restored = ShardedPolicy(factory, 4, placement="power_of_d", d_choices=2)
+        restored.load_state_dict(original.state_dict())
+        assert restored._placement == original._placement
+        # A known pair must route to its sticky shard, not re-place.
+        call = make_call(call_id=500, src_asn=1001, dst_asn=2001)
+        assert restored._route(call) == original._route(call)
+
+    def test_payload_is_keyed_by_shard_index(self):
+        policy = ShardedPolicy(lambda i: ViaPolicy(ViaConfig(seed=i)), 3)
+        payload = policy.state_dict()
+        assert payload["format"] == "via-sharded-policy-v1"
+        assert sorted(payload["shards"]) == ["0", "1", "2"]
+
+    def test_rejects_wrong_format(self):
+        policy = ShardedPolicy(lambda i: ViaPolicy(ViaConfig()), 2)
+        with pytest.raises(ValueError, match="format"):
+            policy.load_state_dict({"format": "something-else"})
+
+    def test_rejects_wrong_n_shards(self):
+        donor = ShardedPolicy(lambda i: ViaPolicy(ViaConfig()), 2)
+        target = ShardedPolicy(lambda i: ViaPolicy(ViaConfig()), 4)
+        with pytest.raises(ValueError, match="n_shards"):
+            target.load_state_dict(donor.state_dict())
+
+    def test_rejects_wrong_granularity(self):
+        donor = ShardedPolicy(lambda i: ViaPolicy(ViaConfig()), 2, granularity="country")
+        target = ShardedPolicy(lambda i: ViaPolicy(ViaConfig()), 2, granularity="as")
+        with pytest.raises(ValueError, match="granularity"):
+            target.load_state_dict(donor.state_dict())
+
+    def test_rejects_missing_shard_entry(self):
+        policy = ShardedPolicy(lambda i: ViaPolicy(ViaConfig()), 2)
+        payload = policy.state_dict()
+        del payload["shards"]["1"]
+        with pytest.raises(ValueError, match="missing shard entries"):
+            policy.load_state_dict(payload)
+
+
+class TestBatchDispatch:
+    """assign_many/observe_many must be bit-identical to the scalar loop."""
+
+    @staticmethod
+    def _batch(n=60):
+        calls = [
+            make_call(call_id=i, src_asn=1000 + i % 9, dst_asn=2000 + i % 6,
+                      t_hours=0.1 + 0.01 * i)
+            for i in range(n)
+        ]
+        return calls, [OPTIONS for _ in calls]
+
+    @pytest.mark.parametrize("placement", ["hash", "power_of_d"])
+    def test_assign_many_matches_scalar_loop(self, placement):
+        factory = lambda i: ViaPolicy(ViaConfig(seed=50 + i))
+        scalar = ShardedPolicy(factory, 4, placement=placement)
+        batched = ShardedPolicy(factory, 4, placement=placement)
+        calls, options = self._batch()
+        want = [scalar.assign(c, o) for c, o in zip(calls, options)]
+        got = batched.assign_many(calls, options)
+        assert got == want
+        assert batched.shard_calls == scalar.shard_calls
+        assert batched._placement == scalar._placement
+
+    @pytest.mark.parametrize("placement", ["hash", "power_of_d"])
+    def test_observe_many_matches_scalar_loop(self, placement):
+        factory = lambda i: ViaPolicy(ViaConfig(seed=9, epsilon=0.0))
+        scalar = ShardedPolicy(factory, 4, placement=placement)
+        batched = ShardedPolicy(factory, 4, placement=placement)
+        calls, options = self._batch()
+        # Place pairs the same way first (observe does not count load).
+        want = [scalar.assign(c, o) for c, o in zip(calls, options)]
+        batched.assign_many(calls, options)
+        metrics = [PathMetrics(80.0 + i, 0.02, 3.0) for i in range(len(calls))]
+        for c, o, m in zip(calls, want, metrics):
+            scalar.observe(c, o, m)
+        batched.observe_many(calls, want, metrics)
+        for a, b in zip(scalar.shards, batched.shards):
+            assert a.history.total_calls() == b.history.total_calls()
+
+    def test_length_mismatch_rejected(self):
+        policy = ShardedPolicy(lambda i: ViaPolicy(ViaConfig()), 2)
+        calls, options = self._batch(4)
+        with pytest.raises(ValueError, match="mismatch"):
+            policy.assign_many(calls, options[:-1])
+        with pytest.raises(ValueError, match="mismatch"):
+            policy.observe_many(calls, [DIRECT] * 4, [PathMetrics(80, 0.0, 1.0)] * 3)
+
+    def test_scalar_fallback_logs_once(self, caplog):
+        # DefaultPolicy has no batch API: the fleet still serves batches
+        # (scalar loop inside), telling the operator exactly once.
+        policy = ShardedPolicy(lambda i: DefaultPolicy(), 2)
+        calls, options = self._batch(8)
+        with caplog.at_level(logging.INFO, logger="repro.core.sharding"):
+            policy.assign_many(calls, options)
+            policy.assign_many(calls, options)
+        notices = [r for r in caplog.records if "scalar loop" in r.getMessage()]
+        assert len(notices) == 1
+
+
+class TestPowerOfDPlacement:
+    def test_placement_is_sticky(self):
+        policy = ShardedPolicy(
+            lambda i: DefaultPolicy(), 8, placement="power_of_d", d_choices=3
+        )
+        call = make_call(src_asn=42, dst_asn=77)
+        first = policy._route(call)
+        for i in range(50):  # pile load everywhere else
+            policy.assign(make_call(call_id=i, src_asn=5000 + i, dst_asn=6000 + i), OPTIONS)
+        assert policy._route(call) == first
+
+    def test_placement_drawn_from_candidates(self):
+        policy = ShardedPolicy(
+            lambda i: DefaultPolicy(), 8, placement="power_of_d", d_choices=3
+        )
+        for i in range(100):
+            call = make_call(call_id=i, src_asn=1000 + i, dst_asn=2000 + i)
+            shard = policy._route(call)
+            key = policy._keyer.view(call).pair_key
+            assert shard in shard_candidates(key, 8, 3)
+
+    def test_rejects_unknown_placement(self):
+        with pytest.raises(ValueError, match="placement"):
+            ShardedPolicy(lambda i: DefaultPolicy(), 2, placement="round_robin")
+
+
+class TestFleetRefresh:
+    def test_refresh_forwards_to_every_shard(self):
+        policy = ShardedPolicy(
+            lambda i: ViaPolicy(ViaConfig(seed=i, refresh_hours=24.0)), 3
+        )
+        assert policy.refresh(25.0) == 3  # all shards roll into period 1
+        assert policy.refresh(25.0) == 0  # already there: no-op
+        assert policy.n_refreshes == 3
+
+    def test_policies_without_refresh_are_skipped(self):
+        policy = ShardedPolicy(lambda i: DefaultPolicy(), 2)
+        assert policy.refresh(10.0) == 0
+        assert policy.n_refreshes == 0
