@@ -4,12 +4,12 @@ PYTHON ?= python
 # Worker processes for parallel-capable benchmarks: make bench WORKERS=4
 WORKERS ?= 1
 
-.PHONY: install test test-async test-faults test-parallel test-shard test-store test-vector test-verify check docs-check bench bench-record examples quick-bench all clean
+.PHONY: install test test-async test-faults test-multipath test-parallel test-shard test-store test-vector test-verify check docs-check bench bench-record examples quick-bench all clean
 
 install:
 	pip install -e .
 
-test: docs-check test-parallel test-store test-async test-vector test-shard
+test: docs-check test-parallel test-store test-async test-vector test-shard test-multipath
 	PYTHONPATH=src $(PYTHON) -m pytest tests/
 
 # Documentation referential integrity: fail on dangling repro.* symbol
@@ -37,6 +37,12 @@ test-parallel:
 # batched replay) -- see docs/performance.md.
 test-vector:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/test_vector.py -m vector
+
+# Multipath relaying subsystem: path-set algebra, combined-reward bound
+# properties, the bandit-over-path-pairs policy, and the chaos replay
+# accounting (degraded vs dead path sets under relay outages).
+test-multipath:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/test_multipath.py -m multipath
 
 # Sharded controller ring: consistent-hash routing + redirect repair,
 # gossip replication, ShardedPolicy checkpoint/batch contracts, and the
@@ -76,6 +82,8 @@ bench-record:
 	REPRO_BENCH_RECORD=1 PYTHONPATH=src $(PYTHON) -m pytest \
 	    "benchmarks/bench_ext_parallel_replay.py::test_vector_hot_path_speedup" \
 	    --benchmark-only
+	REPRO_BENCH_RECORD=1 PYTHONPATH=src $(PYTHON) -m pytest \
+	    benchmarks/bench_ext_multipath.py --benchmark-only
 
 # A fast subset: the headline figure plus the live deployment.
 quick-bench:

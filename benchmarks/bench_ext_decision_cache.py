@@ -12,9 +12,7 @@ import pytest
 
 from _util import emit, once
 from repro.analysis import format_table, pnr_breakdown, relative_improvement
-from repro.core.baselines import make_via
-from repro.core.caching import CachedAssignmentPolicy
-from repro.simulation import make_inter_relay_lookup
+from repro.core.registry import build_policy
 from repro.simulation.replay import replay
 
 METRIC = "rtt_ms"
@@ -24,7 +22,6 @@ TTLS_H = (0.5, 2.0, 12.0)
 @pytest.mark.benchmark(group="ext-cache")
 def test_ext_decision_cache(benchmark, suite, bench_world, bench_trace, bench_plan):
     def experiment():
-        inter_relay = make_inter_relay_lookup(bench_world)
         base = pnr_breakdown(suite.evaluate(suite.results(METRIC)["default"]))
         table = {
             "no cache": {
@@ -33,8 +30,8 @@ def test_ext_decision_cache(benchmark, suite, bench_world, bench_trace, bench_pl
             }
         }
         for ttl in TTLS_H:
-            cached = CachedAssignmentPolicy(
-                make_via(METRIC, inter_relay=inter_relay, seed=42), ttl_hours=ttl
+            cached = build_policy(
+                "cached-via", bench_world, metric=METRIC, seed=42, ttl_hours=ttl
             )
             result = replay(bench_world, bench_trace, cached, seed=99)
             table[f"TTL {ttl:g}h"] = {

@@ -14,8 +14,7 @@ import pytest
 
 from _util import emit, once
 from repro.analysis import format_table, pnr_breakdown, relative_improvement
-from repro.core.baselines import OraclePolicy, make_via
-from repro.simulation import make_inter_relay_lookup
+from repro.core.registry import build_policy
 from repro.simulation.replay import replay
 from repro.telephony.quality import mos_from_network, poor_call_probability
 
@@ -23,8 +22,6 @@ from repro.telephony.quality import mos_from_network, poor_call_probability
 @pytest.mark.benchmark(group="ext-mos")
 def test_ext_mos_objective(benchmark, suite, bench_world, bench_trace, bench_plan):
     def experiment():
-        inter_relay = make_inter_relay_lookup(bench_world)
-
         def score(outcomes):
             mos = float(np.mean([mos_from_network(o.metrics) for o in outcomes]))
             pcr = float(np.mean([poor_call_probability(o.metrics) for o in outcomes]))
@@ -39,10 +36,10 @@ def test_ext_mos_objective(benchmark, suite, bench_world, bench_trace, bench_pla
             "default": score(suite.evaluate(rtt_suite["default"])),
             "via[rtt]": score(suite.evaluate(rtt_suite["via"])),
         }
-        mos_policy = make_via("mos", inter_relay=inter_relay, seed=42)
+        mos_policy = build_policy("via", bench_world, metric="mos", seed=42)
         mos_result = replay(bench_world, bench_trace, mos_policy, seed=99)
         table["via[mos]"] = score(bench_plan.evaluate(mos_result))
-        mos_oracle = OraclePolicy(bench_world, "mos")
+        mos_oracle = build_policy("oracle", bench_world, metric="mos")
         oracle_result = replay(bench_world, bench_trace, mos_oracle, seed=99)
         table["oracle[mos]"] = score(bench_plan.evaluate(oracle_result))
         return table

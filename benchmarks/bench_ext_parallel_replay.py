@@ -172,5 +172,8 @@ def test_vector_hot_path_speedup(benchmark):
         f"got {result['speedup']:.2f}x"
     )
     record_bench_json(
-        "core", "bench_ext_parallel_replay::test_vector_hot_path_speedup", result
+        "core",
+        "bench_ext_parallel_replay::test_vector_hot_path_speedup",
+        result,
+        section="hot_path",
     )

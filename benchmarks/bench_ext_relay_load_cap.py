@@ -12,8 +12,7 @@ import pytest
 
 from _util import emit, once
 from repro.analysis import format_table, pnr_breakdown, relative_improvement
-from repro.core.baselines import make_via
-from repro.simulation import make_inter_relay_lookup
+from repro.core.registry import build_policy
 from repro.simulation.replay import replay
 
 METRIC = "rtt_ms"
@@ -23,7 +22,6 @@ CAPS = (0.05, 0.15)
 @pytest.mark.benchmark(group="ext-load-cap")
 def test_ext_per_relay_load_cap(benchmark, suite, bench_world, bench_trace, bench_plan):
     def experiment():
-        inter_relay = make_inter_relay_lookup(bench_world)
         base = pnr_breakdown(suite.evaluate(suite.results(METRIC)["default"]))
         table = {}
 
@@ -40,8 +38,8 @@ def test_ext_per_relay_load_cap(benchmark, suite, bench_world, bench_trace, benc
             "max_load": max_load(uncapped),
         }
         for cap in CAPS:
-            policy = make_via(
-                METRIC, inter_relay=inter_relay, seed=42, per_relay_cap=cap
+            policy = build_policy(
+                "via", bench_world, metric=METRIC, seed=42, per_relay_cap=cap
             )
             result = replay(bench_world, bench_trace, policy, seed=99)
             table[f"cap {cap:.0%}"] = {

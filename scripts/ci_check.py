@@ -21,7 +21,12 @@ Runs, in order, failing fast:
    routed measurements → a gossip round replicating the fleet history →
    a WAL-recovered failover that catches up via gossip.  The full suite
    is ``make test-shard``; this leg just proves the ring wires up end to
-   end in the gate environment.
+   end in the gate environment;
+6. the registry-completeness lint: every concrete policy class in
+   ``src/repro/core/`` must be reachable through
+   :data:`repro.core.registry.REGISTRY`, every entry must build on a tiny
+   world, ``PolicySpec`` round-trips through the registry, and every
+   ``supports_checkpoint`` entry round-trips its ``state_dict``.
 
 The coverage leg uses :mod:`trace` (stdlib) rather than ``coverage.py``
 deliberately: the reproduction environment is offline and must not grow
@@ -166,6 +171,9 @@ def _bench_regression_gate() -> bool:
         )
         return False
     baseline = json.loads(BENCH_BASELINE.read_text(encoding="utf-8"))
+    # Sectioned layout ({"hot_path": {...}, "multipath": {...}}); fall
+    # back to the pre-section whole-file layout for old baselines.
+    baseline = baseline.get("hot_path", baseline)
     base_speedup = float(baseline["speedup"])
     from repro.simulation.microbench import MicrobenchConfig, hot_path_microbench
 
@@ -279,6 +287,106 @@ def _shard_smoke() -> bool:
     return True
 
 
+def _registry_lint() -> bool:
+    """Registry completeness: no policy class escapes the registry.
+
+    Four checks, all cheap:
+
+    1. every concrete class under ``repro.core`` implementing the policy
+       interface (``assign``/``observe`` or ``assign_paths``/
+       ``observe_paths``) is reachable as some entry's ``policy_class``;
+    2. every registered entry builds against a tiny world;
+    3. ``PolicySpec(kind=<name>)`` resolves through the registry to the
+       same class and display name as a direct registry build;
+    4. every ``supports_checkpoint`` entry round-trips its ``state_dict``
+       through a freshly built twin.
+    """
+    print("== registry: completeness lint over src/repro/core", flush=True)
+    import importlib
+    import inspect
+    import pkgutil
+
+    import repro.core
+    from repro.core.registry import REGISTRY
+    from repro.netmodel.topology import TopologyConfig
+    from repro.netmodel.world import WorldConfig, build_world
+    from repro.simulation.parallel import PolicySpec
+
+    def is_policy_class(obj: object) -> bool:
+        if not inspect.isclass(obj) or getattr(obj, "_is_protocol", False):
+            return False
+        single = callable(getattr(obj, "assign", None)) and callable(
+            getattr(obj, "observe", None)
+        )
+        multi = callable(getattr(obj, "assign_paths", None)) and callable(
+            getattr(obj, "observe_paths", None)
+        )
+        return single or multi
+
+    concrete: set[type] = set()
+    for info in pkgutil.iter_modules(repro.core.__path__):
+        module = importlib.import_module(f"repro.core.{info.name}")
+        for _name, obj in vars(module).items():
+            if is_policy_class(obj) and obj.__module__ == module.__name__:
+                concrete.add(obj)
+    unregistered = concrete - REGISTRY.policy_classes()
+    if unregistered:
+        names = ", ".join(sorted(c.__qualname__ for c in unregistered))
+        print(
+            "ci-check: FAILED at registry-lint (policy classes in repro.core "
+            f"with no registry entry: {names}; add a @register factory in "
+            "src/repro/core/registry.py)"
+        )
+        return False
+
+    world = build_world(
+        WorldConfig(
+            topology=TopologyConfig(n_countries=5, n_relays=4), n_days=2, seed=3
+        )
+    )
+    for entry in REGISTRY.entries():
+        try:
+            built = entry.build(world, metric="rtt_ms", seed=11)
+        except Exception as exc:
+            print(f"ci-check: FAILED at registry-lint (entry {entry.name!r} "
+                  f"did not build: {exc!r})")
+            return False
+        if entry.policy_class is not None and not isinstance(
+            built, entry.policy_class
+        ):
+            print(
+                f"ci-check: FAILED at registry-lint (entry {entry.name!r} "
+                f"built a {type(built).__qualname__}, not its declared "
+                f"{entry.policy_class.__qualname__})"
+            )
+            return False
+        via_spec = PolicySpec(kind=entry.name, seed=11).build(world)
+        if type(via_spec) is not type(built) or via_spec.name != built.name:
+            print(
+                f"ci-check: FAILED at registry-lint (PolicySpec round-trip "
+                f"for {entry.name!r} diverged: spec built "
+                f"{type(via_spec).__qualname__} {via_spec.name!r}, registry "
+                f"built {type(built).__qualname__} {built.name!r})"
+            )
+            return False
+        if entry.supports_checkpoint:
+            state = built.state_dict()
+            twin = entry.build(world, metric="rtt_ms", seed=11)
+            twin.load_state_dict(state)
+            if twin.state_dict() != state:
+                print(
+                    "ci-check: FAILED at registry-lint (checkpoint round-trip "
+                    f"for {entry.name!r} is not stable)"
+                )
+                return False
+    print(
+        f"  registry OK: {len(concrete)} policy classes covered, "
+        f"{len(REGISTRY)} entries build + spec-resolve"
+        " (checkpoint entries round-trip)"
+    )
+    return True
+
+
 def main() -> int:
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
@@ -301,9 +409,11 @@ def main() -> int:
         return 1
     if not _shard_smoke():
         return 1
+    if not _registry_lint():
+        return 1
     print(
         "ci-check: OK (docs, tier-1, verify + coverage floor, bench gate, "
-        "shard smoke)"
+        "shard smoke, registry lint)"
     )
     return 0
 

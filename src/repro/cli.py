@@ -6,6 +6,7 @@ Subcommands:
 * ``trace``    -- generate a call trace and save it as JSON lines.
 * ``testbed``  -- run the §5.5 asyncio controller/client deployment.
 * ``quality``  -- E-model MOS / poor-call probability for a metric triple.
+* ``policies`` -- list the policy registry (capabilities, config schema).
 * ``store``    -- inspect / verify / compact a controller's durable store.
 * ``verify``   -- run the conformance verification plane (oracle
   differential, WAL crash-point sweep, lifecycle fuzz).
@@ -16,6 +17,7 @@ Examples::
     python -m repro trace --calls 5000 --out /tmp/trace.jsonl
     python -m repro testbed --pairs 18 --via-rounds 30
     python -m repro quality --rtt 320 --loss 0.012 --jitter 12
+    python -m repro policies --name via
     python -m repro store verify /var/lib/via/store
     python -m repro verify --budget full --seed 0
 """
@@ -77,6 +79,15 @@ def build_parser() -> argparse.ArgumentParser:
     quality.add_argument("--rtt", type=float, required=True, help="RTT in ms")
     quality.add_argument("--loss", type=float, required=True, help="loss rate [0,1]")
     quality.add_argument("--jitter", type=float, required=True, help="jitter in ms")
+
+    policies = sub.add_parser(
+        "policies", help="list registered selection policies"
+    )
+    policies.add_argument(
+        "--name", default=None,
+        help="show one policy in detail: description, capability flags, "
+             "and the full config schema with defaults",
+    )
 
     store = sub.add_parser(
         "store", help="inspect/verify/compact a controller's durable store"
@@ -234,6 +245,56 @@ def _cmd_quality(args: argparse.Namespace) -> int:
     mos = mos_from_network(metrics)
     pcr = poor_call_probability(metrics)
     print(f"MOS = {mos:.2f}   P(rated poor) = {pcr:.1%}")
+    return 0
+
+
+def _cmd_policies(args: argparse.Namespace) -> int:
+    from repro.core.registry import REGISTRY, UnknownPolicyError
+
+    def flags(entry) -> str:
+        letters = [
+            "B" if entry.supports_batch else "-",
+            "C" if entry.supports_checkpoint else "-",
+            "M" if entry.supports_multipath else "-",
+            "W" if entry.needs_world else "-",
+        ]
+        return "".join(letters)
+
+    if args.name is not None:
+        try:
+            entry = REGISTRY.get(args.name)
+        except UnknownPolicyError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"{entry.name}: {entry.description}")
+        print(format_table(
+            ["capability", "value"],
+            [
+                ["batch (assign_many/observe_many)", str(entry.supports_batch)],
+                ["checkpoint (state_dict)", str(entry.supports_checkpoint)],
+                ["multipath (assign_paths)", str(entry.supports_multipath)],
+                ["needs world", str(entry.needs_world)],
+            ],
+        ))
+        if entry.schema:
+            print(format_table(
+                ["config field", "type", "default"],
+                [[f.name, f.type, repr(f.default)] for f in entry.schema],
+                title="Config schema (pass as build overrides)",
+            ))
+        else:
+            print("no configurable fields beyond metric/seed")
+        return 0
+    rows = [
+        [entry.name, flags(entry), entry.description]
+        for entry in REGISTRY.entries()
+    ]
+    print(format_table(
+        ["policy", "BCMW", "description"],
+        rows,
+        title="Policy registry (B=batch C=checkpoint M=multipath W=needs-world); "
+              "`repro policies --name NAME` for the config schema",
+    ))
     return 0
 
 
@@ -398,6 +459,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "testbed": _cmd_testbed,
     "quality": _cmd_quality,
+    "policies": _cmd_policies,
     "store": _cmd_store,
     "verify": _cmd_verify,
 }

@@ -36,6 +36,28 @@ from repro.core.baselines import (
     make_strawman_exploration,
     make_strawman_prediction,
     make_via,
+    via_config,
+)
+from repro.core.multipath import (
+    MultipathBanditPolicy,
+    MultipathPolicy,
+    PathSet,
+    RandomPathSetPolicy,
+    combine_duplicate,
+    combine_split,
+    combined_metrics,
+)
+from repro.core.sharding import ShardedPolicy
+from repro.core.registry import (
+    REGISTRY,
+    ConfigField,
+    PolicyEntry,
+    PolicyRegistry,
+    UnknownPolicyError,
+    build_policy,
+    policy_names,
+    register,
+    world_inter_relay,
 )
 
 __all__ = [
@@ -72,6 +94,24 @@ __all__ = [
     "DefaultPolicy",
     "OraclePolicy",
     "make_via",
+    "via_config",
     "make_strawman_prediction",
     "make_strawman_exploration",
+    "PathSet",
+    "MultipathPolicy",
+    "MultipathBanditPolicy",
+    "RandomPathSetPolicy",
+    "combine_duplicate",
+    "combine_split",
+    "combined_metrics",
+    "ShardedPolicy",
+    "REGISTRY",
+    "ConfigField",
+    "PolicyEntry",
+    "PolicyRegistry",
+    "UnknownPolicyError",
+    "build_policy",
+    "policy_names",
+    "register",
+    "world_inter_relay",
 ]

@@ -35,6 +35,7 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = [
     "DefaultPolicy",
     "OraclePolicy",
+    "via_config",
     "make_via",
     "make_strawman_prediction",
     "make_strawman_exploration",
@@ -133,18 +134,23 @@ class OraclePolicy:
         return (best_opt.reversed() if flipped else best_opt), benefit
 
 
-def make_via(
+def via_config(
     metric: str = "rtt_ms",
     *,
-    inter_relay=None,
     budget: float = 1.0,
     budget_aware: bool = True,
     granularity: str = "as",
     refresh_hours: float = 24.0,
     seed: int = 42,
     **overrides,
-) -> ViaPolicy:
-    """The full VIA policy of Algorithm 1 (dynamic top-k + modified UCB1)."""
+) -> ViaConfig:
+    """The full Algorithm-1 configuration (dynamic top-k + modified UCB1).
+
+    The one source of truth for what "the VIA configuration" means:
+    :func:`make_via`, the policy registry's ``via`` family, and the
+    deployment testbed all build their :class:`ViaConfig` here, so a
+    config tweak lands everywhere at once.
+    """
     config = ViaConfig(
         metric=metric,
         topk_mode="dynamic",
@@ -158,7 +164,38 @@ def make_via(
     )
     if overrides:
         config = replace(config, **overrides)
-    return ViaPolicy(config, inter_relay=inter_relay, name=f"via[{metric}]")
+    return config
+
+
+def make_via(
+    metric: str = "rtt_ms",
+    *,
+    inter_relay=None,
+    budget: float = 1.0,
+    budget_aware: bool = True,
+    granularity: str = "as",
+    refresh_hours: float = 24.0,
+    seed: int = 42,
+    cls: type[ViaPolicy] = ViaPolicy,
+    name: str | None = None,
+    **overrides,
+) -> ViaPolicy:
+    """The full VIA policy of Algorithm 1 (dynamic top-k + modified UCB1).
+
+    ``cls`` swaps the concrete policy class (the registry's ``via-vector``
+    entry passes :class:`~repro.core.policy.VectorizedViaPolicy`); ``name``
+    overrides the default ``via[<metric>]`` display name.
+    """
+    config = via_config(
+        metric,
+        budget=budget,
+        budget_aware=budget_aware,
+        granularity=granularity,
+        refresh_hours=refresh_hours,
+        seed=seed,
+        **overrides,
+    )
+    return cls(config, inter_relay=inter_relay, name=name or f"via[{metric}]")
 
 
 def make_strawman_prediction(

@@ -125,9 +125,10 @@ class ViaController:
         n_workers: int = 4,
         idle_timeout_s: float | None = None,
         request_batch_max: int = 16,
+        policy_cls: type[ViaPolicy] = ViaPolicy,
     ) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
-        self.policy = ViaPolicy(
+        self.policy = policy_cls(
             policy_config or ViaConfig(), name="controller", registry=self.registry
         )
         self.host = host

@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.policy import ViaConfig
+from repro.core.baselines import via_config
 from repro.deployment.admission import AdmissionConfig
 from repro.deployment.client import TestbedClient
 from repro.deployment.controller import ViaController
@@ -66,6 +66,11 @@ class TestbedConfig:
     via_rounds: int = 30
     metric: str = "rtt_ms"
     seed: int = 99
+    #: Registry name of the controller's policy; must resolve to a
+    #: :class:`~repro.core.policy.ViaPolicy` variant (``via``,
+    #: ``via-vector``, ...) because the wire protocol drives the scalar
+    #: assign/observe interface with checkpointing.
+    policy: str = "via"
     sites: tuple[str, ...] = PAPER_SITES
     #: Chaos mode: a fault plan injected into the controller and the world
     #: (connection drops, delayed/blackholed replies, relay outages).
@@ -94,6 +99,27 @@ class TestbedConfig:
             raise ValueError("rounds must be >= 1")
         if not self.sites:
             raise ValueError("need at least one site")
+        _testbed_policy_class(self.policy)  # fail fast on bad names
+
+
+def _testbed_policy_class(name: str) -> type:
+    """Resolve a registry policy name to the controller's policy class.
+
+    Raises :class:`~repro.core.registry.UnknownPolicyError` (with its
+    did-you-mean listing) for unregistered names, and ``ValueError`` for
+    registered policies that are not ViaPolicy variants.
+    """
+    from repro.core.policy import ViaPolicy
+    from repro.core.registry import REGISTRY
+
+    entry = REGISTRY.get(name)
+    if entry.policy_class is None or not issubclass(entry.policy_class, ViaPolicy):
+        raise ValueError(
+            f"testbed policy {name!r} is not a ViaPolicy variant; the "
+            f"controller needs the scalar assign/observe + checkpoint "
+            f"interface (try 'via' or 'via-vector')"
+        )
+    return entry.policy_class
 
 
 @dataclass(slots=True)
@@ -215,18 +241,22 @@ async def _run_async(config: TestbedConfig) -> TestbedReport:
         if retry is None:
             retry = CHAOS_RETRY
 
-    policy_config = ViaConfig(
-        metric=config.metric,
+    policy_config = via_config(
+        config.metric,
         refresh_hours=24.0,
+        seed=config.seed,
         epsilon=0.02,
         min_direct_samples=2,
         use_tomography=False,
-        seed=config.seed,
     )
     report = TestbedReport(n_pairs=len(pairs))
 
     async with ViaController(
-        policy_config, faults=chaos, store=config.store_dir, admission=config.admission
+        policy_config,
+        faults=chaos,
+        store=config.store_dir,
+        admission=config.admission,
+        policy_cls=_testbed_policy_class(config.policy),
     ) as controller:
         clients = [
             TestbedClient(

@@ -14,16 +14,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.baselines import (
-    DefaultPolicy,
-    OraclePolicy,
-    make_strawman_exploration,
-    make_strawman_prediction,
-    make_via,
-)
 from repro.core.policy import SelectionPolicy
+from repro.core.registry import world_inter_relay
 from repro.core.tomography import InterRelayLookup
-from repro.netmodel.metrics import PathMetrics
 from repro.netmodel.world import World
 from repro.simulation.replay import ReplayResult, replay
 from repro.telephony.call import CallOutcome
@@ -45,13 +38,11 @@ def make_inter_relay_lookup(world: World) -> InterRelayLookup:
 
     The paper had Skype's measured RTT/loss/jitter between relay nodes; we
     expose the backbone segments' base performance, which the stable
-    private-WAN regime keeps accurate.
+    private-WAN regime keeps accurate.  Delegates to
+    :func:`repro.core.registry.world_inter_relay`, the canonical lookup
+    every registry-built policy closes over.
     """
-
-    def lookup(r1: int, r2: int) -> PathMetrics:
-        return world.inter_segment(r1, r2).base
-
-    return lookup
+    return world_inter_relay(world)
 
 
 def standard_policies(
@@ -61,21 +52,20 @@ def standard_policies(
     seed: int = 42,
     include_strawmen: bool = True,
 ) -> dict[str, SelectionPolicy]:
-    """The strategy suite Figure 12 compares, keyed by short name."""
-    inter_relay = make_inter_relay_lookup(world)
-    policies: dict[str, SelectionPolicy] = {
-        "default": DefaultPolicy(),
-        "oracle": OraclePolicy(world, metric),
-        "via": make_via(metric, inter_relay=inter_relay, seed=seed),
+    """The strategy suite Figure 12 compares, keyed by short name.
+
+    Built from :func:`~repro.simulation.parallel.standard_policy_specs`
+    through the policy registry, so the suite here and the one handed to
+    multiprocess ``run_grid`` are the same recipes.
+    """
+    from repro.simulation.parallel import standard_policy_specs
+
+    return {
+        name: spec.build(world)
+        for name, spec in standard_policy_specs(
+            metric, seed=seed, include_strawmen=include_strawmen
+        ).items()
     }
-    if include_strawmen:
-        policies["strawman-prediction"] = make_strawman_prediction(
-            metric, inter_relay=inter_relay, seed=seed + 1
-        )
-        policies["strawman-exploration"] = make_strawman_exploration(
-            metric, seed=seed + 2
-        )
-    return policies
 
 
 def run_policies(

@@ -40,18 +40,11 @@ from typing import TYPE_CHECKING, Any, Hashable, Iterable, Mapping
 
 import numpy as np
 
-from repro.core.baselines import (
-    DefaultPolicy,
-    OraclePolicy,
-    make_strawman_exploration,
-    make_strawman_prediction,
-    make_via,
-)
 from repro.core.history import RunningStat
 from repro.core.policy import SelectionPolicy
+from repro.core.registry import REGISTRY
 from repro.netmodel.world import World, WorldConfig, build_world
 from repro.obs import runtime as obs_runtime
-from repro.simulation.experiment import make_inter_relay_lookup
 from repro.simulation.replay import ReplayResult, replay
 from repro.workload.generator import WorkloadConfig, generate_trace
 from repro.workload.trace import TraceDataset
@@ -83,10 +76,12 @@ class PolicySpec:
     """A picklable recipe for one selection policy.
 
     Live policies close over the world and carry mutable learning state,
-    so they cannot cross a process boundary; a spec can.  ``build``
-    constructs the policy inside the worker, against the worker's world,
-    using exactly the same factories as :func:`standard_policies` -- a
-    policy built from a spec is bit-identical to one built directly.
+    so they cannot cross a process boundary; a spec can.  ``kind`` is a
+    :data:`repro.core.registry.REGISTRY` policy name; ``build`` resolves
+    it through the registry inside the worker, against the worker's
+    world, using exactly the same factories as direct construction -- a
+    policy built from a spec is bit-identical to one built directly, and
+    an unknown kind fails with the registry's did-you-mean listing.
     """
 
     kind: str
@@ -137,30 +132,25 @@ class PolicySpec:
             overrides=_freeze(overrides),
         )
 
+    @classmethod
+    def multipath(
+        cls, metric: str = "rtt_ms", *, seed: int = 42, **overrides: Any
+    ) -> "PolicySpec":
+        """Bandit over two-path :class:`~repro.core.multipath.PathSet` arms."""
+        return cls(
+            kind="multipath-ucb", metric=metric, seed=seed, overrides=_freeze(overrides)
+        )
+
     def build(self, world: World) -> SelectionPolicy:
-        """Construct the live policy this spec describes, on ``world``."""
-        kwargs = dict(self.overrides)
-        if self.kind == "default":
-            return DefaultPolicy(**kwargs)
-        if self.kind == "oracle":
-            return OraclePolicy(world, self.metric, **kwargs)
-        if self.kind == "via":
-            return make_via(
-                self.metric,
-                inter_relay=make_inter_relay_lookup(world),
-                seed=self.seed,
-                **kwargs,
-            )
-        if self.kind == "strawman-prediction":
-            return make_strawman_prediction(
-                self.metric,
-                inter_relay=make_inter_relay_lookup(world),
-                seed=self.seed,
-                **kwargs,
-            )
-        if self.kind == "strawman-exploration":
-            return make_strawman_exploration(self.metric, seed=self.seed, **kwargs)
-        raise ValueError(f"unknown policy spec kind: {self.kind!r}")
+        """Construct the live policy this spec describes, on ``world``.
+
+        Resolution goes through :data:`repro.core.registry.REGISTRY`, so
+        every registered policy -- including wrappers like ``cached-via``
+        and the multipath family -- is a valid ``kind``.
+        """
+        return REGISTRY.build(
+            self.kind, world, metric=self.metric, seed=self.seed, **dict(self.overrides)
+        )
 
 
 def _freeze(overrides: Mapping[str, Any]) -> tuple[tuple[str, Any], ...]:

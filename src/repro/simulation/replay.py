@@ -18,6 +18,7 @@ import numpy as np
 
 from typing import TYPE_CHECKING
 
+from repro.core.multipath import combined_metrics
 from repro.core.policy import SelectionPolicy
 from repro.netmodel.metrics import METRICS
 from repro.netmodel.world import World
@@ -68,7 +69,12 @@ class ReplayResult:
     #: Empty when the world had no scheduled outages.
     outage_flags: list[bool] = field(default_factory=list)
     #: Calls that were actually assigned to an option riding a down relay.
+    #: For multipath calls this means *both* paths were down.
     n_dead_assignments: int = 0
+    #: Multipath calls that lost exactly one of their two paths to an
+    #: outage: still connected, but degraded (duplicated calls keep the
+    #: surviving path's quality; split calls lose that path's share).
+    n_degraded_assignments: int = 0
 
     def __len__(self) -> int:
         return len(self.outcomes)
@@ -163,6 +169,11 @@ def replay(
         raise ValueError(f"batch_calls must be >= 1: {batch_calls}")
     rng = np.random.default_rng(seed)
     result = ReplayResult(policy_name=policy.name)
+    if getattr(policy, "assign_paths", None) is not None:
+        # Multipath policies commit every call to a two-path PathSet; they
+        # have their own loop because each call consumes two ground-truth
+        # draws and scores the combined stream.
+        return _replay_multipath(world, trace, policy, rng, result, quality=quality)
     if (
         batch_calls > 1
         and prober is None
@@ -347,6 +358,92 @@ def _replay_batched(
             )
         policy.observe_many(chunk, choices, metrics_rows)
         i = j
+    if obs_runtime.enabled:
+        _G_CALLS.set(len(outcomes))
+        _G_FRACTION.set(1.0)
+    return result
+
+
+def _replay_multipath(
+    world: World,
+    trace: TraceDataset,
+    policy,
+    rng: np.random.Generator,
+    result: ReplayResult,
+    *,
+    quality: QualityModel | None,
+) -> ReplayResult:
+    """Replay through a multipath policy's ``assign_paths`` interface.
+
+    Each call rides a :class:`~repro.core.multipath.PathSet` of two
+    concurrent relay paths.  Both constituents get an independent
+    ground-truth draw (primary first, then secondary, so the RNG stream
+    stays deterministic), and the recorded outcome carries the *combined*
+    stream metrics -- best-of for duplication, weighted blend for
+    splitting.  Outage accounting distinguishes losing both paths
+    (``n_dead_assignments``) from losing exactly one
+    (``n_degraded_assignments``); per-path samples during an outage show
+    the world's outage penalty, so duplicated calls survive on the live
+    path while split calls degrade in proportion to the lost share.
+    """
+    outcomes = result.outcomes
+    sample_call = world.sample_call
+    options_for_pair = world.options_for_pair
+    outages = tuple(getattr(world, "outages", ()))
+    set_down = getattr(policy, "set_down_relays", None) if outages else None
+    last_down: frozenset[int] | None = None
+    n_total = len(trace)
+    obs_calls = _C_CALLS.labels(policy=policy.name)
+    last_day = -1
+    for call in trace:
+        if obs_runtime.enabled:
+            day = int(call.t_hours // 24.0)
+            if day != last_day:
+                _G_DAY.set(day)
+                last_day = day
+            done = len(outcomes)
+            _G_CALLS.set(done)
+            _G_FRACTION.set(done / n_total if n_total else 1.0)
+            obs_calls.inc()
+        if outages:
+            down = world.relays_down_at(call.t_hours)
+            if set_down is not None and down != last_down:
+                set_down(down)
+                last_down = down
+            result.outage_flags.append(bool(down))
+        options = options_for_pair(call.src_asn, call.dst_asn)
+        if call.direct_blocked:
+            options = [o for o in options if o.is_relayed]
+        path_set = policy.assign_paths(call, options)
+        if outages:
+            primary_up = world.option_available(path_set.primary, call.t_hours)
+            secondary_up = world.option_available(path_set.secondary, call.t_hours)
+            if not primary_up and not secondary_up:
+                result.n_dead_assignments += 1
+            elif not (primary_up and secondary_up):
+                result.n_degraded_assignments += 1
+        kwargs = dict(
+            src_wireless=call.src_wireless,
+            dst_wireless=call.dst_wireless,
+            src_prefix=call.src_prefix,
+            dst_prefix=call.dst_prefix,
+        )
+        primary_metrics = sample_call(
+            call.src_asn, call.dst_asn, path_set.primary, call.t_hours, rng, **kwargs
+        )
+        secondary_metrics = sample_call(
+            call.src_asn, call.dst_asn, path_set.secondary, call.t_hours, rng, **kwargs
+        )
+        combined = combined_metrics(path_set, primary_metrics, secondary_metrics)
+        policy.observe_paths(
+            call, path_set, primary_metrics, secondary_metrics, combined
+        )
+        rating = quality.maybe_rate(combined, rng) if quality is not None else None
+        outcomes.append(
+            CallOutcome(
+                call=call, option=path_set.primary, metrics=combined, rating=rating
+            )
+        )
     if obs_runtime.enabled:
         _G_CALLS.set(len(outcomes))
         _G_FRACTION.set(1.0)

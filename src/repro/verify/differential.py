@@ -378,8 +378,19 @@ def run_differential(
     :class:`DivergenceError` on the first disagreement; otherwise returns
     the :class:`DifferentialReport`.  ``production_factory`` exists so the
     harness can prove it *detects* divergence (tests swap in a policy with
-    a planted bug).
+    a planted bug); it also accepts a registry policy name (e.g.
+    ``"via-vector"``), resolved to that entry's concrete policy class.
     """
+    if isinstance(production_factory, str):
+        from repro.core.registry import REGISTRY
+
+        entry = REGISTRY.get(production_factory)
+        if entry.policy_class is None or not issubclass(entry.policy_class, ViaPolicy):
+            raise ValueError(
+                f"registry policy {production_factory!r} is not a ViaPolicy "
+                "variant; the differential harness audits Algorithm 1 only"
+            )
+        production_factory = entry.policy_class
     stream_rng = np.random.default_rng(seed)
     if config is None:
         config = random_config(stream_rng)

@@ -170,11 +170,10 @@ def run_verify(
         # Leg 1: differential oracle-vs-production streams.  Every stream
         # proves two candidates against the algorithm oracle: the scalar
         # ViaPolicy and the vectorised hot path routed through batches of
-        # one (VectorizedViaPolicy) -- the PR's scalar-oracle equivalence
-        # guarantee, exercised end to end (docs/performance.md).
-        from repro.core.policy import VectorizedViaPolicy
-
-        candidates = (("scalar", None), ("vector", VectorizedViaPolicy))
+        # one -- the scalar-oracle equivalence guarantee, exercised end to
+        # end (docs/performance.md).  Candidates are registry policy names
+        # so the harness audits exactly what the registry hands out.
+        candidates = (("scalar", None), ("vector", "via-vector"))
         n_steps = 0
         n_streams = 0
         leg_failures = 0
