@@ -4,12 +4,12 @@ PYTHON ?= python
 # Worker processes for parallel-capable benchmarks: make bench WORKERS=4
 WORKERS ?= 1
 
-.PHONY: install test test-async test-faults test-multipath test-parallel test-shard test-store test-vector test-verify check docs-check bench bench-record examples quick-bench all clean
+.PHONY: install test test-async test-faults test-multipath test-parallel test-shard test-soak test-store test-vector test-verify check docs-check bench bench-record examples quick-bench all clean
 
 install:
 	pip install -e .
 
-test: docs-check test-parallel test-store test-async test-vector test-shard test-multipath
+test: docs-check test-parallel test-store test-async test-vector test-shard test-multipath test-soak
 	PYTHONPATH=src $(PYTHON) -m pytest tests/
 
 # Documentation referential integrity: fail on dangling repro.* symbol
@@ -49,6 +49,13 @@ test-multipath:
 # multiprocess WAL-failover acceptance test.
 test-shard:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/test_ring.py tests/test_sharding.py
+
+# Chaos soak harness: seconds-scale budgets of the time-compressed
+# endurance loop (snapshot/compact/kill/recover on schedule, planted
+# leaks tripping their named invariant, report + CLI contracts).  The
+# real endurance run is `repro soak` -- see docs/soak.md.
+test-soak:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/test_soak.py -m soak
 
 # Durable storage plane: WAL framing/rotation, compaction, and the
 # crash-recovery equivalence contract (snapshot + WAL-tail replay).

@@ -26,7 +26,13 @@ Runs, in order, failing fast:
    ``src/repro/core/`` must be reachable through
    :data:`repro.core.registry.REGISTRY`, every entry must build on a tiny
    world, ``PolicySpec`` round-trips through the registry, and every
-   ``supports_checkpoint`` entry round-trips its ``state_dict``.
+   ``supports_checkpoint`` entry round-trips its ``state_dict``;
+7. a smoke-budget chaos soak (:func:`repro.soak.run_soak`): the full
+   operational lifecycle — WAL rotation, snapshots, compaction, crash +
+   recover with fingerprint equivalence — under seed-derived chaos, with
+   the resource-trend watchdogs armed.  The hours-long run is
+   ``repro soak --budget full``; this leg proves the harness itself and
+   catches gross leaks in under a minute.
 
 The coverage leg uses :mod:`trace` (stdlib) rather than ``coverage.py``
 deliberately: the reproduction environment is offline and must not grow
@@ -387,6 +393,32 @@ def _registry_lint() -> bool:
     return True
 
 
+def _soak_smoke() -> bool:
+    """Smoke-budget chaos soak: the endurance loop, compressed to ~10 s."""
+    print("== soak: smoke-budget chaos soak (repro soak --budget smoke)",
+          flush=True)
+    from repro.obs.metrics import MetricsRegistry
+    from repro.soak import SoakBudget, run_soak
+
+    with tempfile.TemporaryDirectory(prefix="ci-soak-") as tmp:
+        report = run_soak(
+            SoakBudget.smoke(seed=0),
+            workdir=Path(tmp) / "work",
+            registry=MetricsRegistry(),
+            artifacts_dir=Path(tmp) / "artifacts",
+        )
+        if not report.ok:
+            print(report.summary())
+            print("ci-check: FAILED at soak-smoke")
+            return False
+    print(
+        f"  soak OK: {report.n_ticks} ticks, {report.n_restores} restores "
+        f"({report.n_raced_restores} raced), {report.n_compactions} "
+        f"compactions, watchdogs quiet ({report.duration_s:.1f}s)"
+    )
+    return True
+
+
 def main() -> int:
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
@@ -411,9 +443,11 @@ def main() -> int:
         return 1
     if not _registry_lint():
         return 1
+    if not _soak_smoke():
+        return 1
     print(
         "ci-check: OK (docs, tier-1, verify + coverage floor, bench gate, "
-        "shard smoke, registry lint)"
+        "shard smoke, registry lint, soak smoke)"
     )
     return 0
 

@@ -10,6 +10,8 @@ Subcommands:
 * ``store``    -- inspect / verify / compact a controller's durable store.
 * ``verify``   -- run the conformance verification plane (oracle
   differential, WAL crash-point sweep, lifecycle fuzz).
+* ``soak``     -- time-compressed chaos endurance run with invariant
+  watchdogs (lifecycle cycling + resource trend lines).
 
 Examples::
 
@@ -20,6 +22,7 @@ Examples::
     python -m repro policies --name via
     python -m repro store verify /var/lib/via/store
     python -m repro verify --budget full --seed 0
+    python -m repro soak --budget smoke --seed 0
 """
 
 from __future__ import annotations
@@ -122,6 +125,34 @@ def build_parser() -> argparse.ArgumentParser:
                              "are skipped and reported as truncated)")
     verify.add_argument("--artifacts-dir", default=".verify-failures",
                         help="where failure artifacts are written")
+
+    soak = sub.add_parser(
+        "soak", help="chaos endurance run with invariant watchdogs"
+    )
+    soak.add_argument("--budget", choices=("smoke", "full"), default="smoke",
+                      help="preset run length (smoke: sub-minute CI gate; "
+                           "full: hours-long endurance run)")
+    soak.add_argument("--seed", type=int, default=0,
+                      help="master seed; traffic, chaos plan and report "
+                           "fingerprint are all derived from it")
+    soak.add_argument("--ticks", type=int, default=None,
+                      help="override: soak length in ticks")
+    soak.add_argument("--shards", type=int, default=None,
+                      help="override: run an N-shard ring instead of a "
+                           "single controller (0 or 1 soaks a single "
+                           "controller)")
+    soak.add_argument("--plant-leak", choices=("objects", "fds", "series"),
+                      default=None,
+                      help="deliberately plant a leak to self-test the "
+                           "watchdog (the run must FAIL, naming the "
+                           "matching invariant)")
+    soak.add_argument("--time-budget", type=float, default=None,
+                      help="wall-clock cap in seconds (remaining ticks are "
+                           "skipped and reported as truncated)")
+    soak.add_argument("--artifacts-dir", default=".soak-failures",
+                      help="where failure artifacts are written")
+    soak.add_argument("--out", default=None,
+                      help="also write the full report JSON here, pass or fail")
 
     return parser
 
@@ -454,6 +485,36 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_soak(args: argparse.Namespace) -> int:
+    import dataclasses
+    import json
+
+    from repro.soak import SoakBudget, run_soak
+
+    preset = SoakBudget.full if args.budget == "full" else SoakBudget.smoke
+    budget = preset(seed=args.seed)
+    overrides = {}
+    if args.ticks is not None:
+        overrides["ticks"] = args.ticks
+    if args.shards is not None:
+        overrides["n_shards"] = args.shards
+    if args.time_budget is not None:
+        overrides["time_budget_s"] = args.time_budget
+    if overrides:
+        budget = dataclasses.replace(budget, **overrides)
+    report = run_soak(
+        budget, artifacts_dir=args.artifacts_dir, plant=args.plant_leak
+    )
+    if args.out is not None:
+        from pathlib import Path
+
+        Path(args.out).write_text(
+            json.dumps(report.to_dict(), indent=2, default=repr), encoding="utf-8"
+        )
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "trace": _cmd_trace,
@@ -462,6 +523,7 @@ _COMMANDS = {
     "policies": _cmd_policies,
     "store": _cmd_store,
     "verify": _cmd_verify,
+    "soak": _cmd_soak,
 }
 
 

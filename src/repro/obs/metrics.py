@@ -7,8 +7,12 @@ controller's operational counters and the policy's latency histograms:
   idempotent (re-asking for the same name/type/labels returns the same
   instrument, so module-level wiring is safe under repeated imports),
 * each metric fans out into *series* keyed by label values
-  (``metric.labels(type="request").inc()``), with a cardinality cap so a
-  label-value explosion fails loudly instead of eating memory,
+  (``metric.labels(type="request").inc()``), with a cardinality cap: once
+  a metric holds :data:`DEFAULT_MAX_SERIES` series, further *new* label
+  combinations are absorbed into a shared overflow series (writes keep
+  working, memory stays bounded) and counted on
+  ``via_metrics_dropped_series_total`` -- a runaway label value must not
+  crash a long-running controller, but it must page someone,
 * :meth:`MetricsRegistry.render_text` emits the Prometheus text
   exposition format (the thing a scraper reads), and
   :meth:`MetricsRegistry.snapshot` returns plain nested dicts for
@@ -148,11 +152,26 @@ class _Metric:
         self.labelnames = labelnames
         self.max_series = max_series
         self._series: dict[tuple[str, ...], Any] = {}
+        #: New label combinations rejected at the cardinality cap.
+        self.n_dropped = 0
+        #: Shared sink for writes past the cap (never rendered/snapshotted:
+        #: its labels are unknowable, and exposing a lie is worse than
+        #: exposing nothing).
+        self._overflow: Any = None
+        #: Registry hook: called with the metric name on every drop.
+        self.on_drop = None
 
     # -- label handling -------------------------------------------------
 
     def labels(self, **labelvalues: Any):
-        """The series for this combination of label values (created lazily)."""
+        """The series for this combination of label values (created lazily).
+
+        At the cardinality cap, *new* combinations get a shared overflow
+        series instead: their writes are absorbed (bounded memory, no
+        exception on a hot path) and ``n_dropped`` / the registry's
+        ``via_metrics_dropped_series_total`` counter record the loss.
+        Existing series keep working forever.
+        """
         if set(labelvalues) != set(self.labelnames):
             raise ValueError(
                 f"{self.name}: expected labels {self.labelnames}, "
@@ -162,10 +181,12 @@ class _Metric:
         series = self._series.get(key)
         if series is None:
             if len(self._series) >= self.max_series:
-                raise ValueError(
-                    f"{self.name}: label cardinality exceeds {self.max_series} "
-                    f"series (runaway label value?)"
-                )
+                self.n_dropped += 1
+                if self.on_drop is not None:
+                    self.on_drop(self.name)
+                if self._overflow is None:
+                    self._overflow = self._new_series()
+                return self._overflow
             series = self._new_series()
             self._series[key] = series
         return series
@@ -189,6 +210,8 @@ class _Metric:
     def clear(self) -> None:
         """Drop every series (used by registry reset between runs)."""
         self._series.clear()
+        self._overflow = None
+        self.n_dropped = 0
 
     # -- export ---------------------------------------------------------
 
@@ -357,6 +380,7 @@ class MetricsRegistry:
         metric = self._metrics.get(name)
         if metric is None:
             metric = Histogram(name, help, tuple(labelnames), buckets=buckets)
+            metric.on_drop = self._record_drop
             self._metrics[name] = metric
             return metric
         self._check_match(metric, Histogram, name, tuple(labelnames))
@@ -371,6 +395,7 @@ class MetricsRegistry:
         metric = self._metrics.get(name)
         if metric is None:
             metric = cls(name, help, labelnames)
+            metric.on_drop = self._record_drop
             self._metrics[name] = metric
             return metric
         self._check_match(metric, cls, name, labelnames)
@@ -391,6 +416,22 @@ class MetricsRegistry:
                 f"not {labelnames}"
             )
 
+    def _record_drop(self, metric_name: str) -> None:
+        """Count one series dropped at a metric's cardinality cap.
+
+        The drop counter is itself labelled by metric name -- bounded by
+        the number of registered metrics, never by label churn -- and is
+        excluded from its own accounting so a full drop counter cannot
+        recurse.
+        """
+        if metric_name == "via_metrics_dropped_series_total":
+            return
+        self.counter(
+            "via_metrics_dropped_series_total",
+            "Label series rejected at a metric's cardinality cap, by metric.",
+            ("metric",),
+        ).labels(metric=metric_name).inc()
+
     # -- access ---------------------------------------------------------
 
     def get(self, name: str) -> _Metric | None:
@@ -398,6 +439,12 @@ class MetricsRegistry:
 
     def names(self) -> list[str]:
         return sorted(self._metrics)
+
+    @property
+    def total_series(self) -> int:
+        """Live label series across every metric (the soak watchdog's
+        cardinality trend line)."""
+        return sum(m.n_series for m in self._metrics.values())
 
     def __contains__(self, name: str) -> bool:
         return name in self._metrics

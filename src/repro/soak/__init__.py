@@ -1,0 +1,39 @@
+"""Chaos soak harness: time-compressed endurance runs with watchdogs.
+
+Tier-1 tests and the verify plane prove the system is *correct at a
+point*; the soak proves it stays healthy *over time*.  One run drives a
+durable controller (or sharded ring) under a seed-derived chaos plan
+while cycling the full operational lifecycle -- WAL rotation and
+compaction, snapshot + kill + recover (fingerprint-checked, sometimes
+racing a live compaction), shard restarts with gossip catch-up, metrics
+scrapes -- and watches resource trend lines (RSS, gc objects, open fds,
+WAL segments, metric series) for the slow monotonic growth that only
+shows up under sustained load.
+
+* :mod:`repro.soak.budget` -- :class:`SoakBudget`, with ``smoke()``
+  (sub-minute, runs in CI) and ``full()`` (hours) presets;
+* :mod:`repro.soak.watchdog` -- trend samplers and the windowed-slope
+  invariant test;
+* :mod:`repro.soak.chaos` -- seed-derived fault plans plus deliberately
+  planted leaks for self-testing the watchdog;
+* :mod:`repro.soak.runner` -- :func:`run_soak` behind ``repro soak`` and
+  ``make test-soak``, emitting a :class:`SoakReport` and, on failure, a
+  seed-reproducible JSON artifact under ``.soak-failures/``.
+"""
+
+from repro.soak.budget import SoakBudget
+from repro.soak.chaos import PLANT_KINDS, LeakyPolicy, derive_fault_plan
+from repro.soak.runner import SoakReport, run_soak
+from repro.soak.watchdog import DEFAULT_INVARIANTS, InvariantSpec, TrendWatchdog
+
+__all__ = [
+    "DEFAULT_INVARIANTS",
+    "InvariantSpec",
+    "LeakyPolicy",
+    "PLANT_KINDS",
+    "SoakBudget",
+    "SoakReport",
+    "TrendWatchdog",
+    "derive_fault_plan",
+    "run_soak",
+]

@@ -1,0 +1,133 @@
+"""How long and how hard one soak runs: the :class:`SoakBudget`.
+
+A soak is *time-compressed*: the call clock (``t_hours``, the clock every
+wire message and fault window carries) advances ``hours_per_tick`` per
+tick while wall-clock advances milliseconds, so a smoke-sized run crosses
+days of predictor refreshes, WAL age rotations, compaction horizons and
+relay-outage windows in well under a minute.  Work is therefore counted
+in *ticks*, never in wall seconds -- two runs with the same budget and
+seed do the same work in the same order -- with ``time_budget_s`` as a
+safety cap that truncates (and says so in the report) rather than fails.
+
+Presets mirror :class:`~repro.verify.runner.VerifyBudget`: ``smoke`` is
+the CI gate (tens of seconds), ``full`` is the overnight endurance run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SoakBudget"]
+
+
+@dataclass(frozen=True, slots=True)
+class SoakBudget:
+    """One soak's schedule; everything derives from ``seed``.
+
+    Every ``*_every_ticks`` knob schedules one leg of the operational
+    lifecycle; ``0`` disables that leg.  The tick loop is the only clock
+    that matters for determinism -- ``time_budget_s`` only truncates.
+    """
+
+    #: Tick-loop length; each tick advances the call clock and drives calls.
+    ticks: int = 400
+    #: Request + measurement pairs driven per tick.
+    calls_per_tick: int = 6
+    #: Call-clock hours per tick (the time compression ratio).
+    hours_per_tick: float = 0.25
+    #: Logical client population (src/dst ids drawn from it).
+    n_clients: int = 8
+    #: Store-snapshot (WAL fold-down) cadence.
+    snapshot_every_ticks: int = 25
+    #: Standalone compaction cadence (between snapshots).
+    compact_every_ticks: int = 40
+    #: Kill + recover cadence (fingerprint-checked on every restore).
+    kill_every_ticks: int = 60
+    #: Every Nth kill also races the restore against an in-flight
+    #: compaction thread (1 = every kill).
+    raced_kill_every: int = 2
+    #: Metrics-scrape cadence (1 = every tick, as a scraper would).
+    scrape_every_ticks: int = 1
+    #: Resource trend-line sampling cadence.
+    sample_every_ticks: int = 4
+    #: Trailing samples the watchdog's slope test looks at.
+    window_samples: int = 20
+    #: Shard kill/restart cadence when a ring is configured.
+    shard_kill_every_ticks: int = 90
+    #: Gossip anti-entropy cadence when a ring is configured.
+    gossip_every_ticks: int = 15
+    #: Ring size; 0 or 1 soaks a single durable controller.
+    n_shards: int = 0
+    #: Wall-clock safety cap; the loop truncates (reported) past it.
+    time_budget_s: float | None = None
+    #: Master seed: workload, fault plan, and kill schedule all derive
+    #: from it, so a report's seed reproduces its run.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.ticks < 1:
+            raise ValueError("ticks must be >= 1")
+        if self.calls_per_tick < 1:
+            raise ValueError("calls_per_tick must be >= 1")
+        if self.hours_per_tick <= 0.0:
+            raise ValueError("hours_per_tick must be > 0")
+        if self.n_clients < 2:
+            raise ValueError("n_clients must be >= 2 (src != dst)")
+        if self.window_samples < 4:
+            raise ValueError("window_samples must be >= 4 for a slope")
+        if self.raced_kill_every < 1:
+            raise ValueError("raced_kill_every must be >= 1")
+        if self.n_shards < 0:
+            raise ValueError("n_shards must be >= 0")
+        for name in (
+            "snapshot_every_ticks",
+            "compact_every_ticks",
+            "kill_every_ticks",
+            "scrape_every_ticks",
+            "sample_every_ticks",
+            "shard_kill_every_ticks",
+            "gossip_every_ticks",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0 (0 disables)")
+        if self.time_budget_s is not None and self.time_budget_s <= 0.0:
+            raise ValueError("time_budget_s must be > 0 when set")
+
+    @property
+    def horizon_hours(self) -> float:
+        """Call-clock span the whole run covers."""
+        return self.ticks * self.hours_per_tick
+
+    @classmethod
+    def smoke(cls, seed: int = 0) -> "SoakBudget":
+        """The CI gate: ~4 simulated days, several kill/recover cycles,
+        done in well under 45 s on a laptop."""
+        return cls(
+            ticks=360,
+            calls_per_tick=6,
+            hours_per_tick=0.25,
+            snapshot_every_ticks=25,
+            compact_every_ticks=40,
+            kill_every_ticks=60,
+            sample_every_ticks=4,
+            window_samples=20,
+            time_budget_s=75.0,
+            seed=seed,
+        )
+
+    @classmethod
+    def full(cls, seed: int = 0) -> "SoakBudget":
+        """The endurance run: ~2 simulated years, hours of wall clock,
+        hundreds of restore cycles.  Run it overnight, not in the gate."""
+        return cls(
+            ticks=70_000,
+            calls_per_tick=8,
+            hours_per_tick=0.25,
+            snapshot_every_ticks=50,
+            compact_every_ticks=80,
+            kill_every_ticks=120,
+            sample_every_ticks=8,
+            window_samples=60,
+            time_budget_s=4 * 3600.0,
+            seed=seed,
+        )

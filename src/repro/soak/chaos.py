@@ -1,0 +1,101 @@
+"""Seed-derived chaos schedules and deliberately planted defects.
+
+Two halves:
+
+* :func:`derive_fault_plan` expands a seed into a continuous
+  :class:`~repro.deployment.faults.FaultPlan` covering the soak's whole
+  call-clock horizon -- relay outages (the controller must repick around
+  dead relays, then fail back) and blackhole windows (assignments whose
+  measurement never arrives).  Same seed, same horizon, same plan.
+* The **plants**: self-test defects the watchdog must catch.
+  :class:`LeakyPolicy` hoards gc-tracked objects on every observe;
+  ``repro soak --plant fds`` / ``--plant series`` leak a file handle /
+  churn a fresh label value per tick (both implemented in the runner; the
+  shared :data:`PLANT_KINDS` names all three).  A planted run coming back
+  green means the watchdog thresholds have drifted useless -- that is the
+  regression ``tests/test_soak.py`` pins.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.policy import ViaPolicy
+from repro.deployment.faults import FaultPlan
+from repro.netmodel.world import RelayOutage
+
+__all__ = ["PLANT_KINDS", "SOAK_RELAYS", "LeakyPolicy", "derive_fault_plan"]
+
+#: The relays the workload's option menu uses; outages schedule on these
+#: so every outage actually hits live assignment paths.
+SOAK_RELAYS = (1, 2, 3)
+
+#: Valid values for ``run_soak(plant=...)`` / ``repro soak --plant``.
+PLANT_KINDS = ("objects", "fds", "series")
+
+
+def derive_fault_plan(seed: int, horizon_hours: float) -> FaultPlan:
+    """Expand ``seed`` into continuous chaos across ``horizon_hours``.
+
+    Relay outages recur every ~4-20 call-clock hours and last 1-6 hours;
+    blackhole windows are sparser (every ~20-60 hours, 0.5-2 hours).  The
+    RNG stream is private to this function, so the plan is a pure
+    function of ``(seed, horizon_hours)``.
+    """
+    rng = random.Random(seed * 7919 + 101)
+    outages: list[RelayOutage] = []
+    t = rng.uniform(2.0, 6.0)
+    while t < horizon_hours:
+        duration = rng.uniform(1.0, 6.0)
+        outages.append(
+            RelayOutage(
+                relay_id=rng.choice(SOAK_RELAYS),
+                start_hours=t,
+                end_hours=t + duration,
+            )
+        )
+        t += duration + rng.uniform(3.0, 14.0)
+    blackholes: list[tuple[float, float]] = []
+    t = rng.uniform(10.0, 30.0)
+    while t < horizon_hours:
+        duration = rng.uniform(0.5, 2.0)
+        blackholes.append((t, t + duration))
+        t += duration + rng.uniform(20.0, 60.0)
+    return FaultPlan(
+        seed=seed,
+        relay_outages=tuple(outages),
+        blackhole_windows=tuple(blackholes),
+    )
+
+
+class LeakyPolicy(ViaPolicy):
+    """A :class:`~repro.core.policy.ViaPolicy` that leaks on purpose.
+
+    Every ``observe`` parks ``LEAK_PER_OBSERVE`` small lists in a
+    class-level hoard that nothing ever releases -- the classic
+    grows-with-traffic retention bug.  Lists, specifically: CPython's
+    collector never GC-tracks atomic objects and *untracks* dicts and
+    tuples with only atomic contents during a collect pass, so a hoard
+    of those would be invisible to the watchdog's ``gc_objects``
+    sampler (which counts tracked objects after ``gc.collect()``).
+    Lists stay tracked forever.
+
+    Behaviour is otherwise bit-identical to the base policy, so a planted
+    soak still exercises every lifecycle leg while it leaks.
+    """
+
+    LEAK_PER_OBSERVE = 150
+
+    #: Class-level on purpose: restarts build fresh policy instances, and
+    #: the leak must survive them the way a process-global cache would.
+    hoard: list[list] = []
+
+    def observe(self, call, option, metrics) -> None:
+        cls = type(self)
+        base = len(cls.hoard)
+        cls.hoard.extend([base + i] for i in range(self.LEAK_PER_OBSERVE))
+        super().observe(call, option, metrics)
+
+    @classmethod
+    def reset(cls) -> None:
+        cls.hoard.clear()

@@ -176,10 +176,19 @@ def segment_paths(directory: str | Path) -> list[Path]:
 
 
 def read_wal(directory: str | Path, *, after_seq: int = 0) -> WalReadResult:
-    """Read every segment in order, keeping records with ``seq > after_seq``."""
+    """Read every segment in order, keeping records with ``seq > after_seq``.
+
+    A segment that vanishes between the directory listing and the read
+    (a concurrent compaction folded and deleted it) is skipped, not an
+    error: compaction only ever deletes snapshot-covered segments, whose
+    records a reader filtering on ``after_seq`` would discard anyway.
+    """
     result = WalReadResult()
     for path in segment_paths(directory):
-        seg = read_segment(path)
+        try:
+            seg = read_segment(path)
+        except FileNotFoundError:
+            continue
         result.n_segments += 1
         result.n_corrupt += seg.n_corrupt
         if seg.torn:
@@ -278,14 +287,21 @@ class WriteAheadLog:
         which sealed files cover which records.
         """
         for path in segment_paths(self.directory):
-            seg = read_segment(path)
+            try:
+                seg = read_segment(path)
+                size_bytes = path.stat().st_size
+            except FileNotFoundError:
+                # Deleted under us by a compaction still finishing against
+                # the previous (crashed) log instance: its records are
+                # archive-covered, so the scan just moves on.
+                continue
             seqs = [r["seq"] for r in seg.records]
             info = SegmentInfo(
                 path=path,
                 first_seq=min(seqs) if seqs else 0,
                 last_seq=max(seqs) if seqs else 0,
                 n_records=len(seg.records),
-                size_bytes=path.stat().st_size,
+                size_bytes=size_bytes,
             )
             self._sealed.append(info)
             self.last_seq = max(self.last_seq, info.last_seq)

@@ -30,6 +30,7 @@ seed-reproducible checks:
 from repro.verify.crashpoints import (
     CrashSweepReport,
     RecordedLog,
+    controller_fingerprint,
     crash_point_sweep,
     record_workload,
 )
@@ -57,6 +58,7 @@ __all__ = [
     "RecordedLog",
     "VerifyBudget",
     "VerifyReport",
+    "controller_fingerprint",
     "crash_point_sweep",
     "oracle_dynamic_top_k",
     "oracle_stitch",

@@ -40,7 +40,13 @@ from repro.store.facade import Store
 from repro.store.recovery import recover
 from repro.store.wal import SEGMENT_MAGIC, _HEADER, segment_paths
 
-__all__ = ["CrashSweepReport", "RecordedLog", "crash_point_sweep", "record_workload"]
+__all__ = [
+    "CrashSweepReport",
+    "RecordedLog",
+    "controller_fingerprint",
+    "crash_point_sweep",
+    "record_workload",
+]
 
 #: The deterministic recipe the recorded workload's controller uses; high
 #: epsilon keeps the policy RNG hot so recovery must replay requests too.
@@ -185,8 +191,14 @@ class CrashSweepReport:
         )
 
 
-def _controller_fingerprint(controller: ViaController) -> str:
-    """Canonical JSON of everything the equivalence contract covers."""
+def controller_fingerprint(controller: ViaController) -> str:
+    """Canonical JSON of everything the equivalence contract covers.
+
+    Shared by the crash sweep, the lifecycle state machine, and the soak
+    harness: two controllers with equal fingerprints have equal learned
+    state (policy history, bandit counts, RNG position), site labels,
+    and message counters.
+    """
     return json.dumps(
         {
             "policy": controller.policy.state_dict(),
@@ -196,6 +208,10 @@ def _controller_fingerprint(controller: ViaController) -> str:
         },
         sort_keys=True,
     )
+
+
+#: Pre-PR-10 private name, kept for in-repo callers.
+_controller_fingerprint = controller_fingerprint
 
 
 def crash_point_sweep(

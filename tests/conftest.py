@@ -40,6 +40,15 @@ else:
     _hyp_settings.load_profile(os.environ.get("REPRO_HYPOTHESIS_PROFILE", "dev"))
 
 
+def pytest_configure(config):
+    # Registered in pyproject.toml too; duplicated here so the suite stays
+    # marker-clean even when pytest runs without the repo's ini options
+    # (e.g. `pytest tests/test_soak.py -c /dev/null` in a bisect).
+    config.addinivalue_line(
+        "markers", "soak: chaos soak harness tests (run with `make test-soak`)"
+    )
+
+
 @pytest.fixture(scope="session")
 def poll_until():
     """Await an eventually-true condition instead of sleeping a fixed beat.

@@ -57,16 +57,19 @@ class TestCounter:
         with pytest.raises(ValueError, match="use .labels"):
             c.inc()
 
-    def test_cardinality_cap(self, reg):
+    def test_cardinality_cap_absorbs_new_series(self, reg):
         c = reg.counter("t_total", "Total.", ("kind",))
         c.max_series = 10
         for i in range(10):
             c.labels(kind=str(i)).inc()
-        with pytest.raises(ValueError, match="cardinality"):
-            c.labels(kind="overflow")
+        # Past the cap, new combinations are absorbed (no exception on a
+        # hot path) and the loss is counted.
+        c.labels(kind="overflow").inc()
+        assert c.n_series == 10
+        assert c.n_dropped == 1
         # Existing series stay usable after the cap trips.
         c.labels(kind="3").inc()
-        assert c.n_series == 10
+        assert c.value_for(kind="3") == 2
 
 
 class TestGauge:
@@ -170,6 +173,73 @@ class TestRegistry:
         snap = reg.snapshot()
         assert snap["t_total"]["type"] == "counter"
         assert snap["t_total"]["series"] == [{"labels": {"kind": "a"}, "value": 1.0}]
+
+
+class TestCardinalityCap:
+    """The cap must bound memory under label churn, not just reject once."""
+
+    def test_total_series_bounded_under_sustained_label_churn(self, reg):
+        c = reg.counter("t_total", "Total.", ("session",))
+        c.max_series = 25
+        # A connection-churn workload: every "session" is a fresh label
+        # value, 40x past the cap.
+        for i in range(1000):
+            c.labels(session=f"s{i}").inc()
+        assert c.n_series == 25
+        assert c.n_dropped == 975
+        # Registry-wide accounting stays bounded too: the capped metric
+        # plus the drop counter's per-metric series.
+        assert reg.total_series == 25 + 1
+        for i in range(1000):
+            c.labels(session=f"late-{i}").inc()
+        assert reg.total_series == 25 + 1, "churn after the cap adds nothing"
+
+    def test_drop_counter_records_loss_per_metric(self, reg):
+        a = reg.counter("t_a_total", "A.", ("k",))
+        b = reg.counter("t_b_total", "B.", ("k",))
+        a.max_series = 2
+        b.max_series = 2
+        for i in range(5):
+            a.labels(k=str(i)).inc()
+        for i in range(3):
+            b.labels(k=str(i)).inc()
+        drops = reg.get("via_metrics_dropped_series_total")
+        assert drops is not None
+        assert drops.value_for(metric="t_a_total") == 3
+        assert drops.value_for(metric="t_b_total") == 1
+        assert 'via_metrics_dropped_series_total{metric="t_a_total"} 3' in (
+            reg.render_text()
+        )
+
+    def test_drop_counter_never_recurses_at_its_own_cap(self, reg):
+        # Force the pathological case: the drop counter itself is full,
+        # then another metric overflows.  Recording that drop must not
+        # recurse into the drop counter's own on_drop hook.
+        drops = reg.counter(
+            "via_metrics_dropped_series_total",
+            "Label series rejected at a metric's cardinality cap, by metric.",
+            ("metric",),
+        )
+        drops.max_series = 1
+        drops.labels(metric="occupant").inc()
+        c = reg.counter("t_total", "Total.", ("k",))
+        c.max_series = 1
+        c.labels(k="a").inc()
+        c.labels(k="b").inc()  # overflows t_total -> drop recorded at full drops
+        assert c.n_dropped == 1
+        assert drops.n_dropped == 1, "the loss of the loss-record is counted"
+        assert drops.n_series == 1
+
+    def test_overflow_series_never_rendered(self, reg):
+        c = reg.counter("t_total", "Total.", ("k",))
+        c.max_series = 1
+        c.labels(k="a").inc()
+        c.labels(k="ghost").inc(99)
+        text = reg.render_text()
+        assert "ghost" not in text
+        assert "99" not in text
+        snap = c.snapshot()
+        assert [s["labels"] for s in snap["series"]] == [{"k": "a"}]
 
 
 class TestTracer:

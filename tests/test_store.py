@@ -619,3 +619,154 @@ class TestStoreCli:
     def test_missing_dir_is_usage_error(self, tmp_path, capsys):
         assert main(["store", "inspect", str(tmp_path / "nope")]) == 2
         assert "error" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# Rotation-boundary properties (hypothesis)
+# ----------------------------------------------------------------------
+
+from hypothesis import given, strategies as st  # noqa: E402
+
+
+def _frame_size(record: dict) -> int:
+    """On-disk bytes one record costs (header + compact JSON).
+
+    ``record`` must carry its real ``seq`` (as records read back via
+    ``read_wal`` do): the seq's digit count changes the payload length.
+    """
+    assert "seq" in record
+    return len(encode_frame(dict(record)))
+
+
+class TestRotationBoundaryProperties:
+    """Segments must roll at *exactly* the configured limits.
+
+    A sloppy boundary check (``>`` for ``>=``, counting before the append
+    instead of after) passes fixed-size unit tests and then over- or
+    under-fills segments in production, so these pin the exact contract
+    under arbitrary record sizes: (a) no sealed segment violates the
+    limit's invariant, (b) each sealed segment was *minimal* -- without
+    its final record it would not have rotated -- and (c) the
+    damage-tolerant reader sees every record, in order, no matter where
+    the boundaries fell.
+    """
+
+    @given(
+        n_records=st.integers(min_value=1, max_value=60),
+        limit=st.integers(min_value=1, max_value=7),
+    )
+    def test_record_count_limit_is_exact(self, n_records, limit, tmp_path_factory):
+        root = tmp_path_factory.mktemp("count")
+        wal = WriteAheadLog(root, fsync="off", max_segment_records=limit,
+                            max_segment_bytes=1 << 30)
+        for i in range(n_records):
+            wal.append({"kind": "pad", "i": i})
+        wal.close()
+        sealed = wal.sealed_segments()
+        assert sum(s.n_records for s in sealed) == n_records
+        # Every rotation-sealed segment holds exactly `limit` records; only
+        # the close()-sealed remainder may hold fewer.
+        for info in sealed[:-1]:
+            assert info.n_records == limit
+        assert 1 <= sealed[-1].n_records <= limit
+        expected_full, remainder = divmod(n_records, limit)
+        assert len(sealed) == expected_full + (1 if remainder else 0)
+        result = read_wal(root)
+        assert [r["seq"] for r in result.records] == list(range(1, n_records + 1))
+        assert result.n_corrupt == 0 and result.n_torn_segments == 0
+
+    @given(
+        pads=st.lists(st.integers(min_value=0, max_value=300),
+                      min_size=1, max_size=40),
+        limit=st.integers(min_value=64, max_value=700),
+    )
+    def test_size_limit_rolls_at_exact_boundary(self, pads, limit, tmp_path_factory):
+        root = tmp_path_factory.mktemp("size")
+        wal = WriteAheadLog(root, fsync="off", max_segment_bytes=limit)
+        records = [{"kind": "pad", "i": i, "d": "x" * n} for i, n in enumerate(pads)]
+        for record in records:
+            wal.append(record)
+        wal.close()
+        sealed = wal.sealed_segments()
+        by_seq = {r["seq"]: r for r in read_wal(root).records}
+        assert sorted(by_seq) == list(range(1, len(records) + 1))
+        for pos, info in enumerate(sealed):
+            assert info.size_bytes == info.path.stat().st_size
+            last_frame = _frame_size(by_seq[info.last_seq])
+            if pos < len(sealed) - 1:
+                # Rotation-sealed: at or past the limit, and minimally so --
+                # one record earlier it was still under it.
+                assert info.size_bytes >= limit
+                assert info.size_bytes - last_frame < limit
+            else:
+                # The final segment is either rotation-sealed like the
+                # others or an under-limit remainder sealed by close().
+                assert (info.size_bytes >= limit
+                        and info.size_bytes - last_frame < limit) or (
+                    info.size_bytes < limit
+                )
+        # A record larger than the whole limit still lands (its own
+        # oversized segment) rather than wedging the log.
+        for info in sealed:
+            assert info.n_records >= 1
+
+    @given(
+        quiet_appends=st.integers(min_value=1, max_value=10),
+        age_s=st.floats(min_value=0.5, max_value=60.0,
+                        allow_nan=False, allow_infinity=False),
+    )
+    def test_age_limit_with_injected_clock(self, quiet_appends, age_s,
+                                           tmp_path_factory):
+        root = tmp_path_factory.mktemp("age")
+        # The clock starts at 0.0 so `now - opened_at` is exact float
+        # arithmetic: the boundary really is crossed *at* age_s, not an
+        # ulp under it.
+        now = [0.0]
+        wal = WriteAheadLog(root, fsync="off", max_segment_age_s=age_s,
+                            max_segment_bytes=1 << 30, clock=lambda: now[0])
+        for i in range(quiet_appends):
+            wal.append({"kind": "pad", "i": i})
+        assert wal.sealed_segments() == [], "no rotation before the age limit"
+        # Cross the age boundary exactly: the *next* append seals.
+        now[0] = age_s
+        wal.append({"kind": "pad", "i": quiet_appends})
+        sealed = wal.sealed_segments()
+        assert len(sealed) == 1
+        assert sealed[0].n_records == quiet_appends + 1
+        assert wal.active_path is None, "age rotation leaves no active file"
+        # The next append starts a fresh segment whose age clock restarts.
+        wal.append({"kind": "pad", "i": quiet_appends + 1})
+        assert len(wal.sealed_segments()) == 1
+        assert wal.active_path is not None
+        wal.close()
+        result = read_wal(root)
+        assert [r["seq"] for r in result.records] == list(
+            range(1, quiet_appends + 3)
+        )
+
+    @given(
+        pads=st.lists(st.integers(min_value=0, max_value=200),
+                      min_size=2, max_size=30),
+        cut=st.integers(min_value=1, max_value=11),
+    )
+    def test_reader_survives_torn_tail_across_rotation(self, pads, cut,
+                                                       tmp_path_factory):
+        root = tmp_path_factory.mktemp("torn")
+        wal = WriteAheadLog(root, fsync="off", max_segment_bytes=256)
+        for i, n in enumerate(pads):
+            wal.append({"kind": "pad", "i": i, "d": "x" * n})
+        wal.close()
+        # Damage the newest segment: chop mid-frame, as a crash would.
+        newest = wal.sealed_segments()[-1].path
+        data = newest.read_bytes()
+        keep = max(len(SEGMENT_MAGIC), len(data) - cut)
+        newest.write_bytes(data[:keep])
+        result = read_wal(root)
+        # Every fully-framed record survives, in order, with no gaps; only
+        # a suffix of the damaged segment may be gone.
+        seqs = [r["seq"] for r in result.records]
+        assert seqs == list(range(1, len(seqs) + 1))
+        assert len(pads) - len(seqs) <= (
+            sum(1 for r in read_segment(newest).records) + 1 + cut // 1
+        )
+        assert result.n_corrupt == 0
